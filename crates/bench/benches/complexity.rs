@@ -1,0 +1,24 @@
+//! Criterion benches: the Table 1 complexity models — cheap by design,
+//! benched to guarantee the sweep binaries (register-count and
+//! organization sweeps) stay interactive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsrs_complexity::{table1, CactiModel, RegFileOrg};
+
+fn models(c: &mut Criterion) {
+    c.bench_function("table1_generate", |b| b.iter(table1::generate));
+    let model = CactiModel::paper();
+    c.bench_function("cacti_sweep_1k_orgs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for regs in (128..1152).step_by(1) {
+                let org = RegFileOrg::wsrs(regs);
+                acc += model.org_access_time_ns(&org) + model.org_energy_nj(&org);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, models);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion benches: functional-emulator throughput (µops generated per
+//! second) — the trace producer feeding every timing experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsrs_workloads::Workload;
+
+const UOPS: usize = 200_000;
+
+fn emulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulator");
+    g.throughput(Throughput::Elements(UOPS as u64));
+    for w in [Workload::Gzip, Workload::Crafty, Workload::Swim, Workload::Mcf] {
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, w| {
+            b.iter(|| w.trace().take(UOPS).map(|d| d.pc).sum::<u64>())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, emulator);
+criterion_main!(benches);

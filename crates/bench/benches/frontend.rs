@@ -1,0 +1,67 @@
+//! Criterion benches: branch-predictor lookup/update throughput (the
+//! per-branch cost inside the fetch model) for the three predictor
+//! families, on a realistic branch stream drawn from the gcc kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wsrs_frontend::{Bimodal, DirectionPredictor, Gshare, TwoBcGskew};
+use wsrs_workloads::Workload;
+
+fn branch_stream() -> Vec<(u64, bool)> {
+    Workload::Gcc
+        .trace()
+        .skip(40_000)
+        .filter(|d| d.is_cond_branch())
+        .take(20_000)
+        .map(|d| (d.pc, d.taken))
+        .collect()
+}
+
+fn predictors(c: &mut Criterion) {
+    let stream = branch_stream();
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+
+    g.bench_function("bimodal_16k", |b| {
+        b.iter(|| {
+            let mut p = Bimodal::new(14);
+            let mut correct = 0u64;
+            for &(pc, taken) in &stream {
+                if p.predict(pc) == taken {
+                    correct += 1;
+                }
+                p.update(pc, taken);
+            }
+            correct
+        })
+    });
+    g.bench_function("gshare_64k", |b| {
+        b.iter(|| {
+            let mut p = Gshare::new(16, 14);
+            let mut correct = 0u64;
+            for &(pc, taken) in &stream {
+                if p.predict(pc) == taken {
+                    correct += 1;
+                }
+                p.update(pc, taken);
+            }
+            correct
+        })
+    });
+    g.bench_function("two_bc_gskew_512kbit", |b| {
+        b.iter(|| {
+            let mut p = TwoBcGskew::ev8_budget();
+            let mut correct = 0u64;
+            for &(pc, taken) in &stream {
+                if p.predict(pc) == taken {
+                    correct += 1;
+                }
+                p.update(pc, taken);
+            }
+            correct
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, predictors);
+criterion_main!(benches);

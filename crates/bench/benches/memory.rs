@@ -1,0 +1,60 @@
+//! Criterion benches: memory-hierarchy access throughput under the three
+//! access patterns that matter to the kernels — L1-resident, L2-resident,
+//! and memory-bound strides.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wsrs_mem::{HierarchyConfig, MemoryHierarchy, StoreQueue};
+
+const ACCESSES: u64 = 50_000;
+
+fn hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+    g.throughput(Throughput::Elements(ACCESSES));
+    for (name, stride, span) in [
+        ("l1_resident", 64u64, 16 * 1024u64),
+        ("l2_resident", 64, 256 * 1024),
+        ("memory_bound", 4096, 32 * 1024 * 1024),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = MemoryHierarchy::new(HierarchyConfig::paper());
+                let mut total = 0u64;
+                let mut addr = 0u64;
+                for i in 0..ACCESSES {
+                    total += u64::from(m.load(addr, i));
+                    addr = (addr + stride) % span;
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn store_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("insert_query_remove", |b| {
+        b.iter(|| {
+            let mut q = StoreQueue::new();
+            let mut conflicts = 0u64;
+            for i in 0..10_000u64 {
+                q.insert(i * 2, (i % 64) * 8);
+                if matches!(
+                    q.query(i * 2 + 1, ((i + 32) % 64) * 8),
+                    wsrs_mem::StoreQueueQuery::ForwardFrom(_)
+                ) {
+                    conflicts += 1;
+                }
+                if i >= 32 {
+                    q.remove((i - 32) * 2);
+                }
+            }
+            conflicts
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, hierarchy, store_queue);
+criterion_main!(benches);

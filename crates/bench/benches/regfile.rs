@@ -1,0 +1,51 @@
+//! Criterion benches: rename-stage throughput for the two §2.2 renaming
+//! strategies — the per-µop cost of map lookup + allocation + destination
+//! update, plus commit-side reclamation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsrs_isa::{Reg, RegClass, RegRef};
+use wsrs_regfile::{Mapping, RenameStrategy, Renamer, RenamerConfig, Subset};
+
+const UOPS: u64 = 50_000;
+
+fn rename_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("renamer");
+    g.throughput(Throughput::Elements(UOPS));
+    for (name, strategy) in [
+        ("exact_count", RenameStrategy::ExactCount),
+        ("recycling", RenameStrategy::Recycling),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut r =
+                        Renamer::new(RenamerConfig::write_specialized(512, 256, strategy));
+                    let mut pending: Vec<Mapping> = Vec::with_capacity(64);
+                    let mut allocs = 0u64;
+                    for cycle in 0..UOPS {
+                        r.begin_cycle(cycle, 8);
+                        let subset = Subset((cycle % 4) as u8);
+                        let logical = Reg::new((1 + cycle % 60) as u8);
+                        if let Some(m) = r.alloc(RegClass::Int, subset) {
+                            pending.push(r.rename_dest(RegRef::int(logical), m));
+                            allocs += 1;
+                        }
+                        r.end_cycle(cycle);
+                        // Commit with a ~48-deep window.
+                        if pending.len() > 48 {
+                            let old = pending.remove(0);
+                            r.free(RegClass::Int, old, cycle);
+                        }
+                    }
+                    allocs
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, rename_throughput);
+criterion_main!(benches);

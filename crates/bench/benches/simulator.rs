@@ -1,0 +1,48 @@
+//! Criterion benches: timing-simulator throughput per architecture
+//! configuration (µops simulated per wall-clock second). These are the
+//! hot paths behind Figures 4 and 5; the configurations cover the paper's
+//! three machine classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsrs_core::{AllocPolicy, SimConfig, Simulator};
+use wsrs_regfile::RenameStrategy;
+use wsrs_workloads::Workload;
+
+const UOPS: u64 = 100_000;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(UOPS));
+    g.sample_size(10);
+
+    let configs = [
+        ("conventional_rr", SimConfig::conventional_rr(256)),
+        (
+            "write_specialized",
+            SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount),
+        ),
+        (
+            "wsrs_rc",
+            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+        ),
+    ];
+    for (name, cfg) in configs {
+        for w in [Workload::Gzip, Workload::Swim] {
+            g.bench_with_input(
+                BenchmarkId::new(name, w.name()),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        Simulator::new(*cfg)
+                            .run_measured(w.trace(), 0, UOPS)
+                            .cycles
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Ablation studies beyond the paper's figures, for the design choices
+//! `DESIGN.md` calls out:
+//!
+//! 1. **allocation policy** on WSRS: `RM` vs `RC` vs our load-balancing
+//!    extension (`LB`, the §5.4 "future research" direction);
+//! 2. **physical register count** sweep on WSRS-RC (the paper only shows
+//!    384 vs 512);
+//! 3. **renaming strategy** 1 (recycling, 1 extra stage) vs 2 (exact
+//!    count, 3 extra stages) on WS and WSRS;
+//! 4. **fast-forwarding scope** (§4.3.1): intra-cluster vs adjacent-pair
+//!    vs complete bypass;
+//! 5. **branch predictor** quality under the deep-pipeline penalties that
+//!    motivate the paper's choice of an EV8-class predictor;
+//! 6. **window size** around the paper's 224-µop point;
+//! 7. **related work** (§6): the register-file cache \[4\] as the
+//!    alternative route to a shorter register-read pipeline, next to WS
+//!    and WSRS.
+//!
+//! A representative subset of benchmarks keeps runtime moderate.
+
+use wsrs_bench::{render_grid, run_cell, RunParams};
+use wsrs_core::{AllocPolicy, FastForward, SimConfig};
+use wsrs_regfile::RenameStrategy;
+use wsrs_workloads::Workload;
+
+const SUBSET: [Workload; 5] = [
+    Workload::Gzip,
+    Workload::Crafty,
+    Workload::Mcf,
+    Workload::Wupwise,
+    Workload::Facerec,
+];
+
+fn sweep(title: &str, configs: &[(&str, SimConfig)], params: RunParams) {
+    let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    let mut rows = Vec::new();
+    for w in SUBSET {
+        let vals: Vec<f64> = configs
+            .iter()
+            .map(|(_, cfg)| run_cell(w, cfg, params).ipc())
+            .collect();
+        rows.push((w.name().to_string(), vals));
+    }
+    println!("{}", render_grid(title, &names, &rows, 3));
+}
+
+fn main() {
+    let params = RunParams::from_env();
+
+    sweep(
+        "Ablation 1 — WSRS allocation policy (IPC)",
+        &[
+            (
+                "RM",
+                SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
+            ),
+            (
+                "RC",
+                SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            ),
+            (
+                "LB",
+                SimConfig::wsrs(512, AllocPolicy::LoadBalance, RenameStrategy::ExactCount),
+            ),
+        ],
+        params,
+    );
+
+    let reg_sweep: Vec<(String, SimConfig)> = [320usize, 384, 448, 512, 640]
+        .iter()
+        .map(|&regs| {
+            (
+                format!("{regs}"),
+                SimConfig::wsrs(regs, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            )
+        })
+        .collect();
+    let reg_refs: Vec<(&str, SimConfig)> = reg_sweep
+        .iter()
+        .map(|(n, c)| (n.as_str(), *c))
+        .collect();
+    sweep(
+        "Ablation 2 — WSRS-RC physical register count (IPC)",
+        &reg_refs,
+        params,
+    );
+
+    sweep(
+        "Ablation 3 — renaming strategy (IPC)",
+        &[
+            (
+                "WS strat1",
+                SimConfig::write_specialized_rr(512, RenameStrategy::Recycling),
+            ),
+            (
+                "WS strat2",
+                SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount),
+            ),
+            (
+                "WSRS strat1",
+                SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::Recycling),
+            ),
+            (
+                "WSRS strat2",
+                SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            ),
+        ],
+        params,
+    );
+
+    let ff = |scope| {
+        let mut c = SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount);
+        c.fast_forward = scope;
+        c
+    };
+    let ff_conv = |scope| {
+        let mut c = SimConfig::conventional_rr(256);
+        c.fast_forward = scope;
+        c
+    };
+    sweep(
+        "Ablation 4 — fast-forwarding scope (IPC)",
+        &[
+            ("conv intra", ff_conv(FastForward::IntraCluster)),
+            ("conv full", ff_conv(FastForward::Complete)),
+            ("wsrs intra", ff(FastForward::IntraCluster)),
+            ("wsrs pair", ff(FastForward::AdjacentPair)),
+            ("wsrs full", ff(FastForward::Complete)),
+        ],
+        params,
+    );
+
+    use wsrs_frontend::PredictorKind;
+    let pred = |kind| {
+        let mut c = SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount);
+        c.predictor = kind;
+        c
+    };
+    sweep(
+        "Ablation 5 — branch predictor on WSRS-RC (IPC)",
+        &[
+            ("2bcgskew", pred(PredictorKind::TwoBcGskew512K)),
+            ("gshare", pred(PredictorKind::Gshare64K)),
+            ("bimodal", pred(PredictorKind::Bimodal64K)),
+            ("taken", pred(PredictorKind::AlwaysTaken)),
+            ("perfect", pred(PredictorKind::Perfect)),
+        ],
+        params,
+    );
+
+    use wsrs_core::SimConfigBuilder;
+    let win = |per: usize, rob: usize| {
+        SimConfigBuilder::from(SimConfig::wsrs(
+            512,
+            AllocPolicy::RandomCommutative,
+            RenameStrategy::ExactCount,
+        ))
+        .window(per, rob)
+        .build()
+    };
+    sweep(
+        "Ablation 6 — in-flight window size on WSRS-RC (IPC)",
+        &[
+            ("28/112", win(28, 112)),
+            ("56/224", win(56, 224)),
+            ("112/448", win(112, 448)),
+        ],
+        params,
+    );
+
+    use wsrs_core::RegCache;
+    sweep(
+        "Ablation 7 — related work: register-file cache [4] vs specialization (IPC)",
+        &[
+            ("conv", SimConfig::conventional_rr(256)),
+            (
+                "conv+RFcache",
+                SimConfig::conventional_reg_cache(
+                    256,
+                    RegCache {
+                        retention_cycles: 24,
+                        slow_read_penalty: 2,
+                    },
+                ),
+            ),
+            (
+                "WS 512",
+                SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount),
+            ),
+            (
+                "WSRS RC 512",
+                SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            ),
+        ],
+        params,
+    );
+}

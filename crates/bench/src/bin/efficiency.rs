@@ -1,0 +1,67 @@
+//! Complexity-effectiveness synthesis: the paper's titular argument,
+//! quantified by joining Figure 4 (performance) with Table 1 (hardware
+//! cost).
+//!
+//! For each machine, geometric-mean IPC across the twelve kernels is
+//! divided by its register file's peak power and silicon area. The paper
+//! never prints this table, but it *is* the paper's thesis: WSRS gives up
+//! little or no IPC while dividing register-file power by ~2.3 and area by
+//! more than 6 — so IPC-per-nJ and IPC-per-area jump accordingly.
+
+use wsrs_bench::{run_cell, RunParams};
+use wsrs_complexity::{total_area_w2, CactiModel, RegFileOrg};
+use wsrs_core::{AllocPolicy, SimConfig};
+use wsrs_regfile::RenameStrategy;
+use wsrs_workloads::Workload;
+
+fn geomean_ipc(cfg: &SimConfig, params: RunParams) -> f64 {
+    let mut log_sum = 0.0;
+    for w in Workload::all() {
+        log_sum += run_cell(w, cfg, params).ipc().ln();
+    }
+    (log_sum / 12.0).exp()
+}
+
+fn main() {
+    let params = RunParams::from_env();
+    let model = CactiModel::paper();
+
+    // (name, timing config, register-file organization)
+    let machines = [
+        (
+            "conv 4-cluster (noWS-D)",
+            SimConfig::conventional_rr(256),
+            RegFileOrg::nows_distributed(256),
+        ),
+        (
+            "WS RR 512",
+            SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount),
+            RegFileOrg::write_specialized(512),
+        ),
+        (
+            "WSRS RC 512",
+            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            RegFileOrg::wsrs(512),
+        ),
+    ];
+
+    println!(
+        "{:<26}{:>10}{:>12}{:>12}{:>14}{:>14}",
+        "machine", "gm IPC", "nJ/cycle", "rel. area", "IPC/nJ", "IPC/area"
+    );
+    let base_area = total_area_w2(&machines[0].2, 64) as f64;
+    for (name, cfg, org) in &machines {
+        let ipc = geomean_ipc(cfg, params);
+        let energy = model.org_energy_nj(org);
+        let area = total_area_w2(org, 64) as f64 / base_area;
+        println!(
+            "{name:<26}{ipc:>10.3}{energy:>12.2}{area:>12.3}{:>14.3}{:>14.3}",
+            ipc / energy,
+            ipc / area
+        );
+    }
+    println!(
+        "\n(gm IPC = geometric mean over the 12 kernels; area relative to the\n\
+         conventional distributed file; energy/area from the Table 1 models)"
+    );
+}

@@ -1,0 +1,80 @@
+//! Regenerates the paper's **Figure 4**: IPC of the six configurations
+//! (RR 256, WSRR 384/512, WSRS RC 384/512, WSRS RM 512) over the twelve
+//! benchmarks.
+//!
+//! Window sizes come from `WSRS_WARMUP` / `WSRS_MEASURE` (defaults: 1 M +
+//! 2 M µops — the paper used 20 M + 10 M; see `EXPERIMENTS.md`).
+
+use wsrs_bench::{
+    figure4_configs, maybe_write_csv, render_bars, render_csv, render_grid, run_cell, RunParams,
+};
+use wsrs_workloads::Workload;
+
+fn main() {
+    let params = RunParams::from_env();
+    let configs = figure4_configs();
+    let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    eprintln!(
+        "figure4: warmup {} µops, measure {} µops per cell ({} cells)",
+        params.warmup,
+        params.measure,
+        12 * configs.len()
+    );
+
+    let mut int_rows = Vec::new();
+    let mut fp_rows = Vec::new();
+    for w in Workload::all() {
+        let mut vals = Vec::new();
+        for (name, cfg) in &configs {
+            let t0 = std::time::Instant::now();
+            let r = run_cell(w, cfg, params);
+            eprintln!(
+                "  {:<8} {:<14} ipc {:>6.3}  mr {:>5.3}  unbal {:>5.1}%  ({:.1?})",
+                w.name(),
+                name,
+                r.ipc(),
+                r.mispredict_rate(),
+                r.unbalance_percent,
+                t0.elapsed()
+            );
+            vals.push(r.ipc());
+        }
+        if w.is_fp() {
+            fp_rows.push((w.name().to_string(), vals));
+        } else {
+            int_rows.push((w.name().to_string(), vals));
+        }
+    }
+
+    println!(
+        "{}",
+        render_grid("Figure 4 — IPC, integer benchmarks", &names, &int_rows, 3)
+    );
+    println!(
+        "{}",
+        render_grid(
+            "Figure 4 — IPC, floating-point benchmarks",
+            &names,
+            &fp_rows,
+            3
+        )
+    );
+
+    // Bar rendering, matching the paper's chart form.
+    let max = int_rows
+        .iter()
+        .chain(&fp_rows)
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.1f64, f64::max);
+    println!("{}", render_bars("Figure 4 (bars), integer", &names, &int_rows, max));
+    println!(
+        "{}",
+        render_bars("Figure 4 (bars), floating point", &names, &fp_rows, max)
+    );
+
+    let mut all_rows = int_rows;
+    all_rows.extend(fp_rows);
+    if let Some(path) = maybe_write_csv("figure4", &render_csv(&names, &all_rows)) {
+        eprintln!("wrote {}", path.display());
+    }
+}

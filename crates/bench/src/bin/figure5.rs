@@ -1,0 +1,71 @@
+//! Regenerates the paper's **Figure 5**: unbalancing degrees of the WSRS
+//! `RC` and `RM` allocation policies over the twelve benchmarks (groups of
+//! 128 µops; a group is unbalanced when any cluster receives fewer than 24
+//! or more than 40 of them).
+
+use wsrs_bench::{maybe_write_csv, render_csv, render_grid, run_cell, RunParams};
+use wsrs_core::{AllocPolicy, SimConfig};
+use wsrs_regfile::RenameStrategy;
+use wsrs_workloads::Workload;
+
+fn main() {
+    let params = RunParams::from_env();
+    let configs = [
+        (
+            "WSRS RC",
+            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+        ),
+        (
+            "WSRS RM",
+            SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
+        ),
+    ];
+    let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+
+    let mut int_rows = Vec::new();
+    let mut fp_rows = Vec::new();
+    for w in Workload::all() {
+        let mut vals = Vec::new();
+        for (name, cfg) in &configs {
+            let r = run_cell(w, cfg, params);
+            eprintln!(
+                "  {:<8} {:<8} unbalancing {:>5.1}%",
+                w.name(),
+                name,
+                r.unbalance_percent
+            );
+            vals.push(r.unbalance_percent);
+        }
+        if w.is_fp() {
+            fp_rows.push((w.name().to_string(), vals));
+        } else {
+            int_rows.push((w.name().to_string(), vals));
+        }
+    }
+
+    println!(
+        "{}",
+        render_grid(
+            "Figure 5 — unbalancing degree (%), integer benchmarks",
+            &names,
+            &int_rows,
+            1
+        )
+    );
+    println!(
+        "{}",
+        render_grid(
+            "Figure 5 — unbalancing degree (%), floating-point benchmarks",
+            &names,
+            &fp_rows,
+            1
+        )
+    );
+    println!("(round-robin on the conventional architecture is 0% by construction)");
+
+    let mut all_rows = int_rows;
+    all_rows.extend(fp_rows);
+    if let Some(path) = maybe_write_csv("figure5", &render_csv(&names, &all_rows)) {
+        eprintln!("wrote {}", path.display());
+    }
+}

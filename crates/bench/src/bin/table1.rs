@@ -1,0 +1,39 @@
+//! Regenerates the paper's **Table 1**: register-file complexity estimates
+//! for the five architecture configurations, printed next to the published
+//! values.
+
+use wsrs_complexity::table1;
+use wsrs_complexity::{bypass_sources, wakeup_comparators};
+
+fn main() {
+    println!("=== Table 1 (model) ===");
+    println!("{}", table1::render(&table1::generate()));
+    println!("=== Table 1 (paper reference) ===");
+    println!("{}", table1::render(&table1::paper_reference()));
+
+    println!("=== Wake-up logic (Section 4.3.2) ===");
+    println!(
+        "comparators per wake-up entry, 8-way conventional : {}",
+        wakeup_comparators(12)
+    );
+    println!(
+        "comparators per wake-up entry, 8-way 4-cluster WSRS: {}",
+        wakeup_comparators(6)
+    );
+    println!(
+        "comparators per wake-up entry, 4-way conventional : {}  (the WSRS equivalence)",
+        wakeup_comparators(6)
+    );
+
+    println!();
+    println!("=== Bypass-point equivalence (Section 4.3.1) ===");
+    let wsrs = table1::generate()
+        .into_iter()
+        .find(|r| r.name == "WSRS")
+        .expect("WSRS row");
+    println!(
+        "WSRS bypass sources at 10 GHz: {} (= conventional 2-cluster: {})",
+        wsrs.bypass_10ghz,
+        bypass_sources(4, 6)
+    );
+}

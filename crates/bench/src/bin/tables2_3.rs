@@ -1,0 +1,51 @@
+//! Prints the paper's **Table 2** (instruction latencies) and **Table 3**
+//! (memory-hierarchy characteristics) as configured in the models, and
+//! verifies a cold/warm access against them.
+
+use wsrs_isa::{latency, OpClass};
+use wsrs_mem::{HierarchyConfig, MemoryHierarchy};
+
+fn main() {
+    println!("=== Table 2: latencies for principal instructions ===");
+    println!("{:<12}{:>8}", "inst", "lat.");
+    for (name, class) in [
+        ("loads", OpClass::Load),
+        ("ALU", OpClass::IntAlu),
+        ("mul/div", OpClass::IntMulDiv),
+        ("fadd/fmul", OpClass::FpAdd),
+        ("fdiv/fsqrt", OpClass::FpDivSqrt),
+    ] {
+        println!("{:<12}{:>8}", name, latency::of(class));
+    }
+
+    let cfg = HierarchyConfig::paper();
+    println!();
+    println!("=== Table 3: memory hierarchy characteristics ===");
+    println!(
+        "{:<8}{:>10}{:>12}{:>12}{:>14}",
+        "", "size", "latency", "miss pen.", "bandwidth"
+    );
+    println!(
+        "{:<8}{:>9}K{:>10}cy{:>10}cy{:>10}W/cyc",
+        "L1 D-$",
+        cfg.l1.size_bytes / 1024,
+        cfg.l1.hit_latency,
+        cfg.l1_miss_penalty,
+        cfg.l1_ports_per_cycle
+    );
+    println!(
+        "{:<8}{:>9}K{:>10}cy{:>10}cy{:>10}B/cyc",
+        "L2 $",
+        cfg.l2.size_bytes / 1024,
+        cfg.l2.hit_latency,
+        cfg.l2_miss_penalty,
+        cfg.l2_bytes_per_cycle
+    );
+
+    // Demonstrate the realized latencies.
+    let mut m = MemoryHierarchy::new(cfg);
+    let cold = m.load(0x10_000, 0);
+    let warm = m.load(0x10_000, 1_000);
+    println!();
+    println!("cold load (L1+L2 miss): {cold} cycles; warm load (L1 hit): {warm} cycles");
+}

@@ -1,0 +1,35 @@
+//! Disassembled µop-trace inspector: prints an annotated slice of any
+//! kernel's dynamic stream plus a static disassembly header — the
+//! debugging view used while writing kernels.
+//!
+//! ```sh
+//! cargo run -p wsrs-bench --bin trace_dump -- gzip 40
+//! cargo run -p wsrs-bench --bin trace_dump -- mcf 25 1000000   # skip init
+//! ```
+
+use wsrs_workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map_or("gzip", |s| s.as_str());
+    let count: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let skip: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    let Ok(w) = name.parse::<Workload>() else {
+        eprintln!(
+            "unknown workload '{name}'; choose from: {}",
+            Workload::all().map(|w| w.name()).join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    println!("== static code ({name}), first 24 instructions ==");
+    for (idx, inst) in w.program(1).iter().enumerate().take(24) {
+        println!("{idx:>5}: {inst}");
+    }
+
+    println!("\n== dynamic µops [{skip}..{}] ==", skip + count);
+    for d in w.trace().skip(skip).take(count) {
+        println!("{d}");
+    }
+}

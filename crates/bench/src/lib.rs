@@ -1,0 +1,239 @@
+//! # wsrs-bench — experiment harness
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | binary             | regenerates |
+//! |--------------------|-------------|
+//! | `table1`           | Table 1 (register-file complexity estimates)       |
+//! | `tables2_3`        | Table 2 (latencies) and Table 3 (memory hierarchy) |
+//! | `figure4`          | Figure 4 (IPC, 6 configurations × 12 benchmarks)   |
+//! | `figure5`          | Figure 5 (unbalancing degrees, RC vs RM)           |
+//! | `pools`            | Figure 2b (pooled write specialization)            |
+//! | `mix`              | the §3.3 dynamic instruction-mix analysis          |
+//! | `ablation`         | seven extension studies (policies, registers, strategies, bypass, predictor, window, related work) |
+//! | `efficiency`       | IPC per nJ / per area synthesis (the paper's thesis) |
+//! | `seven_cluster`    | the §7 seven-cluster complexity extension          |
+//! | `virtual_physical` | §6 \[13\] virtual-physical registers over WS     |
+//! | `trace_dump`       | µop-stream inspector (debugging)                   |
+//! | `pipeview`         | per-µop pipeline timelines (debugging)             |
+//!
+//! The paper warms 20 M and measures 10 M instructions per benchmark
+//! (§5.3); the defaults here are scaled to 1 M warm-up (which also covers
+//! every kernel's in-trace initialization loops) + 2 M measured so the full
+//! Figure 4 grid runs in about a minute. Override with the environment
+//! variables `WSRS_WARMUP` and `WSRS_MEASURE` for paper-scale runs.
+
+use wsrs_core::{AllocPolicy, Report, SimConfig, Simulator};
+use wsrs_regfile::RenameStrategy;
+use wsrs_workloads::Workload;
+
+/// Measurement window for simulation experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct RunParams {
+    /// µops simulated before measurement starts (structures warm).
+    pub warmup: u64,
+    /// µops measured.
+    pub measure: u64,
+}
+
+impl RunParams {
+    /// Scaled-down defaults (1 M + 2 M); see the [crate docs](crate).
+    #[must_use]
+    pub fn default_scaled() -> Self {
+        RunParams {
+            warmup: 1_000_000,
+            measure: 2_000_000,
+        }
+    }
+
+    /// Reads `WSRS_WARMUP` / `WSRS_MEASURE` from the environment, falling
+    /// back to the scaled defaults.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: u64| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        let d = Self::default_scaled();
+        RunParams {
+            warmup: get("WSRS_WARMUP", d.warmup),
+            measure: get("WSRS_MEASURE", d.measure),
+        }
+    }
+}
+
+/// The six Figure 4 configurations, in the paper's legend order.
+/// The paper displays renaming strategy 2 results (§5.2.1), so all
+/// specialized configurations use [`RenameStrategy::ExactCount`].
+#[must_use]
+pub fn figure4_configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("RR 256", SimConfig::conventional_rr(256)),
+        (
+            "WSRR 384",
+            SimConfig::write_specialized_rr(384, RenameStrategy::ExactCount),
+        ),
+        (
+            "WSRR 512",
+            SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount),
+        ),
+        (
+            "WSRS RC S 384",
+            SimConfig::wsrs(384, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+        ),
+        (
+            "WSRS RC S 512",
+            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+        ),
+        (
+            "WSRS RM S 512",
+            SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
+        ),
+    ]
+}
+
+/// Runs one (workload, configuration) cell.
+#[must_use]
+pub fn run_cell(w: Workload, cfg: &SimConfig, p: RunParams) -> Report {
+    Simulator::new(*cfg).run_measured(w.trace(), p.warmup, p.measure)
+}
+
+/// Renders a labelled numeric grid (benchmarks × configurations) as text.
+#[must_use]
+pub fn render_grid(
+    title: &str,
+    col_names: &[&str],
+    rows: &[(String, Vec<f64>)],
+    precision: usize,
+) -> String {
+    let mut out = format!("## {title}\n\n");
+    out.push_str(&format!("{:<10}", ""));
+    for c in col_names {
+        out.push_str(&format!("{c:>15}"));
+    }
+    out.push('\n');
+    for (name, vals) in rows {
+        out.push_str(&format!("{name:<10}"));
+        for v in vals {
+            out.push_str(&format!("{v:>15.precision$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the same grid as comma-separated values (for plotting).
+#[must_use]
+pub fn render_csv(col_names: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::from("benchmark");
+    for c in col_names {
+        out.push(',');
+        out.push_str(c);
+    }
+    out.push('\n');
+    for (name, vals) in rows {
+        out.push_str(name);
+        for v in vals {
+            out.push_str(&format!(",{v:.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one row per (benchmark, configuration) as horizontal ASCII bars
+/// — the shape the paper's Figure 4/5 charts convey.
+#[must_use]
+pub fn render_bars(
+    title: &str,
+    col_names: &[&str],
+    rows: &[(String, Vec<f64>)],
+    max_value: f64,
+) -> String {
+    const WIDTH: usize = 48;
+    let mut out = format!("## {title}\n\n");
+    let label_w = col_names.iter().map(|c| c.len()).max().unwrap_or(0);
+    for (name, vals) in rows {
+        out.push_str(&format!("{name}\n"));
+        for (c, v) in col_names.iter().zip(vals) {
+            let n = ((v / max_value) * WIDTH as f64).round().clamp(0.0, WIDTH as f64) as usize;
+            out.push_str(&format!(
+                "  {c:<label_w$}  {:<WIDTH$}  {v:.3}\n",
+                "#".repeat(n)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// If `WSRS_CSV_DIR` is set, writes `contents` to `<dir>/<name>.csv` and
+/// returns the path written.
+pub fn maybe_write_csv(name: &str, contents: &str) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("WSRS_CSV_DIR")?;
+    let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+    if std::fs::write(&path, contents).is_ok() {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_renders() {
+        let csv = render_csv(&["a", "b"], &[("gzip".into(), vec![1.25, 2.5])]);
+        assert!(csv.starts_with("benchmark,a,b\n"));
+        assert!(csv.contains("gzip,1.2500,2.5000"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let bars = render_bars("t", &["x"], &[("w".into(), vec![2.0])], 2.0);
+        assert!(bars.contains(&"#".repeat(48)), "full-scale bar");
+        let half = render_bars("t", &["x"], &[("w".into(), vec![1.0])], 2.0);
+        assert!(half.contains(&"#".repeat(24)));
+        assert!(!half.contains(&"#".repeat(25)));
+    }
+
+    #[test]
+    fn csv_env_gate() {
+        // Without the env var, nothing is written.
+        std::env::remove_var("WSRS_CSV_DIR");
+        assert!(maybe_write_csv("x", "y").is_none());
+    }
+
+    #[test]
+    fn six_figure4_configs() {
+        let cfgs = figure4_configs();
+        assert_eq!(cfgs.len(), 6);
+        assert_eq!(cfgs[0].0, "RR 256");
+        for (_, c) in &cfgs {
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn params_env_fallback() {
+        let p = RunParams::from_env();
+        assert!(p.warmup >= 1);
+        assert!(p.measure >= 1);
+    }
+
+    #[test]
+    fn grid_renders() {
+        let g = render_grid(
+            "IPC",
+            &["a", "b"],
+            &[("gzip".into(), vec![1.0, 2.0])],
+            2,
+        );
+        assert!(g.contains("gzip"));
+        assert!(g.contains("2.00"));
+    }
+}

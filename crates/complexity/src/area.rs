@@ -1,0 +1,75 @@
+//! Silicon-area model — the paper's Formula (1).
+//!
+//! The footprint of a multiported register file is dominated by its memory
+//! cells \[21\]; with `R` read and `W` write ports, `R` read bitlines,
+//! `2W` write bitlines and `R + W` wordlines must cross each cell, so in
+//! wire-pitch units `w`:
+//!
+//! ```text
+//! area_cell = w² · (R + W) · (R + 2W)          (Formula 1)
+//! ```
+//!
+//! The Table 1 rows *Reg. bit area* (`copies × area_cell`) and
+//! *total area / area(noWS-2)* follow exactly.
+
+use crate::org::RegFileOrg;
+
+/// Formula (1): area of one register cell in `w²` units.
+#[must_use]
+pub fn cell_area_w2(reads: usize, writes: usize) -> usize {
+    (reads + writes) * (reads + 2 * writes)
+}
+
+/// Area devoted to representing a single bit of one *register* (all its
+/// copies), in `w²` units — the Table 1 "Reg. bit area" row.
+#[must_use]
+pub fn reg_bit_area_w2(org: &RegFileOrg) -> usize {
+    org.copies * cell_area_w2(org.reads, org.writes)
+}
+
+/// Total cell area of the register file in `w²` units, for a `bits`-wide
+/// datapath.
+#[must_use]
+pub fn total_area_w2(org: &RegFileOrg, bits: usize) -> usize {
+    org.total_regs * bits * reg_bit_area_w2(org)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_bit_areas() {
+        // Paper Table 1 "Reg. bit area (×w²)" row: 1120, 1792, 280, 140, 320.
+        let areas: Vec<usize> = RegFileOrg::paper_set().iter().map(reg_bit_area_w2).collect();
+        assert_eq!(areas, vec![1120, 1792, 280, 140, 320]);
+    }
+
+    #[test]
+    fn table1_total_area_ratios() {
+        // Paper Table 1 ratios vs noWS-2: 7, 11.2, 3.5, 1.75, 1.
+        let set = RegFileOrg::paper_set();
+        let base = total_area_w2(&set[4], 64) as f64;
+        let ratios: Vec<f64> = set.iter().map(|o| total_area_w2(o, 64) as f64 / base).collect();
+        let expect = [7.0, 11.2, 3.5, 1.75, 1.0];
+        for (r, e) in ratios.iter().zip(expect) {
+            assert!((r - e).abs() < 1e-9, "{r} vs {e}");
+        }
+    }
+
+    #[test]
+    fn area_grows_quadratically_with_ports() {
+        // Doubling both port kinds roughly quadruples the cell.
+        let a = cell_area_w2(4, 3);
+        let b = cell_area_w2(8, 6);
+        assert_eq!(b, 4 * a);
+    }
+
+    #[test]
+    fn headline_claim_area_divided_by_more_than_six() {
+        let d = RegFileOrg::nows_distributed(256);
+        let w = RegFileOrg::wsrs(512);
+        let ratio = total_area_w2(&d, 64) as f64 / total_area_w2(&w, 64) as f64;
+        assert!(ratio > 6.0, "paper: area divided by more than six, got {ratio}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # wsrs-complexity — register-file complexity models (paper §4, Table 1)
+//!
+//! Quantifies what WSRS buys in hardware terms:
+//!
+//! * [`area`] — the paper's Formula (1): a multiported register cell
+//!   occupies `w² · (R+W) · (R+2W)`, giving the *Reg. bit area* and
+//!   *total area* rows of Table 1 **exactly**;
+//! * [`cacti`] — access time and peak energy. The paper used a modified
+//!   CACTI 2.0, which is not available offline; we provide an analytical
+//!   surrogate with the same structural inputs (entries per array, read and
+//!   write ports per cell, array count) **calibrated once** against the
+//!   five published anchor configurations (documented in `DESIGN.md`). All
+//!   relative claims — area ÷4–6, power halved, access time −⅓ — emerge
+//!   from the model;
+//! * [`pipeline`] — register-read pipeline depth at a given clock
+//!   (`⌈t/T + ½⌉`, the extra half cycle drives data to the units), bypass
+//!   sources per point (`X·N + 1`) and wake-up comparators per entry;
+//! * [`org`] — the five register-file organizations of Table 1, plus
+//!   constructors for sweeps (register counts, 7-cluster extension);
+//! * [`table1`] — regenerates the full Table 1 and carries the paper's
+//!   reference values for side-by-side comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use wsrs_complexity::{org::RegFileOrg, table1};
+//!
+//! let rows = table1::generate();
+//! let wsrs = rows.iter().find(|r| r.name == "WSRS").unwrap();
+//! let nows_d = rows.iter().find(|r| r.name == "noWS-D").unwrap();
+//! // The headline claim: total register-file area divided by more than six.
+//! assert!(nows_d.total_area_ratio / wsrs.total_area_ratio > 6.0);
+//! let _ = RegFileOrg::wsrs(512);
+//! ```
+
+pub mod area;
+pub mod cacti;
+pub mod org;
+pub mod pipeline;
+pub mod table1;
+
+pub use area::{cell_area_w2, reg_bit_area_w2, total_area_w2};
+pub use cacti::CactiModel;
+pub use org::RegFileOrg;
+pub use pipeline::{bypass_sources, pipeline_cycles, wakeup_comparators};
+pub use table1::{generate, paper_reference, Row};

@@ -1,0 +1,184 @@
+//! The register-file organizations compared in Table 1.
+
+/// Physical organization of one architecture's integer register file.
+///
+/// Terminology (paper §4.2): each *register* may exist in several
+/// *copies*; copies are grouped into physical *arrays* (the unit with
+/// shared bitlines, whose geometry sets access time); `reads`/`writes` are
+/// the ports **on each individual register cell**.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegFileOrg {
+    /// Display name (Table 1 column).
+    pub name: String,
+    /// Total architectural+rename registers.
+    pub total_regs: usize,
+    /// Copies of each individual register.
+    pub copies: usize,
+    /// Read ports per copy.
+    pub reads: usize,
+    /// Write ports per copy.
+    pub writes: usize,
+    /// Physical subfiles (arrays).
+    pub arrays: usize,
+    /// Entries per array (shared-bitline height).
+    pub entries_per_array: usize,
+    /// Result buses a bypass point / wake-up entry must monitor
+    /// (`N`: 12 for a machine seeing all four 3-result clusters, 6 when
+    /// specialization or narrow issue halves the reach).
+    pub bypass_buses: usize,
+}
+
+impl RegFileOrg {
+    /// `noWS-M`: conventional 8-way, monolithic file (Figure 1a).
+    #[must_use]
+    pub fn nows_monolithic(total_regs: usize) -> Self {
+        RegFileOrg {
+            name: "noWS-M".into(),
+            total_regs,
+            copies: 1,
+            reads: 16,
+            writes: 12,
+            arrays: 1,
+            entries_per_array: total_regs,
+            bypass_buses: 12,
+        }
+    }
+
+    /// `noWS-D`: conventional 4-cluster, distributed file (Figure 1b) — a
+    /// full copy per cluster, quarter of the read ports, all write ports.
+    #[must_use]
+    pub fn nows_distributed(total_regs: usize) -> Self {
+        RegFileOrg {
+            name: "noWS-D".into(),
+            total_regs,
+            copies: 4,
+            reads: 4,
+            writes: 12,
+            arrays: 4,
+            entries_per_array: total_regs,
+            bypass_buses: 12,
+        }
+    }
+
+    /// `WS`: register write specialization alone (Figure 2a) — a full copy
+    /// per cluster, but each cell written only by its subset's cluster.
+    #[must_use]
+    pub fn write_specialized(total_regs: usize) -> Self {
+        RegFileOrg {
+            name: "WS".into(),
+            total_regs,
+            copies: 4,
+            reads: 4,
+            writes: 3,
+            arrays: 4,
+            entries_per_array: total_regs,
+            bypass_buses: 12,
+        }
+    }
+
+    /// `WSRS`: write + read specialization (Figure 3) — two copies per
+    /// register (one per operand-position pair), four arrays of half the
+    /// registers each, and bypass points that see only two clusters.
+    #[must_use]
+    pub fn wsrs(total_regs: usize) -> Self {
+        RegFileOrg {
+            name: "WSRS".into(),
+            total_regs,
+            copies: 2,
+            reads: 4,
+            writes: 3,
+            arrays: 4,
+            entries_per_array: total_regs / 2,
+            bypass_buses: 6,
+        }
+    }
+
+    /// `noWS-2`: conventional 2-cluster 4-way machine — the small-machine
+    /// reference point the paper normalizes against.
+    #[must_use]
+    pub fn nows_two_cluster(total_regs: usize) -> Self {
+        RegFileOrg {
+            name: "noWS-2".into(),
+            total_regs,
+            copies: 2,
+            reads: 4,
+            writes: 6,
+            arrays: 2,
+            entries_per_array: total_regs,
+            bypass_buses: 6,
+        }
+    }
+
+    /// The 7-cluster WSRS extension of \[15\] (paper §7): still two
+    /// (4-read, 3-write) copies per register, seven subsets.
+    #[must_use]
+    pub fn wsrs_seven_cluster(total_regs: usize) -> Self {
+        RegFileOrg {
+            name: "WSRS-7".into(),
+            total_regs,
+            copies: 2,
+            reads: 4,
+            writes: 3,
+            arrays: 7,
+            entries_per_array: 2 * total_regs / 7,
+            bypass_buses: 6,
+        }
+    }
+
+    /// The five Table 1 organizations with the paper's register counts.
+    #[must_use]
+    pub fn paper_set() -> Vec<RegFileOrg> {
+        vec![
+            Self::nows_monolithic(256),
+            Self::nows_distributed(256),
+            Self::write_specialized(512),
+            Self::wsrs(512),
+            Self::nows_two_cluster(128),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_matches_table1_ports() {
+        let set = RegFileOrg::paper_set();
+        let by = |n: &str| set.iter().find(|o| o.name == n).unwrap();
+        assert_eq!((by("noWS-M").reads, by("noWS-M").writes), (16, 12));
+        assert_eq!((by("noWS-D").reads, by("noWS-D").writes), (4, 12));
+        assert_eq!((by("WS").reads, by("WS").writes), (4, 3));
+        assert_eq!((by("WSRS").reads, by("WSRS").writes), (4, 3));
+        assert_eq!((by("noWS-2").reads, by("noWS-2").writes), (4, 6));
+        assert_eq!(by("noWS-M").copies, 1);
+        assert_eq!(by("noWS-D").copies, 4);
+        assert_eq!(by("WS").copies, 4);
+        assert_eq!(by("WSRS").copies, 2);
+        assert_eq!(by("noWS-2").copies, 2);
+    }
+
+    #[test]
+    fn register_counts_match_table1() {
+        let set = RegFileOrg::paper_set();
+        let regs: Vec<usize> = set.iter().map(|o| o.total_regs).collect();
+        assert_eq!(regs, vec![256, 256, 512, 512, 128]);
+        let subfiles: Vec<usize> = set.iter().map(|o| o.arrays).collect();
+        assert_eq!(subfiles, vec![1, 4, 4, 4, 2]);
+    }
+
+    #[test]
+    fn wsrs_copy_accounting_conserves_registers() {
+        let o = RegFileOrg::wsrs(512);
+        // copies × regs = arrays × entries: 2×512 = 4×256
+        assert_eq!(o.copies * o.total_regs, o.arrays * o.entries_per_array);
+    }
+
+    #[test]
+    fn seven_cluster_keeps_two_copies() {
+        let o = RegFileOrg::wsrs_seven_cluster(896);
+        assert_eq!(o.copies, 2);
+        assert_eq!((o.reads, o.writes), (4, 3));
+        assert_eq!(o.arrays * o.entries_per_array, 2 * o.total_regs);
+    }
+}

@@ -1,0 +1,74 @@
+//! Register-read pipeline depth, bypass-point and wake-up complexity
+//! (paper §4.2.2 and §4.3).
+
+/// Pipeline stages needed to read the register file at `clock_ghz`, given
+/// the access time: `⌈t·f + ½⌉`. The extra half cycle drives the data to
+/// the functional units (§4.2.1).
+#[must_use]
+pub fn pipeline_cycles(access_time_ns: f64, clock_ghz: f64) -> u32 {
+    (access_time_ns * clock_ghz + 0.5).ceil() as u32
+}
+
+/// Sources a bypass point must arbitrate (§4.3.1): with an `x`-cycle
+/// read-write register pipeline and `n` units able to produce the operand,
+/// `x·n` results are potentially unreachable through the register file,
+/// plus the register-file path itself: `x·n + 1`.
+#[must_use]
+pub fn bypass_sources(pipeline_cycles: u32, producing_buses: usize) -> usize {
+    pipeline_cycles as usize * producing_buses + 1
+}
+
+/// Comparators per wake-up entry (§4.3.2): two operands, each checked
+/// against every possible producing bus.
+#[must_use]
+pub fn wakeup_comparators(producing_buses: usize) -> usize {
+    2 * producing_buses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_pipeline_rows_at_10ghz() {
+        // access times (paper): 0.71, 0.52, 0.40, 0.35, 0.34
+        // pipeline cycles:         8,    6,    5,    4,    4
+        let t = [0.71, 0.52, 0.40, 0.35, 0.34];
+        let expect = [8, 6, 5, 4, 4];
+        for (t, e) in t.iter().zip(expect) {
+            assert_eq!(pipeline_cycles(*t, 10.0), e, "t={t}");
+        }
+    }
+
+    #[test]
+    fn table1_pipeline_rows_at_5ghz() {
+        let t = [0.71, 0.52, 0.40, 0.35, 0.34];
+        let expect = [5, 4, 3, 3, 3];
+        for (t, e) in t.iter().zip(expect) {
+            assert_eq!(pipeline_cycles(*t, 5.0), e, "t={t}");
+        }
+    }
+
+    #[test]
+    fn table1_bypass_rows() {
+        // 10 GHz row: 97, 73, 61, 25, 25 with N = 12,12,12,6,6.
+        assert_eq!(bypass_sources(8, 12), 97);
+        assert_eq!(bypass_sources(6, 12), 73);
+        assert_eq!(bypass_sources(5, 12), 61);
+        assert_eq!(bypass_sources(4, 6), 25);
+        // 5 GHz row: 61, 49, 37, 19, 19.
+        assert_eq!(bypass_sources(5, 12), 61);
+        assert_eq!(bypass_sources(4, 12), 49);
+        assert_eq!(bypass_sources(3, 12), 37);
+        assert_eq!(bypass_sources(3, 6), 19);
+    }
+
+    #[test]
+    fn wsrs_wakeup_equals_4way_conventional() {
+        // §4.3.2: an 8-way 4-cluster WSRS wake-up entry has as many
+        // comparators as a conventional 4-way machine's.
+        assert_eq!(wakeup_comparators(6), wakeup_comparators(6));
+        assert_eq!(wakeup_comparators(6), 12);
+        assert_eq!(wakeup_comparators(12), 24, "conventional 8-way needs double");
+    }
+}

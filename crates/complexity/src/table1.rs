@@ -1,0 +1,235 @@
+//! Regenerates the paper's Table 1, with the published values carried
+//! alongside for comparison.
+
+use crate::area::{reg_bit_area_w2, total_area_w2};
+use crate::cacti::CactiModel;
+use crate::org::RegFileOrg;
+use crate::pipeline::{bypass_sources, pipeline_cycles};
+
+/// One Table 1 column (an architecture configuration).
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Configuration name.
+    pub name: String,
+    /// Total registers.
+    pub registers: usize,
+    /// Copies per register.
+    pub copies: usize,
+    /// (read, write) ports per copy.
+    pub ports: (usize, usize),
+    /// Physical subfiles.
+    pub subfiles: usize,
+    /// Peak energy, nJ/cycle.
+    pub energy_nj: f64,
+    /// Read access time, ns.
+    pub access_ns: f64,
+    /// Register-read pipeline cycles at 10 GHz.
+    pub pipe_10ghz: u32,
+    /// Bypass sources per point at 10 GHz.
+    pub bypass_10ghz: usize,
+    /// Register-read pipeline cycles at 5 GHz.
+    pub pipe_5ghz: u32,
+    /// Bypass sources per point at 5 GHz.
+    pub bypass_5ghz: usize,
+    /// Reg. bit area in `w²` units.
+    pub bit_area_w2: usize,
+    /// Total area relative to noWS-2.
+    pub total_area_ratio: f64,
+}
+
+/// Builds one row from an organization, normalizing total area against
+/// `base_area`.
+#[must_use]
+pub fn row_for(org: &RegFileOrg, model: &CactiModel, base_area: f64) -> Row {
+    let access = model.org_access_time_ns(org);
+    let p10 = pipeline_cycles(access, 10.0);
+    let p5 = pipeline_cycles(access, 5.0);
+    Row {
+        name: org.name.clone(),
+        registers: org.total_regs,
+        copies: org.copies,
+        ports: (org.reads, org.writes),
+        subfiles: org.arrays,
+        energy_nj: model.org_energy_nj(org),
+        access_ns: access,
+        pipe_10ghz: p10,
+        bypass_10ghz: bypass_sources(p10, org.bypass_buses),
+        pipe_5ghz: p5,
+        bypass_5ghz: bypass_sources(p5, org.bypass_buses),
+        bit_area_w2: reg_bit_area_w2(org),
+        total_area_ratio: total_area_w2(org, 64) as f64 / base_area,
+    }
+}
+
+/// Regenerates Table 1 from the models (noWS-M, noWS-D, WS, WSRS, noWS-2).
+#[must_use]
+pub fn generate() -> Vec<Row> {
+    let model = CactiModel::paper();
+    let set = RegFileOrg::paper_set();
+    let base = total_area_w2(&set[4], 64) as f64;
+    set.iter().map(|o| row_for(o, &model, base)).collect()
+}
+
+/// The values published in the paper's Table 1, for side-by-side
+/// comparison in `EXPERIMENTS.md`.
+#[must_use]
+pub fn paper_reference() -> Vec<Row> {
+    let names = ["noWS-M", "noWS-D", "WS", "WSRS", "noWS-2"];
+    let regs = [256, 256, 512, 512, 128];
+    let copies = [1, 4, 4, 2, 2];
+    let ports = [(16, 12), (4, 12), (4, 3), (4, 3), (4, 6)];
+    let subfiles = [1, 4, 4, 4, 2];
+    let energy = [3.20, 2.90, 1.70, 1.25, 0.63];
+    let access = [0.71, 0.52, 0.40, 0.35, 0.34];
+    let p10 = [8, 6, 5, 4, 4];
+    let b10 = [97, 73, 61, 25, 25];
+    let p5 = [5, 4, 3, 3, 3];
+    let b5 = [61, 49, 37, 19, 19];
+    let bit_area = [1120, 1792, 280, 140, 320];
+    let ratio = [7.0, 11.2, 3.5, 1.75, 1.0];
+    (0..5)
+        .map(|i| Row {
+            name: names[i].into(),
+            registers: regs[i],
+            copies: copies[i],
+            ports: ports[i],
+            subfiles: subfiles[i],
+            energy_nj: energy[i],
+            access_ns: access[i],
+            pipe_10ghz: p10[i],
+            bypass_10ghz: b10[i],
+            pipe_5ghz: p5[i],
+            bypass_5ghz: b5[i],
+            bit_area_w2: bit_area[i],
+            total_area_ratio: ratio[i],
+        })
+        .collect()
+}
+
+/// Renders rows as an aligned text table (one configuration per column,
+/// like the paper).
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let head: Vec<String> = rows.iter().map(|r| r.name.clone()).collect();
+    let line = |label: &str, vals: Vec<String>| {
+        let mut s = format!("{label:<34}");
+        for v in vals {
+            s.push_str(&format!("{v:>10}"));
+        }
+        s.push('\n');
+        s
+    };
+    out.push_str(&line("", head));
+    out.push_str(&line(
+        "nb of registers",
+        rows.iter().map(|r| r.registers.to_string()).collect(),
+    ));
+    out.push_str(&line(
+        "register copies",
+        rows.iter().map(|r| r.copies.to_string()).collect(),
+    ));
+    out.push_str(&line(
+        "(R,W) ports per copy",
+        rows.iter()
+            .map(|r| format!("({},{})", r.ports.0, r.ports.1))
+            .collect(),
+    ));
+    out.push_str(&line(
+        "physical subfiles",
+        rows.iter().map(|r| r.subfiles.to_string()).collect(),
+    ));
+    out.push_str(&line(
+        "nJ/cycle",
+        rows.iter().map(|r| format!("{:.2}", r.energy_nj)).collect(),
+    ));
+    out.push_str(&line(
+        "Access time (ns)",
+        rows.iter().map(|r| format!("{:.2}", r.access_ns)).collect(),
+    ));
+    out.push_str(&line(
+        "Pipeline cycles: 10 GHz",
+        rows.iter().map(|r| r.pipe_10ghz.to_string()).collect(),
+    ));
+    out.push_str(&line(
+        "sources per bypass point: 10 GHz",
+        rows.iter().map(|r| r.bypass_10ghz.to_string()).collect(),
+    ));
+    out.push_str(&line(
+        "Pipeline cycles: 5 GHz",
+        rows.iter().map(|r| r.pipe_5ghz.to_string()).collect(),
+    ));
+    out.push_str(&line(
+        "sources per bypass point: 5 GHz",
+        rows.iter().map(|r| r.bypass_5ghz.to_string()).collect(),
+    ));
+    out.push_str(&line(
+        "Reg. bit area (x w^2)",
+        rows.iter().map(|r| r.bit_area_w2.to_string()).collect(),
+    ));
+    out.push_str(&line(
+        "total area / area(noWS-2)",
+        rows.iter()
+            .map(|r| format!("{:.2}", r.total_area_ratio))
+            .collect(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_discrete_rows_match_paper_exactly() {
+        let ours = generate();
+        let paper = paper_reference();
+        for (o, p) in ours.iter().zip(&paper) {
+            assert_eq!(o.name, p.name);
+            assert_eq!(o.registers, p.registers);
+            assert_eq!(o.copies, p.copies);
+            assert_eq!(o.ports, p.ports);
+            assert_eq!(o.subfiles, p.subfiles);
+            assert_eq!(o.pipe_10ghz, p.pipe_10ghz, "{}", o.name);
+            assert_eq!(o.bypass_10ghz, p.bypass_10ghz, "{}", o.name);
+            assert_eq!(o.pipe_5ghz, p.pipe_5ghz, "{}", o.name);
+            assert_eq!(o.bypass_5ghz, p.bypass_5ghz, "{}", o.name);
+            assert_eq!(o.bit_area_w2, p.bit_area_w2, "{}", o.name);
+            assert!((o.total_area_ratio - p.total_area_ratio).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generated_analog_rows_match_paper_within_tolerance() {
+        for (o, p) in generate().iter().zip(paper_reference()) {
+            assert!(
+                ((o.energy_nj - p.energy_nj) / p.energy_nj).abs() < 0.025,
+                "{} energy",
+                o.name
+            );
+            assert!(
+                ((o.access_ns - p.access_ns) / p.access_ns).abs() < 0.025,
+                "{} access",
+                o.name
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = render(&generate());
+        for label in [
+            "nb of registers",
+            "register copies",
+            "physical subfiles",
+            "nJ/cycle",
+            "Access time",
+            "bypass point",
+            "Reg. bit area",
+            "total area",
+        ] {
+            assert!(text.contains(label), "missing {label}");
+        }
+        assert!(text.contains("WSRS"));
+    }
+}

@@ -1,0 +1,513 @@
+//! Cluster-allocation policies (paper §3.3, §5.2.1).
+//!
+//! On a conventional or write-specialized machine the policy is free;
+//! the paper uses **round-robin**. On a WSRS machine the operand subsets
+//! dictate the cluster: the *first* operand's subset fixes the `f`
+//! (top/bottom) coordinate and the *second* operand's subset the `s`
+//! (left/right) coordinate. The remaining degrees of freedom are what the
+//! policies exploit:
+//!
+//! * [`AllocPolicy::RandomMonadic`] (`RM`) — monadic instructions use their
+//!   operand as the first operand; the free `s` coordinate is chosen at
+//!   random. Dyadic instructions are fully constrained.
+//! * [`AllocPolicy::RandomCommutative`] (`RC`) — functional units execute
+//!   both operand orders (`A-B` and `-A+B`), so *any* dyadic instruction
+//!   may swap operands; the form is picked at random, then remaining
+//!   freedom at random.
+//! * [`AllocPolicy::LoadBalance`] — our implementation of the paper's
+//!   §5.4 "future research" direction: like `RC`, but among the eligible
+//!   clusters the least-loaded one is chosen instead of a random one.
+
+use crate::cluster::ClusterId;
+use crate::config::RegFileMode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsrs_isa::DynInst;
+use wsrs_regfile::Subset;
+
+/// Cluster-allocation policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocPolicy {
+    /// Round-robin over clusters — the paper's policy for conventional and
+    /// write-specialized machines. Not usable with WSRS.
+    RoundRobin,
+    /// `RM`: random left/right choice for monadic instructions (§5.2.1).
+    RandomMonadic,
+    /// `RC`: random form selection with "commutative clusters" (§5.2.1).
+    RandomCommutative,
+    /// Extension: RC's freedom, resolved toward the least-loaded cluster.
+    LoadBalance,
+    /// Figure 2b: pools of identical functional units — the executing
+    /// domain is a pure function of the µop's class (load/store pool,
+    /// simple-ALU pool, FP/complex pool, branch pool). Usable with write
+    /// specialization, not with WSRS.
+    ByKind,
+}
+
+impl std::fmt::Display for AllocPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AllocPolicy::RoundRobin => "RR",
+            AllocPolicy::RandomMonadic => "RM",
+            AllocPolicy::RandomCommutative => "RC",
+            AllocPolicy::LoadBalance => "LB",
+            AllocPolicy::ByKind => "POOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The cluster chosen for a µop, and whether its operands were swapped
+/// (executed in the inverted form).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClusterChoice {
+    /// Executing cluster.
+    pub cluster: ClusterId,
+    /// Whether the µop runs in its operand-swapped form.
+    pub swapped: bool,
+}
+
+/// Stateful allocator: owns the round-robin counter and the policy RNG.
+#[derive(Clone, Debug)]
+pub struct Allocator {
+    policy: AllocPolicy,
+    mode: RegFileMode,
+    clusters: usize,
+    rr_next: usize,
+    rng: StdRng,
+}
+
+impl Allocator {
+    /// Builds an allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `RoundRobin` is requested for a WSRS machine (the operand
+    /// subsets dictate the cluster there) or a non-4-cluster WSRS geometry
+    /// is requested.
+    #[must_use]
+    pub fn new(policy: AllocPolicy, mode: RegFileMode, clusters: usize, seed: u64) -> Self {
+        if mode == RegFileMode::Wsrs {
+            assert!(
+                !matches!(policy, AllocPolicy::RoundRobin | AllocPolicy::ByKind),
+                "{policy} cannot honour WSRS operand constraints"
+            );
+            assert_eq!(clusters, 4, "WSRS allocation is defined for 4 clusters");
+        }
+        if policy == AllocPolicy::ByKind {
+            assert_eq!(clusters, 4, "the pooled organization has four pools");
+        }
+        Allocator {
+            policy,
+            mode,
+            clusters,
+            rr_next: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Chooses the executing cluster for `d`. `src_subsets` gives the
+    /// current register-file subset of each source operand position
+    /// (`None` where the µop has no operand in that position);
+    /// `cluster_loads` the current per-cluster in-flight occupancy
+    /// (used by [`AllocPolicy::LoadBalance`]).
+    pub fn choose(
+        &mut self,
+        d: &DynInst,
+        src_subsets: [Option<Subset>; 2],
+        cluster_loads: &[usize],
+    ) -> ClusterChoice {
+        self.choose_avoiding(d, src_subsets, cluster_loads, None)
+    }
+
+    /// Like [`Allocator::choose`], implementing the paper's §2.3 deadlock
+    /// workaround (a): when `subset_free` is given (free destination
+    /// registers per subset) and the policy has freedom, clusters whose
+    /// register subset is exhausted are avoided. Fully-constrained dyadic
+    /// µops cannot be redirected — avoidance is best-effort, exactly as the
+    /// paper frames it.
+    pub fn choose_avoiding(
+        &mut self,
+        d: &DynInst,
+        src_subsets: [Option<Subset>; 2],
+        cluster_loads: &[usize],
+        subset_free: Option<&[usize]>,
+    ) -> ClusterChoice {
+        let choice = self.choose_inner(d, src_subsets, cluster_loads);
+        let Some(free) = subset_free else {
+            return choice;
+        };
+        if free[choice.cluster.subset().index()] > 0 {
+            return choice;
+        }
+        // The chosen cluster's subset is empty: enumerate the µop's other
+        // legal placements and take one with registers, preferring the
+        // fullest free list.
+        let alternatives = Self::legal_placements(self.policy, src_subsets);
+        alternatives
+            .into_iter()
+            .filter(|c| free[c.cluster.subset().index()] > 0)
+            .max_by_key(|c| free[c.cluster.subset().index()])
+            .unwrap_or(choice)
+    }
+
+    /// All (cluster, swapped) placements legal for a µop with the given
+    /// operand subsets under `policy`'s form freedom.
+    fn legal_placements(
+        policy: AllocPolicy,
+        src_subsets: [Option<Subset>; 2],
+    ) -> Vec<ClusterChoice> {
+        let commutative = matches!(
+            policy,
+            AllocPolicy::RandomCommutative | AllocPolicy::LoadBalance
+        );
+        let mut out = Vec::new();
+        match (src_subsets[0], src_subsets[1]) {
+            (Some(a), Some(b)) => {
+                out.push(ClusterChoice {
+                    cluster: ClusterId::from_bits(a.f(), b.s()),
+                    swapped: false,
+                });
+                if commutative {
+                    out.push(ClusterChoice {
+                        cluster: ClusterId::from_bits(b.f(), a.s()),
+                        swapped: true,
+                    });
+                }
+            }
+            (Some(x), None) | (None, Some(x)) => {
+                for s in 0..2u8 {
+                    out.push(ClusterChoice {
+                        cluster: ClusterId::from_bits(x.f(), s),
+                        swapped: false,
+                    });
+                }
+                if commutative {
+                    for f in 0..2u8 {
+                        out.push(ClusterChoice {
+                            cluster: ClusterId::from_bits(f, x.s()),
+                            swapped: true,
+                        });
+                    }
+                }
+            }
+            (None, None) => {
+                for c in 0..4u8 {
+                    out.push(ClusterChoice {
+                        cluster: ClusterId(c),
+                        swapped: false,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn choose_inner(
+        &mut self,
+        d: &DynInst,
+        src_subsets: [Option<Subset>; 2],
+        cluster_loads: &[usize],
+    ) -> ClusterChoice {
+        if self.policy == AllocPolicy::ByKind {
+            return ClusterChoice {
+                cluster: Self::pool_for(d.class),
+                swapped: false,
+            };
+        }
+        if self.mode != RegFileMode::Wsrs {
+            return self.choose_unconstrained(cluster_loads);
+        }
+        match (src_subsets[0], src_subsets[1]) {
+            (Some(a), Some(b)) => self.choose_dyadic(a, b, cluster_loads),
+            (Some(x), None) | (None, Some(x)) => self.choose_monadic(x, cluster_loads),
+            (None, None) => {
+                let _ = d;
+                self.choose_free(cluster_loads)
+            }
+        }
+    }
+
+    /// Pool selection for the Figure 2b organization: P0 load/store,
+    /// P1 simple ALUs, P2 FP + complex integer, P3 branches.
+    fn pool_for(class: wsrs_isa::OpClass) -> ClusterId {
+        use wsrs_isa::OpClass::*;
+        match class {
+            Load | Store => ClusterId(0),
+            IntAlu => ClusterId(1),
+            IntMulDiv | FpAdd | FpMul | FpDivSqrt | FpMove => ClusterId(2),
+            Branch => ClusterId(3),
+        }
+    }
+
+    fn choose_unconstrained(&mut self, cluster_loads: &[usize]) -> ClusterChoice {
+        let cluster = match self.policy {
+            AllocPolicy::RoundRobin => {
+                let c = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.clusters;
+                ClusterId(c as u8)
+            }
+            AllocPolicy::LoadBalance => Self::least_loaded(
+                (0..self.clusters).map(|c| ClusterId(c as u8)),
+                cluster_loads,
+            ),
+            _ => ClusterId(self.rng.random_range(0..self.clusters) as u8),
+        };
+        ClusterChoice {
+            cluster,
+            swapped: false,
+        }
+    }
+
+    fn choose_dyadic(&mut self, a: Subset, b: Subset, loads: &[usize]) -> ClusterChoice {
+        let direct = ClusterId::from_bits(a.f(), b.s());
+        let inverted = ClusterId::from_bits(b.f(), a.s());
+        match self.policy {
+            AllocPolicy::RandomMonadic => ClusterChoice {
+                cluster: direct,
+                swapped: false,
+            },
+            AllocPolicy::RandomCommutative => {
+                // §5.2.1: the form is first randomly selected.
+                if self.rng.random::<bool>() && inverted != direct {
+                    ClusterChoice {
+                        cluster: inverted,
+                        swapped: true,
+                    }
+                } else {
+                    ClusterChoice {
+                        cluster: direct,
+                        swapped: false,
+                    }
+                }
+            }
+            AllocPolicy::LoadBalance => {
+                if loads[inverted.0 as usize] < loads[direct.0 as usize] {
+                    ClusterChoice {
+                        cluster: inverted,
+                        swapped: true,
+                    }
+                } else {
+                    ClusterChoice {
+                        cluster: direct,
+                        swapped: false,
+                    }
+                }
+            }
+            AllocPolicy::RoundRobin | AllocPolicy::ByKind => {
+                unreachable!("rejected in Allocator::new")
+            },
+        }
+    }
+
+    fn choose_monadic(&mut self, x: Subset, loads: &[usize]) -> ClusterChoice {
+        match self.policy {
+            AllocPolicy::RandomMonadic => {
+                // Operand at the first entry: f is fixed, s is random.
+                let s = u8::from(self.rng.random::<bool>());
+                ClusterChoice {
+                    cluster: ClusterId::from_bits(x.f(), s),
+                    swapped: false,
+                }
+            }
+            AllocPolicy::RandomCommutative => {
+                // Random form: operand at the first or the second entry,
+                // then the free coordinate is random.
+                let (cluster, swapped) = if self.rng.random::<bool>() {
+                    let s = u8::from(self.rng.random::<bool>());
+                    (ClusterId::from_bits(x.f(), s), false)
+                } else {
+                    let f = u8::from(self.rng.random::<bool>());
+                    (ClusterId::from_bits(f, x.s()), true)
+                };
+                ClusterChoice { cluster, swapped }
+            }
+            AllocPolicy::LoadBalance => {
+                // All clusters reachable with either form: three distinct
+                // candidates (paper §3.3, "commutative clusters").
+                let candidates = [
+                    ClusterId::from_bits(x.f(), 0),
+                    ClusterId::from_bits(x.f(), 1),
+                    ClusterId::from_bits(0, x.s()),
+                    ClusterId::from_bits(1, x.s()),
+                ];
+                let best = Self::least_loaded(candidates.into_iter(), loads);
+                // Swapped iff the operand must sit at the second entry.
+                let swapped = best.f() != x.f();
+                ClusterChoice {
+                    cluster: best,
+                    swapped,
+                }
+            }
+            AllocPolicy::RoundRobin | AllocPolicy::ByKind => {
+                unreachable!("rejected in Allocator::new")
+            },
+        }
+    }
+
+    fn choose_free(&mut self, loads: &[usize]) -> ClusterChoice {
+        let cluster = match self.policy {
+            AllocPolicy::LoadBalance => {
+                Self::least_loaded((0..self.clusters).map(|c| ClusterId(c as u8)), loads)
+            }
+            _ => ClusterId(self.rng.random_range(0..self.clusters) as u8),
+        };
+        ClusterChoice {
+            cluster,
+            swapped: false,
+        }
+    }
+
+    fn least_loaded(candidates: impl Iterator<Item = ClusterId>, loads: &[usize]) -> ClusterId {
+        candidates
+            .min_by_key(|c| loads[c.0 as usize])
+            .expect("candidate list never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrs_isa::Opcode;
+
+    fn dyn_inst() -> DynInst {
+        DynInst::new(0, Opcode::Add)
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut a = Allocator::new(AllocPolicy::RoundRobin, RegFileMode::Conventional, 4, 1);
+        let loads = [0; 4];
+        let seq: Vec<u8> = (0..8)
+            .map(|_| a.choose(&dyn_inst(), [None, None], &loads).cluster.0)
+            .collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot honour WSRS")]
+    fn round_robin_rejected_for_wsrs() {
+        let _ = Allocator::new(AllocPolicy::RoundRobin, RegFileMode::Wsrs, 4, 1);
+    }
+
+    #[test]
+    fn rm_dyadic_is_fully_constrained() {
+        let mut a = Allocator::new(AllocPolicy::RandomMonadic, RegFileMode::Wsrs, 4, 1);
+        let loads = [0; 4];
+        // src0 in S2 (f=1), src1 in S1 (s=1) -> C(1,1) = C3, always.
+        for _ in 0..20 {
+            let c = a.choose(&dyn_inst(), [Some(Subset(2)), Some(Subset(1))], &loads);
+            assert_eq!(c.cluster, ClusterId(3));
+            assert!(!c.swapped);
+        }
+    }
+
+    #[test]
+    fn rm_monadic_fixes_f_randomizes_s() {
+        let mut a = Allocator::new(AllocPolicy::RandomMonadic, RegFileMode::Wsrs, 4, 42);
+        let loads = [0; 4];
+        let mut seen = [false; 4];
+        for _ in 0..64 {
+            let c = a.choose(&dyn_inst(), [Some(Subset(2)), None], &loads);
+            assert_eq!(c.cluster.f(), 1, "f fixed by the operand's subset");
+            seen[c.cluster.0 as usize] = true;
+        }
+        assert!(seen[2] && seen[3], "both s choices exercised");
+        assert!(!seen[0] && !seen[1]);
+    }
+
+    #[test]
+    fn rc_dyadic_uses_both_forms() {
+        let mut a = Allocator::new(AllocPolicy::RandomCommutative, RegFileMode::Wsrs, 4, 7);
+        let loads = [0; 4];
+        let mut clusters = [false; 4];
+        for _ in 0..64 {
+            // src0 in S0 (f=0,s=0), src1 in S3 (f=1,s=1):
+            // direct C(0,1)=C1, inverted C(1,0)=C2.
+            let c = a.choose(&dyn_inst(), [Some(Subset(0)), Some(Subset(3))], &loads);
+            clusters[c.cluster.0 as usize] = true;
+            if c.cluster == ClusterId(2) {
+                assert!(c.swapped);
+            } else {
+                assert_eq!(c.cluster, ClusterId(1));
+                assert!(!c.swapped);
+            }
+        }
+        assert!(clusters[1] && clusters[2]);
+    }
+
+    #[test]
+    fn rc_same_subset_operands_cannot_move() {
+        let mut a = Allocator::new(AllocPolicy::RandomCommutative, RegFileMode::Wsrs, 4, 9);
+        let loads = [0; 4];
+        // both operands in S1 (f=0,s=1): direct = inverted = C(0,1) = C1.
+        for _ in 0..20 {
+            let c = a.choose(&dyn_inst(), [Some(Subset(1)), Some(Subset(1))], &loads);
+            assert_eq!(c.cluster, ClusterId(1));
+        }
+    }
+
+    #[test]
+    fn rc_monadic_reaches_three_clusters() {
+        let mut a = Allocator::new(AllocPolicy::RandomCommutative, RegFileMode::Wsrs, 4, 11);
+        let loads = [0; 4];
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            // operand in S0 (f=0, s=0): first-entry form reaches C0/C1,
+            // second-entry form reaches C0/C2 -> three distinct clusters.
+            let c = a.choose(&dyn_inst(), [Some(Subset(0)), None], &loads);
+            seen[c.cluster.0 as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true, false], "C3 is unreachable");
+    }
+
+    #[test]
+    fn by_kind_routes_by_class() {
+        use wsrs_isa::Opcode;
+        let mut a = Allocator::new(AllocPolicy::ByKind, RegFileMode::WriteSpecialized, 4, 1);
+        let loads = [0; 4];
+        let route = |a: &mut Allocator, op: Opcode| {
+            let d = DynInst::new(0, op);
+            a.choose(&d, [None, None], &loads).cluster.0
+        };
+        assert_eq!(route(&mut a, Opcode::Lw), 0);
+        assert_eq!(route(&mut a, Opcode::Sw), 0);
+        assert_eq!(route(&mut a, Opcode::Add), 1);
+        assert_eq!(route(&mut a, Opcode::Mul), 2);
+        assert_eq!(route(&mut a, Opcode::Fadd), 2);
+        assert_eq!(route(&mut a, Opcode::Beq), 3);
+        // Pure function: stable across calls, never swapped.
+        let d = DynInst::new(0, Opcode::Add);
+        let c = a.choose(&d, [Some(Subset(3)), Some(Subset(2))], &loads);
+        assert_eq!(c.cluster, ClusterId(1));
+        assert!(!c.swapped);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot honour WSRS")]
+    fn by_kind_rejected_for_wsrs() {
+        let _ = Allocator::new(AllocPolicy::ByKind, RegFileMode::Wsrs, 4, 1);
+    }
+
+    #[test]
+    fn load_balance_prefers_idle_cluster() {
+        let mut a = Allocator::new(AllocPolicy::LoadBalance, RegFileMode::Wsrs, 4, 3);
+        // operand in S0; C1 is busy, C2 idle -> second-entry form lands C2 or C0.
+        let loads = [10, 50, 0, 50];
+        let c = a.choose(&dyn_inst(), [Some(Subset(0)), None], &loads);
+        assert_eq!(c.cluster, ClusterId(2));
+        assert!(c.swapped);
+    }
+
+    #[test]
+    fn noadic_reaches_all_clusters() {
+        let mut a = Allocator::new(AllocPolicy::RandomCommutative, RegFileMode::Wsrs, 4, 5);
+        let loads = [0; 4];
+        let mut seen = [false; 4];
+        for _ in 0..128 {
+            let c = a.choose(&dyn_inst(), [None, None], &loads);
+            seen[c.cluster.0 as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+}

@@ -1,0 +1,560 @@
+//! Simulator configuration and the paper's named configurations.
+
+use crate::alloc::AllocPolicy;
+use crate::cluster::Resources;
+use wsrs_frontend::PredictorKind;
+use wsrs_mem::HierarchyConfig;
+use wsrs_regfile::{RenameStrategy, RenamerConfig};
+
+/// How the physical register file is organized.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegFileMode {
+    /// Conventional: any unit reads/writes any register (one subset).
+    Conventional,
+    /// Register Write Specialization only (§2): cluster `Ci` writes subset
+    /// `Si`; reads are unrestricted.
+    WriteSpecialized,
+    /// Write + Read specialization (§3): writes as above, and the executing
+    /// cluster is dictated by the operand subsets.
+    Wsrs,
+}
+
+/// Fast-forwarding (bypass) reach between clusters (§4.3.1). The paper's
+/// performance runs use [`FastForward::IntraCluster`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FastForward {
+    /// Same-cycle forwarding inside a cluster only; +1 cycle to any other
+    /// cluster (the paper's simulated model, §5.2).
+    IntraCluster,
+    /// Same-cycle forwarding within a pair of adjacent clusters (same `f`
+    /// coordinate); +1 cycle across pairs.
+    AdjacentPair,
+    /// Complete fast-forwarding: results usable anywhere the next cycle.
+    Complete,
+}
+
+impl FastForward {
+    /// Extra cycles for a value produced on `from` to be consumed on `to`.
+    #[must_use]
+    pub fn penalty(self, from: u8, to: u8) -> u64 {
+        match self {
+            FastForward::IntraCluster => u64::from(from != to),
+            FastForward::AdjacentPair => u64::from((from >> 1) != (to >> 1)),
+            FastForward::Complete => 0,
+        }
+    }
+}
+
+/// Full configuration of the timing simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Number of execution domains — symmetric clusters, or pools in the
+    /// Figure 2b organization (the paper's geometry is 4 either way).
+    pub clusters: usize,
+    /// Functional-unit complement of each domain. Symmetric machines use
+    /// four identical entries; the pooled organization is asymmetric.
+    /// Machines with fewer than four domains use a prefix of the array.
+    pub resources: [Resources; 4],
+    /// In-flight µops per cluster, dispatch to commit (56).
+    pub window_per_cluster: usize,
+    /// Total in-flight µops (ROB size). The paper's machines hold 224
+    /// (4 × 56); the pooled organization keeps the same total while its
+    /// per-pool reservation stations are sized by `window_per_cluster`.
+    pub rob: usize,
+    /// Front-end / commit width in µops per cycle (8).
+    pub fetch_width: usize,
+    /// Minimum misprediction penalty in cycles (§5.2.1: 17 conventional,
+    /// 16 WS, 16/18 WSRS strategy 1/2).
+    pub min_mispredict_penalty: u64,
+    /// Register-file organization.
+    pub mode: RegFileMode,
+    /// Cluster allocation policy.
+    pub policy: AllocPolicy,
+    /// Renamer configuration (subset count must agree with `mode`).
+    pub renamer: RenamerConfig,
+    /// Data-memory hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Bypass reach.
+    pub fast_forward: FastForward,
+    /// Conditional-branch direction predictor (the paper uses the
+    /// EV8-class 512 Kbit 2Bc-gskew).
+    pub predictor: PredictorKind,
+    /// Seed for the policy RNG (runs are deterministic).
+    pub seed: u64,
+    /// Enable the §2.3 deadlock workaround (b): when renaming wedges on an
+    /// exhausted register subset with an empty window, raise an exception
+    /// that remaps architectural registers out of that subset. Off by
+    /// default — the paper's configurations are statically deadlock-free.
+    pub deadlock_recovery: bool,
+    /// Virtual-physical registers (Monreal et al., the paper's §6 \[13\]):
+    /// renaming hands out unbounded *virtual* tags and the physical
+    /// register is claimed only at issue, so a register is occupied from
+    /// issue to superseding-commit instead of from rename. `Some(n)` caps
+    /// each subset at `n` physical registers per class; the renamer's own
+    /// budgets then size only the (cheap) virtual tag space. Orthogonal to
+    /// write specialization, as the paper observes.
+    pub vp_phys_per_subset: Option<usize>,
+    /// The §2.3 deadlock workaround (a): the allocation policy avoids
+    /// clusters whose register subset is exhausted, whenever the µop has
+    /// placement freedom. Best-effort — fully constrained dyadic µops
+    /// cannot be redirected. WSRS mode only.
+    pub avoid_exhaustion: bool,
+    /// Hardware threads (SMT). The paper's §2.3 singles out SMT as the
+    /// case where register subsets cannot cover all architectural state;
+    /// with 2 threads the machine renames 160 logical integer registers.
+    /// Threads share the fetch/dispatch bandwidth (round-robin), the ROB,
+    /// the clusters and the physical register file; each has its own map
+    /// tables, store queue and memory-order stream.
+    pub threads: usize,
+    /// Register-file cache (Cruz et al., the paper's §6 \[4\]): recently
+    /// produced values read at full speed from a small cached level; older
+    /// values come from the slow full copy. The alternative route to a
+    /// shorter register-read pipeline that the paper compares itself
+    /// against.
+    pub reg_cache: Option<RegCache>,
+}
+
+/// Register-file-cache timing parameters (§6 \[4\]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RegCache {
+    /// Cycles after production during which a value reads at cached speed.
+    pub retention_cycles: u64,
+    /// Extra read latency for values that have aged out to the full copy.
+    pub slow_read_penalty: u32,
+}
+
+impl SimConfig {
+    /// Floating-point physical registers paired with an integer register
+    /// budget: the paper sizes only the integer file (256/384/512); we give
+    /// the FP file half that, as FP codes have 32 logical FP registers
+    /// against 80 integer ones (documented in `DESIGN.md`).
+    #[must_use]
+    pub fn fp_regs_for(int_regs: usize) -> usize {
+        int_regs / 2
+    }
+
+    /// The paper's baseline: conventional 4-cluster, round-robin
+    /// allocation, 256 integer registers, 17-cycle minimum misprediction
+    /// penalty (`RR 256`).
+    #[must_use]
+    pub fn conventional_rr(int_regs: usize) -> Self {
+        SimConfig {
+            clusters: 4,
+            window_per_cluster: 56,
+            rob: 224,
+            fetch_width: 8,
+            min_mispredict_penalty: 17,
+            mode: RegFileMode::Conventional,
+            policy: AllocPolicy::RoundRobin,
+            resources: [Resources::ev6_cluster(); 4],
+            renamer: RenamerConfig::conventional(int_regs, Self::fp_regs_for(int_regs)),
+            hierarchy: HierarchyConfig::paper(),
+            fast_forward: FastForward::IntraCluster,
+            predictor: PredictorKind::TwoBcGskew512K,
+            seed: 0x5eed,
+            deadlock_recovery: false,
+            threads: 1,
+            vp_phys_per_subset: None,
+            avoid_exhaustion: false,
+            reg_cache: None,
+        }
+    }
+
+    /// A conventional machine with a register-file cache (§6 \[4\]): one
+    /// register-read stage saved (16-cycle penalty, like WS), paid for by
+    /// slow reads of values older than the cache's retention window.
+    #[must_use]
+    pub fn conventional_reg_cache(int_regs: usize, cache: RegCache) -> Self {
+        SimConfig {
+            min_mispredict_penalty: 16,
+            reg_cache: Some(cache),
+            ..Self::conventional_rr(int_regs)
+        }
+    }
+
+    /// The monolithic 8-way machine of Figure 1a (`noWS-M`): one domain
+    /// holding every functional unit, complete bypass, single register
+    /// subset. Baseline for the pooled organization.
+    #[must_use]
+    pub fn monolithic(int_regs: usize) -> Self {
+        SimConfig {
+            clusters: 1,
+            window_per_cluster: 224,
+            resources: [Resources::monolithic_8way(); 4],
+            fast_forward: FastForward::Complete,
+            ..Self::conventional_rr(int_regs)
+        }
+    }
+
+    /// Register write specialization over **pools of functional units**
+    /// (Figure 2b): load/store units, simple ALUs, FP/complex units and
+    /// branch units each form a pool writing its own register subset.
+    /// Pool selection is a pure function of the opcode, known at decode
+    /// (predecoded in the instruction cache, §2.4), so the renaming
+    /// pipeline is not lengthened and the one-cycle register-read saving
+    /// applies as for clustered WS.
+    #[must_use]
+    pub fn pooled_write_specialized(int_regs: usize, strategy: RenameStrategy) -> Self {
+        let none = Resources {
+            issue_width: 0,
+            alus: 0,
+            ldsts: 0,
+            fps: 0,
+            muldivs: 0,
+            fpdivs: 0,
+        };
+        SimConfig {
+            clusters: 4,
+            // Per-pool reservation stations sized so the shared 224-entry
+            // ROB is the binding window, as on the monolithic baseline.
+            window_per_cluster: 224,
+            min_mispredict_penalty: 16,
+            mode: RegFileMode::WriteSpecialized,
+            policy: AllocPolicy::ByKind,
+            resources: [
+                // S0: load/store pool
+                Resources {
+                    issue_width: 4,
+                    ldsts: 4,
+                    ..none
+                },
+                // S1: simple-ALU pool
+                Resources {
+                    issue_width: 8,
+                    alus: 8,
+                    ..none
+                },
+                // S2: FP + complex-integer pool
+                Resources {
+                    issue_width: 4,
+                    fps: 4,
+                    alus: 4, // ALUs hosting the mul/div structures
+                    muldivs: 4,
+                    fpdivs: 4,
+                    ..none
+                },
+                // S3: branch pool
+                Resources {
+                    issue_width: 2,
+                    alus: 2,
+                    ..none
+                },
+            ],
+            renamer: RenamerConfig::write_specialized(
+                int_regs,
+                Self::fp_regs_for(int_regs),
+                strategy,
+            ),
+            // Pools live in one spatial domain: complete forwarding, like
+            // the monolithic baseline they are compared against.
+            fast_forward: FastForward::Complete,
+            ..Self::conventional_rr(int_regs)
+        }
+    }
+
+    /// Register write specialization only, round-robin allocation
+    /// (`WSRR 384` / `WSRR 512`). One cycle saved on the register-read
+    /// pipeline → 16-cycle minimum penalty (§5.2.1); no extra rename stages
+    /// for a static policy (§2.4).
+    #[must_use]
+    pub fn write_specialized_rr(int_regs: usize, strategy: RenameStrategy) -> Self {
+        SimConfig {
+            min_mispredict_penalty: 16,
+            mode: RegFileMode::WriteSpecialized,
+            policy: AllocPolicy::RoundRobin,
+            renamer: RenamerConfig::write_specialized(
+                int_regs,
+                Self::fp_regs_for(int_regs),
+                strategy,
+            ),
+            ..Self::conventional_rr(int_regs)
+        }
+    }
+
+    /// Full WSRS (`WSRS RM/RC S 384/512`). The minimum misprediction
+    /// penalty accounts for the renaming-strategy pipeline: two cycles
+    /// saved on register read, plus 1 (strategy 1) or 3 (strategy 2) extra
+    /// front-end stages → 16 or 18 cycles (§5.2.1).
+    #[must_use]
+    pub fn wsrs(int_regs: usize, policy: AllocPolicy, strategy: RenameStrategy) -> Self {
+        let penalty = match strategy {
+            RenameStrategy::Recycling => 16,
+            RenameStrategy::ExactCount => 18,
+        };
+        SimConfig {
+            min_mispredict_penalty: penalty,
+            mode: RegFileMode::Wsrs,
+            policy,
+            renamer: RenamerConfig::write_specialized(
+                int_regs,
+                Self::fp_regs_for(int_regs),
+                strategy,
+            ),
+            ..Self::conventional_rr(int_regs)
+        }
+    }
+
+    /// Total in-flight window (ROB) size.
+    #[must_use]
+    pub fn rob_size(&self) -> usize {
+        self.rob
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode and renamer subset count disagree, or the
+    /// geometry is degenerate.
+    pub fn validate(&self) {
+        assert!(self.clusters.is_power_of_two() && self.clusters >= 1);
+        match self.mode {
+            RegFileMode::Conventional => assert_eq!(self.renamer.subsets, 1),
+            RegFileMode::WriteSpecialized | RegFileMode::Wsrs => {
+                assert_eq!(self.renamer.subsets, self.clusters);
+            }
+        }
+        assert!(self.fetch_width >= 1);
+        assert!(self.rob >= self.fetch_width);
+        assert!(self.threads >= 1);
+        assert_eq!(
+            self.threads, self.renamer.threads,
+            "SMT thread count must match the renamer's map-table count"
+        );
+        if let Some(cap) = self.vp_phys_per_subset {
+            // Each subset must hold its share of architectural state plus
+            // the one register reserved for the oldest waiting µop.
+            assert!(
+                cap > 80usize.div_ceil(self.renamer.subsets),
+                "virtual-physical capacity too small for architectural state"
+            );
+        }
+        assert!(self.rob <= self.clusters * self.window_per_cluster);
+        assert!(self.resources[..self.clusters.min(4)]
+            .iter()
+            .all(|r| r.issue_width >= 1));
+    }
+}
+
+/// Builder for customized [`SimConfig`]s, starting from any preset.
+///
+/// # Example
+///
+/// ```
+/// use wsrs_core::{AllocPolicy, SimConfig, SimConfigBuilder, FastForward};
+/// use wsrs_regfile::RenameStrategy;
+///
+/// let cfg = SimConfigBuilder::from(SimConfig::wsrs(
+///         512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount))
+///     .fast_forward(FastForward::AdjacentPair)
+///     .seed(42)
+///     .mispredict_penalty(20)
+///     .deadlock_recovery(true)
+///     .build();
+/// assert_eq!(cfg.seed, 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl From<SimConfig> for SimConfigBuilder {
+    fn from(cfg: SimConfig) -> Self {
+        SimConfigBuilder { cfg }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Starts from the conventional round-robin baseline.
+    #[must_use]
+    pub fn conventional(int_regs: usize) -> Self {
+        SimConfig::conventional_rr(int_regs).into()
+    }
+
+    /// Sets the policy RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the bypass reach.
+    pub fn fast_forward(&mut self, ff: FastForward) -> &mut Self {
+        self.cfg.fast_forward = ff;
+        self
+    }
+
+    /// Sets the minimum misprediction penalty in cycles.
+    pub fn mispredict_penalty(&mut self, cycles: u64) -> &mut Self {
+        self.cfg.min_mispredict_penalty = cycles;
+        self
+    }
+
+    /// Sets the memory hierarchy.
+    pub fn hierarchy(&mut self, h: HierarchyConfig) -> &mut Self {
+        self.cfg.hierarchy = h;
+        self
+    }
+
+    /// Overrides the integer/FP physical register budgets.
+    pub fn registers(&mut self, int_regs: usize, fp_regs: usize) -> &mut Self {
+        self.cfg.renamer.int_regs = int_regs;
+        self.cfg.renamer.fp_regs = fp_regs;
+        self
+    }
+
+    /// Sets the cluster allocation policy.
+    pub fn policy(&mut self, policy: AllocPolicy) -> &mut Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Sets the per-cluster in-flight window and total ROB size together.
+    pub fn window(&mut self, per_cluster: usize, rob: usize) -> &mut Self {
+        self.cfg.window_per_cluster = per_cluster;
+        self.cfg.rob = rob;
+        self
+    }
+
+    /// Enables the §2.3 deadlock-recovery exception.
+    pub fn deadlock_recovery(&mut self, on: bool) -> &mut Self {
+        self.cfg.deadlock_recovery = on;
+        self
+    }
+
+    /// Sets the conditional-branch direction predictor.
+    pub fn predictor(&mut self, kind: PredictorKind) -> &mut Self {
+        self.cfg.predictor = kind;
+        self
+    }
+
+    /// Configures `n` hardware threads (SMT); keeps the renamer's map-table
+    /// count in sync.
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.cfg.threads = n;
+        self.cfg.renamer.threads = n;
+        self
+    }
+
+    /// Enables the §2.3 workaround (a): exhaustion-avoiding allocation.
+    pub fn avoid_exhaustion(&mut self, on: bool) -> &mut Self {
+        self.cfg.avoid_exhaustion = on;
+        self
+    }
+
+    /// Enables virtual-physical registers with `per_subset` physical
+    /// registers per class and subset. The renamer's budgets are switched
+    /// to a large virtual tag space (4096 tags per subset per class).
+    pub fn virtual_physical(&mut self, per_subset: usize) -> &mut Self {
+        self.cfg.vp_phys_per_subset = Some(per_subset);
+        let subsets = self.cfg.renamer.subsets;
+        self.cfg.renamer.int_regs = 4096 * subsets;
+        self.cfg.renamer.fp_regs = 4096 * subsets;
+        self
+    }
+
+    /// Finishes, validating the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`SimConfig::validate`]).
+    #[must_use]
+    pub fn build(&self) -> SimConfig {
+        self.cfg.validate();
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let cfg = SimConfigBuilder::conventional(256)
+            .seed(7)
+            .mispredict_penalty(12)
+            .registers(320, 160)
+            .window(56, 200)
+            .build();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.min_mispredict_penalty, 12);
+        assert_eq!(cfg.renamer.int_regs, 320);
+        assert_eq!(cfg.rob_size(), 200);
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_rejects_inconsistent_window() {
+        let _ = SimConfigBuilder::conventional(256).window(10, 200).build();
+    }
+
+    #[test]
+    fn paper_penalties() {
+        assert_eq!(SimConfig::conventional_rr(256).min_mispredict_penalty, 17);
+        assert_eq!(
+            SimConfig::write_specialized_rr(384, RenameStrategy::ExactCount)
+                .min_mispredict_penalty,
+            16
+        );
+        assert_eq!(
+            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::Recycling)
+                .min_mispredict_penalty,
+            16
+        );
+        assert_eq!(
+            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount)
+                .min_mispredict_penalty,
+            18
+        );
+    }
+
+    #[test]
+    fn geometry_matches_paper() {
+        let c = SimConfig::conventional_rr(256);
+        assert_eq!(c.rob_size(), 224);
+        c.validate();
+        SimConfig::wsrs(384, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount).validate();
+    }
+
+    #[test]
+    fn monolithic_and_pooled_presets_validate() {
+        let m = SimConfig::monolithic(256);
+        m.validate();
+        assert_eq!(m.clusters, 1);
+        assert_eq!(m.rob_size(), 224);
+        assert_eq!(m.resources[0].issue_width, 8);
+
+        let p = SimConfig::pooled_write_specialized(512, RenameStrategy::ExactCount);
+        p.validate();
+        assert_eq!(p.clusters, 4);
+        assert_eq!(p.rob_size(), 224);
+        // Total functional units match the 4-cluster machine.
+        let total_alus: u32 = p.resources.iter().map(|r| r.alus).sum();
+        let total_ldst: u32 = p.resources.iter().map(|r| r.ldsts).sum();
+        let total_fp: u32 = p.resources.iter().map(|r| r.fps).sum();
+        assert!(total_alus >= 8);
+        assert_eq!(total_ldst, 4);
+        assert_eq!(total_fp, 4);
+        assert_eq!(p.min_mispredict_penalty, 16, "WS saves one read stage");
+    }
+
+    #[test]
+    fn fast_forward_penalties() {
+        let ff = FastForward::IntraCluster;
+        assert_eq!(ff.penalty(0, 0), 0);
+        assert_eq!(ff.penalty(0, 3), 1);
+        let pair = FastForward::AdjacentPair;
+        assert_eq!(pair.penalty(0, 1), 0, "C0,C1 share f=0");
+        assert_eq!(pair.penalty(0, 2), 1);
+        assert_eq!(FastForward::Complete.penalty(0, 3), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_mode_panics() {
+        let mut c = SimConfig::conventional_rr(256);
+        c.mode = RegFileMode::Wsrs;
+        c.validate();
+    }
+}

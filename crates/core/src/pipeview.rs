@@ -1,0 +1,117 @@
+//! Per-µop pipeline timelines — a gem5-`o3pipeview`-style view of the
+//! engine's scheduling decisions, for debugging and for *seeing* the WSRS
+//! effects (inter-cluster forwarding bubbles, rename stalls, redirect
+//! shadows) rather than inferring them from aggregate counters.
+
+use wsrs_isa::Opcode;
+
+/// Lifecycle timestamps of one µop.
+#[derive(Clone, Copy, Debug)]
+pub struct UopTiming {
+    /// Program-order sequence number.
+    pub seq: u64,
+    /// Static instruction index.
+    pub pc: u64,
+    /// Opcode.
+    pub op: Opcode,
+    /// Executing cluster.
+    pub cluster: u8,
+    /// Cycle fetched.
+    pub fetch: u64,
+    /// Cycle renamed/dispatched.
+    pub dispatch: u64,
+    /// Cycle issued to a functional unit.
+    pub issue: u64,
+    /// Cycle the result became available.
+    pub complete: u64,
+    /// Cycle retired.
+    pub commit: u64,
+}
+
+/// Renders timelines as an ASCII chart: one row per µop, one column per
+/// cycle, with `f`/`d`/`i`/`c`/`r` marking fetch, dispatch, issue,
+/// completion and retirement (later events overwrite earlier ones landing
+/// on the same cycle).
+///
+/// Rows are clipped to `max_width` cycles from the first µop's fetch.
+#[must_use]
+pub fn render(timings: &[UopTiming], max_width: usize) -> String {
+    let Some(first) = timings.first() else {
+        return String::from("(empty timeline)\n");
+    };
+    let base = first.fetch;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>5} {:>5} {:<8} {:>2}  cycle {base}..\n",
+        "seq", "pc", "op", "cl"
+    ));
+    for t in timings {
+        let mut row = vec![b'.'; max_width];
+        let mut mark = |cycle: u64, ch: u8| {
+            if cycle >= base {
+                let x = (cycle - base) as usize;
+                if x < max_width {
+                    row[x] = ch;
+                }
+            }
+        };
+        mark(t.fetch, b'f');
+        mark(t.dispatch, b'd');
+        mark(t.issue, b'i');
+        mark(t.complete, b'c');
+        mark(t.commit, b'r');
+        let opname = format!("{:?}", t.op).to_lowercase();
+        out.push_str(&format!(
+            "{:>5} {:>5} {:<8} {:>2}  {}\n",
+            t.seq,
+            t.pc,
+            opname,
+            t.cluster,
+            String::from_utf8_lossy(&row)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(seq: u64, fetch: u64, commit: u64) -> UopTiming {
+        UopTiming {
+            seq,
+            pc: seq,
+            op: Opcode::Add,
+            cluster: 0,
+            fetch,
+            dispatch: fetch,
+            issue: fetch + 1,
+            complete: fetch + 2,
+            commit,
+        }
+    }
+
+    #[test]
+    fn renders_marks_in_order() {
+        let rows = [t(0, 0, 4), t(1, 0, 5)];
+        let text = render(&rows, 16);
+        let line = text.lines().nth(1).unwrap();
+        // dispatch lands on the fetch cycle and overwrites its mark.
+        assert!(line.contains("dic.r"), "{line}");
+        assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn clips_to_width() {
+        let rows = [t(0, 0, 100)];
+        let text = render(&rows, 10);
+        // commit at 100 is clipped away; row is exactly 10 cells.
+        let line = text.lines().nth(1).unwrap();
+        assert!(!line.contains('r'));
+    }
+
+    #[test]
+    fn empty_timeline() {
+        assert_eq!(render(&[], 10), "(empty timeline)\n");
+    }
+}

@@ -1,0 +1,1920 @@
+//! The cycle-level timing engine.
+//!
+//! The engine replays a dynamic µop trace (from the functional emulator)
+//! through the §5 pipeline model:
+//!
+//! * **fetch** — sustained `fetch_width` µops/cycle (the paper idealizes
+//!   the front end); conditional branches are predicted by 2Bc-gskew, and a
+//!   misprediction stalls fetch until the branch resolves, with a
+//!   configuration-dependent minimum penalty;
+//! * **rename/dispatch** — in program order; the allocation policy picks a
+//!   cluster (for WSRS, within the operand-subset constraints) and the
+//!   destination is renamed into the cluster's register subset;
+//! * **issue** — per cluster, oldest-first, two µops/cycle, with the
+//!   cluster's functional-unit constraints; operands become usable one
+//!   cycle later across clusters than inside the producing cluster;
+//! * **memory** — load/store addresses are computed in program order;
+//!   loads bypass non-conflicting stores and forward from conflicting ones;
+//! * **commit** — in order, up to `fetch_width` per cycle; stores write the
+//!   cache and previous register mappings are reclaimed at commit.
+//!
+//! Because only the correct path is fetched, mispredictions are pure
+//! timing events and no squash machinery exists anywhere in the engine.
+
+use std::collections::VecDeque;
+
+use crate::alloc::Allocator;
+use crate::cluster::ClusterState;
+use crate::config::{RegFileMode, SimConfig};
+use crate::metrics::{Report, StallBreakdown, UnbalanceTracker};
+use crate::pipeview::UopTiming;
+use wsrs_frontend::DirectionPredictor;
+use wsrs_isa::{latency, DynInst, OpClass, RegClass};
+use wsrs_mem::{MemoryHierarchy, StoreQueue, StoreQueueQuery};
+use wsrs_regfile::{DeadlockMonitor, Mapping, Renamer, Subset};
+
+/// Sentinel for "value not yet produced".
+const IN_FLIGHT: u64 = u64::MAX;
+
+/// Cycles of continuous blocked-and-empty rename before declaring
+/// deadlock. With an empty window nothing can commit, so the only registers
+/// that can still appear are the ones maturing out of the strategy-1
+/// recycling pipeline (a handful of cycles deep): 16 blocked-and-empty
+/// cycles prove the wedge.
+const DEADLOCK_THRESHOLD: u64 = 16;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    Waiting,
+    Done,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SrcOperand {
+    class: RegClass,
+    phys: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    seq: u64,
+    /// Hardware thread that fetched this µop.
+    thread: u8,
+    /// Fetch-order id, used to match misprediction redirects.
+    fetch_id: u64,
+    class: OpClass,
+    srcs: [Option<SrcOperand>; 2],
+    dst: Option<(RegClass, u32)>,
+    old_mapping: Option<(RegClass, Mapping)>,
+    cluster: u8,
+    state: SlotState,
+    done_cycle: u64,
+    dispatch_cycle: u64,
+    fetch_cycle: u64,
+    mem_seq: Option<u64>,
+    eff_addr: Option<u64>,
+    is_load: bool,
+    is_store: bool,
+    mispredicted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RegInfo {
+    /// Cycle the value becomes usable in the producing cluster; `IN_FLIGHT`
+    /// while the producer has not issued.
+    avail: u64,
+    /// Producing cluster (drives the inter-cluster forwarding penalty).
+    cluster: u8,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Redirect {
+    /// Fetch is flowing.
+    None,
+    /// A mispredicted branch (by fetch id) was fetched; waiting for it to
+    /// resolve.
+    WaitingResolve(u64),
+    /// Resolved; fetch resumes at the given cycle.
+    WaitingCycle(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Fetched {
+    d: DynInst,
+    fetch_cycle: u64,
+    fetch_id: u64,
+    mispredicted: bool,
+    /// Cluster choice made on the first dispatch attempt; sticky across
+    /// retries (hardware fixes the allocation before rename, §2.2).
+    choice: Option<crate::alloc::ClusterChoice>,
+}
+
+/// A configured simulator. Construct with [`Simulator::new`], run a trace
+/// with [`Simulator::run`].
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`SimConfig::validate`]).
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        Simulator { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the trace to exhaustion (plus pipeline drain) and reports.
+    pub fn run(&self, trace: impl IntoIterator<Item = DynInst>) -> Report {
+        Engine::new(&self.config).run(trace.into_iter(), 0)
+    }
+
+    /// Runs `warmup + measure` µops of the trace, warming predictors,
+    /// caches and the window for the first `warmup` retired µops and
+    /// reporting cycle/IPC/branch/unbalance statistics over the measured
+    /// window only — the paper's §5.3 methodology (fast-forward, warm,
+    /// measure a slice). Memory-hierarchy and rename counters cover the
+    /// whole run.
+    pub fn run_measured(
+        &self,
+        trace: impl IntoIterator<Item = DynInst>,
+        warmup: u64,
+        measure: u64,
+    ) -> Report {
+        let bounded = trace.into_iter().take((warmup + measure) as usize);
+        Engine::new(&self.config).run(bounded, warmup)
+    }
+
+    /// Runs an SMT machine: one trace per hardware thread
+    /// (`config.threads` of them). Threads share fetch/dispatch bandwidth
+    /// round-robin, the ROB, the clusters, the caches and the physical
+    /// register file; each has its own architectural map tables, store
+    /// queue and memory-order stream. The report's `per_thread_uops`
+    /// carries the per-thread retirement counts.
+    pub fn run_smt<I>(&self, traces: Vec<I>) -> Report
+    where
+        I: IntoIterator<Item = DynInst>,
+    {
+        let boxed: Vec<Box<dyn Iterator<Item = DynInst>>> = traces
+            .into_iter()
+            .map(|t| Box::new(t.into_iter()) as Box<dyn Iterator<Item = DynInst>>)
+            .collect();
+        Engine::new(&self.config).run_inner(boxed, 0, None)
+    }
+
+    /// Like [`Simulator::run_smt`] with a bounded measurement window: every
+    /// thread's trace is truncated to `per_thread_uops` µops.
+    pub fn run_smt_bounded<I>(&self, traces: Vec<I>, per_thread_uops: usize) -> Report
+    where
+        I: IntoIterator<Item = DynInst>,
+    {
+        let boxed: Vec<Box<dyn Iterator<Item = DynInst>>> = traces
+            .into_iter()
+            .map(|t| {
+                Box::new(t.into_iter().take(per_thread_uops))
+                    as Box<dyn Iterator<Item = DynInst>>
+            })
+            .collect();
+        Engine::new(&self.config).run_inner(boxed, 0, None)
+    }
+
+    /// Runs like [`Simulator::run`] while recording per-µop pipeline
+    /// timestamps for the first `uop_limit` µops (see
+    /// [`crate::pipeview`]).
+    pub fn run_timeline(
+        &self,
+        trace: impl IntoIterator<Item = DynInst>,
+        uop_limit: usize,
+    ) -> (Report, Vec<UopTiming>) {
+        let mut engine = Engine::new(&self.config);
+        engine.timeline = Some((Vec::with_capacity(uop_limit.min(4096)), uop_limit));
+        let mut out = Vec::new();
+        let report = engine.run_collecting(trace.into_iter(), &mut out);
+        (report, out)
+    }
+}
+
+/// Virtual-physical register state (config `vp_phys_per_subset`):
+/// physical occupancy counters per class and subset, claimed at issue and
+/// released when the superseding instruction commits.
+#[derive(Clone, Debug)]
+struct VpState {
+    capacity: usize,
+    /// `used[class][subset]`
+    used: [Vec<usize>; 2],
+}
+
+/// Counters snapshotted at the warmup boundary.
+#[derive(Clone, Debug, Default)]
+struct Snapshot {
+    cycle: u64,
+    retired: u64,
+    branches: u64,
+    mispredicts: u64,
+    per_cluster: Vec<u64>,
+    store_forwards: u64,
+    unbalance_groups: u64,
+    unbalance_flagged: u64,
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    cycle: u64,
+    renamer: Renamer,
+    allocator: Allocator,
+    /// `None` models the perfect-prediction oracle.
+    predictor: Option<Box<dyn DirectionPredictor>>,
+    hierarchy: MemoryHierarchy,
+    clusters: Vec<ClusterState>,
+    rob: VecDeque<Slot>,
+    reg_info: [Vec<RegInfo>; 2],
+    /// Per-thread fetch buffers, redirect states, store queues and
+    /// memory-order counters (single-threaded machines use index 0).
+    fetch_bufs: Vec<VecDeque<Fetched>>,
+    redirects: Vec<Redirect>,
+    store_queues: Vec<StoreQueue>,
+    /// Program-order index of the next memory µop allowed to issue, per
+    /// thread (addresses are computed in order within a thread, §5.2).
+    mem_next_issue: Vec<u64>,
+    mem_next_assign: Vec<u64>,
+    seq_next: u64,
+    fetch_id_next: u64,
+    thread_retired: Vec<u64>,
+    deadlock: DeadlockMonitor,
+    deadlocked: bool,
+    /// Subset whose exhaustion blocked renaming most recently.
+    blocked_subset: Option<(RegClass, Subset)>,
+    /// Dispatch is frozen until this cycle (deadlock-exception cost).
+    dispatch_frozen_until: u64,
+    recoveries: u64,
+    /// Optional per-µop timeline collection: (entries, limit).
+    timeline: Option<(Vec<UopTiming>, usize)>,
+    vp: Option<VpState>,
+    /// (head seq, cycles the ROB head has been VP-capacity-blocked).
+    vp_blocked: (u64, u64),
+    // metrics
+    retired: u64,
+    branches: u64,
+    mispredicts: u64,
+    stalls: StallBreakdown,
+    unbalance: UnbalanceTracker,
+    store_forwards: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig) -> Self {
+        let renamer = Renamer::new(cfg.renamer);
+        let reg_info = [
+            Self::initial_regs(&renamer, RegClass::Int, cfg),
+            Self::initial_regs(&renamer, RegClass::Fp, cfg),
+        ];
+        let vp = cfg.vp_phys_per_subset.map(|capacity| {
+            let subsets = cfg.renamer.subsets;
+            let count_arch = |class: RegClass| {
+                (0..subsets)
+                    .map(|s| renamer.map_table(class).mapped_into(Subset(s as u8)))
+                    .collect::<Vec<_>>()
+            };
+            VpState {
+                capacity,
+                used: [count_arch(RegClass::Int), count_arch(RegClass::Fp)],
+            }
+        });
+        Engine {
+            cfg,
+            cycle: 0,
+            allocator: Allocator::new(cfg.policy, cfg.mode, cfg.clusters, cfg.seed),
+            renamer,
+            predictor: cfg.predictor.build(),
+            hierarchy: MemoryHierarchy::new(cfg.hierarchy),
+            clusters: (0..cfg.clusters)
+                .map(|i| ClusterState::with_resources(cfg.resources[i.min(3)]))
+                .collect(),
+            rob: VecDeque::with_capacity(cfg.rob_size()),
+            reg_info,
+            fetch_bufs: vec![VecDeque::new(); cfg.threads],
+            redirects: vec![Redirect::None; cfg.threads],
+            store_queues: vec![StoreQueue::new(); cfg.threads],
+            mem_next_issue: vec![0; cfg.threads],
+            mem_next_assign: vec![0; cfg.threads],
+            seq_next: 0,
+            fetch_id_next: 0,
+            thread_retired: vec![0; cfg.threads],
+            deadlock: DeadlockMonitor::new(DEADLOCK_THRESHOLD),
+            deadlocked: false,
+            blocked_subset: None,
+            dispatch_frozen_until: 0,
+            recoveries: 0,
+            timeline: None,
+            vp,
+            vp_blocked: (u64::MAX, 0),
+            retired: 0,
+            branches: 0,
+            mispredicts: 0,
+            stalls: StallBreakdown::default(),
+            unbalance: UnbalanceTracker::paper(cfg.clusters),
+            store_forwards: 0,
+        }
+    }
+
+    fn initial_regs(renamer: &Renamer, class: RegClass, cfg: &SimConfig) -> Vec<RegInfo> {
+        let total = match class {
+            RegClass::Int => cfg.renamer.int_regs,
+            RegClass::Fp => cfg.renamer.fp_regs,
+        };
+        let mut v = vec![
+            RegInfo {
+                avail: 0,
+                cluster: 0
+            };
+            total
+        ];
+        // Architectural reset values live in their subset's "home" cluster.
+        for (_, m) in renamer.map_table(class).iter() {
+            v[m.phys.0 as usize].cluster = m.subset.0 % cfg.clusters as u8;
+        }
+        v
+    }
+
+    /// Runs to completion, moving any collected timeline into `out`.
+    fn run_collecting<'t>(
+        self,
+        trace: impl Iterator<Item = DynInst> + 't,
+        out: &mut Vec<UopTiming>,
+    ) -> Report {
+        self.run_inner(vec![Box::new(trace)], 0, Some(out))
+    }
+
+    fn run<'t>(self, trace: impl Iterator<Item = DynInst> + 't, warmup: u64) -> Report {
+        self.run_inner(vec![Box::new(trace)], warmup, None)
+    }
+
+    fn run_inner(
+        mut self,
+        mut traces: Vec<Box<dyn Iterator<Item = DynInst> + '_>>,
+        warmup: u64,
+        timeline_out: Option<&mut Vec<UopTiming>>,
+    ) -> Report {
+        assert_eq!(
+            traces.len(),
+            self.cfg.threads,
+            "one trace per hardware thread"
+        );
+        let mut trace_done = vec![false; self.cfg.threads];
+        let fetch_buf_cap = 4 * self.cfg.fetch_width;
+        let mut last_progress = (0u64, 0u64); // (retired, cycle)
+        let mut snap: Option<Snapshot> = None;
+
+        loop {
+            self.commit();
+            if warmup > 0 && snap.is_none() && self.retired >= warmup {
+                snap = Some(Snapshot {
+                    cycle: self.cycle,
+                    retired: self.retired,
+                    branches: self.branches,
+                    mispredicts: self.mispredicts,
+                    per_cluster: self.clusters.iter().map(|c| c.dispatched).collect(),
+                    store_forwards: self.store_forwards,
+                    unbalance_groups: self.unbalance.groups(),
+                    unbalance_flagged: self.unbalance.unbalanced(),
+                });
+            }
+            self.fetch(&mut traces, &mut trace_done, fetch_buf_cap);
+            self.dispatch();
+            self.issue();
+
+            if trace_done.iter().all(|&d| d)
+                && self.fetch_bufs.iter().all(VecDeque::is_empty)
+                && self.rob.is_empty()
+            {
+                break;
+            }
+            if self.deadlocked {
+                break;
+            }
+            if self.retired != last_progress.0 {
+                last_progress = (self.retired, self.cycle);
+            } else {
+                assert!(
+                    self.cycle - last_progress.1 < 200_000,
+                    "simulator wedged at cycle {} ({} retired, rob {}, fetch {})",
+                    self.cycle,
+                    self.retired,
+                    self.rob.len(),
+                    self.fetch_bufs.iter().map(VecDeque::len).sum::<usize>()
+                );
+            }
+            self.cycle += 1;
+        }
+
+        if let (Some((entries, _)), Some(out)) = (self.timeline.take(), timeline_out) {
+            *out = entries;
+        }
+        let base = snap.unwrap_or_default();
+        let per_cluster: Vec<u64> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.dispatched - base.per_cluster.get(i).copied().unwrap_or(0))
+            .collect();
+        let groups = self.unbalance.groups() - base.unbalance_groups;
+        let flagged = self.unbalance.unbalanced() - base.unbalance_flagged;
+        Report {
+            cycles: (self.cycle - base.cycle).max(1),
+            uops: self.retired - base.retired,
+            branches: self.branches - base.branches,
+            mispredicts: self.mispredicts - base.mispredicts,
+            per_cluster,
+            unbalance_percent: if groups == 0 {
+                0.0
+            } else {
+                100.0 * flagged as f64 / groups as f64
+            },
+            stalls: self.stalls,
+            memory: self.hierarchy.stats(),
+            rename: self.renamer.stats(),
+            store_forwards: self.store_forwards - base.store_forwards,
+            deadlocked: self.deadlocked,
+            deadlock_recoveries: self.recoveries,
+            per_thread_uops: self.thread_retired.clone(),
+        }
+    }
+
+    // ---- commit ----
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.fetch_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != SlotState::Done || head.done_cycle > self.cycle {
+                break;
+            }
+            let slot = self.rob.pop_front().expect("head exists");
+            if let Some((entries, _)) = self.timeline.as_mut() {
+                if let Some(e) = entries.get_mut(slot.seq as usize) {
+                    e.commit = self.cycle;
+                }
+            }
+            if slot.is_store {
+                let addr = slot.eff_addr.expect("stores have addresses");
+                let tagged = addr | ((slot.thread as u64) << 40);
+                self.hierarchy.store(tagged, self.cycle);
+                self.store_queues[slot.thread as usize].remove(slot.seq);
+            }
+            if let Some((class, old)) = slot.old_mapping {
+                if let Some(vp) = self.vp.as_mut() {
+                    let ci = match class {
+                        RegClass::Int => 0,
+                        RegClass::Fp => 1,
+                    };
+                    vp.used[ci][old.subset.index()] -= 1;
+                }
+                self.renamer.free(class, old, self.cycle);
+            }
+            self.clusters[slot.cluster as usize].window_occupancy -= 1;
+            self.retired += 1;
+            self.thread_retired[slot.thread as usize] += 1;
+        }
+    }
+
+    // ---- fetch ----
+
+    /// The predictor sees per-thread PCs (threads run distinct programs).
+    fn tagged_pc(&self, thread: usize, pc: u64) -> u64 {
+        pc | ((thread as u64) << 48)
+    }
+
+    /// Fetches up to `fetch_width` µops from **one** thread this cycle,
+    /// rotating round-robin and skipping threads that are redirect-blocked,
+    /// buffer-full or exhausted (the classic RR SMT fetch policy).
+    fn fetch(
+        &mut self,
+        traces: &mut [Box<dyn Iterator<Item = DynInst> + '_>],
+        trace_done: &mut [bool],
+        cap: usize,
+    ) {
+        let threads = self.cfg.threads;
+        for offset in 0..threads {
+            let tid = (self.cycle as usize + offset) % threads;
+            if trace_done[tid] {
+                continue;
+            }
+            match self.redirects[tid] {
+                Redirect::WaitingResolve(_) => continue,
+                Redirect::WaitingCycle(c) => {
+                    if self.cycle < c {
+                        continue;
+                    }
+                    self.redirects[tid] = Redirect::None;
+                }
+                Redirect::None => {}
+            }
+            if self.fetch_bufs[tid].len() >= cap {
+                continue;
+            }
+            self.fetch_thread(&mut traces[tid], trace_done, tid, cap);
+            return; // one thread per cycle
+        }
+    }
+
+    fn fetch_thread(
+        &mut self,
+        trace: &mut (impl Iterator<Item = DynInst> + ?Sized),
+        trace_done: &mut [bool],
+        tid: usize,
+        cap: usize,
+    ) {
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_bufs[tid].len() >= cap {
+                return;
+            }
+            let Some(d) = trace.next() else {
+                trace_done[tid] = true;
+                return;
+            };
+            let mut mispredicted = false;
+            if d.is_cond_branch() {
+                self.branches += 1;
+                let pc = self.tagged_pc(tid, d.pc);
+                if let Some(p) = self.predictor.as_mut() {
+                    let pred = p.predict(pc);
+                    p.update(pc, d.taken);
+                    if pred != d.taken {
+                        self.mispredicts += 1;
+                        mispredicted = true;
+                    }
+                }
+            }
+            let fetch_id = self.fetch_id_next;
+            self.fetch_id_next += 1;
+            self.fetch_bufs[tid].push_back(Fetched {
+                d,
+                fetch_cycle: self.cycle,
+                fetch_id,
+                mispredicted,
+                choice: None,
+            });
+            if mispredicted {
+                // Fetch stalls until the branch resolves; the wrong path is
+                // never simulated.
+                self.redirects[tid] = Redirect::WaitingResolve(fetch_id);
+                return;
+            }
+        }
+    }
+
+    // ---- dispatch / rename ----
+
+    fn dispatch(&mut self) {
+        if self.cycle < self.dispatch_frozen_until {
+            return;
+        }
+        if self.fetch_bufs.iter().all(VecDeque::is_empty) {
+            self.stalls.frontend += self.cfg.fetch_width as u64;
+            let blocked = false;
+            self.note_deadlock(blocked);
+            return;
+        }
+        self.renamer.begin_cycle(self.cycle, self.cfg.fetch_width);
+        let mut rename_blocked = false;
+        let threads = self.cfg.threads;
+        let mut budget = self.cfg.fetch_width;
+
+        'threads: for offset in 0..threads {
+            let tid = (self.cycle as usize + offset) % threads;
+        while budget > 0 {
+            let Some(front) = self.fetch_bufs[tid].front() else {
+                continue 'threads;
+            };
+            if front.fetch_cycle > self.cycle {
+                continue 'threads;
+            }
+            if self.rob.len() >= self.cfg.rob_size() {
+                self.stalls.window += 1;
+                break 'threads;
+            }
+            let d = front.d;
+
+            // Source operands: current mappings (younger µops renamed this
+            // same cycle already updated the map — in-group dependency
+            // propagation).
+            let mut srcs: [Option<SrcOperand>; 2] = [None, None];
+            let mut src_subsets: [Option<Subset>; 2] = [None, None];
+            for (i, s) in d.srcs.iter().enumerate() {
+                if let Some(r) = s {
+                    let m = self.renamer.map_source_for(tid, *r);
+                    srcs[i] = Some(SrcOperand {
+                        class: r.class(),
+                        phys: m.phys.0,
+                    });
+                    src_subsets[i] = Some(m.subset);
+                }
+            }
+
+            let choice = match front.choice {
+                Some(c) => c,
+                None => {
+                    let loads: Vec<usize> =
+                        self.clusters.iter().map(|c| c.window_occupancy).collect();
+                    // §2.3 workaround (a): steer placement freedom away from
+                    // exhausted register subsets (WSRS only).
+                    let free: Option<Vec<usize>> = if self.cfg.avoid_exhaustion
+                        && self.cfg.mode == RegFileMode::Wsrs
+                    {
+                        d.dst.map(|dreg| {
+                            (0..self.cfg.renamer.subsets)
+                                .map(|s| {
+                                    self.renamer
+                                        .allocatable_now(dreg.class(), Subset(s as u8))
+                                })
+                                .collect()
+                        })
+                    } else {
+                        None
+                    };
+                    let c = self.allocator.choose_avoiding(
+                        &d,
+                        src_subsets,
+                        &loads,
+                        free.as_deref(),
+                    );
+                    self.fetch_bufs[tid]
+                        .front_mut()
+                        .expect("front exists")
+                        .choice = Some(c);
+                    c
+                }
+            };
+            let cl = choice.cluster.0 as usize;
+
+            if self.clusters[cl].window_occupancy >= self.cfg.window_per_cluster {
+                self.stalls.window += 1;
+                break 'threads;
+            }
+
+            // Destination rename, into the executing cluster's subset.
+            let mut dst = None;
+            let mut old_mapping = None;
+            if let Some(dreg) = d.dst {
+                let subset = match self.cfg.mode {
+                    RegFileMode::Conventional => Subset(0),
+                    _ => choice.cluster.subset(),
+                };
+                if !self.renamer.can_alloc(dreg.class(), subset) {
+                    self.stalls.rename += 1;
+                    rename_blocked = true;
+                    self.blocked_subset = Some((dreg.class(), subset));
+                    break 'threads;
+                }
+                let m = self
+                    .renamer
+                    .alloc(dreg.class(), subset)
+                    .expect("can_alloc checked");
+                let old = self.renamer.rename_dest_for(tid, dreg, m);
+                self.reg_class_mut(dreg.class())[m.phys.0 as usize] = RegInfo {
+                    avail: IN_FLIGHT,
+                    cluster: choice.cluster.0,
+                };
+                dst = Some((dreg.class(), m.phys.0));
+                old_mapping = Some((dreg.class(), old));
+            }
+
+            let fetched = self.fetch_bufs[tid].pop_front().expect("front exists");
+            let seq = self.seq_next;
+            self.seq_next += 1;
+            budget -= 1;
+
+            let mem_seq = if d.is_load() || d.is_store() {
+                let ms = self.mem_next_assign[tid];
+                self.mem_next_assign[tid] += 1;
+                if d.is_store() {
+                    self.store_queues[tid]
+                        .insert(seq, d.eff_addr.expect("store has address"));
+                }
+                Some(ms)
+            } else {
+                None
+            };
+
+            self.clusters[cl].window_occupancy += 1;
+            self.clusters[cl].dispatched += 1;
+            self.unbalance.record(cl);
+
+            if let Some((entries, limit)) = self.timeline.as_mut() {
+                if (seq as usize) < *limit {
+                    debug_assert_eq!(entries.len() as u64, seq);
+                    entries.push(UopTiming {
+                        seq,
+                        pc: d.pc,
+                        op: d.op,
+                        cluster: choice.cluster.0,
+                        fetch: fetched.fetch_cycle,
+                        dispatch: self.cycle,
+                        issue: 0,
+                        complete: 0,
+                        commit: 0,
+                    });
+                }
+            }
+            self.rob.push_back(Slot {
+                seq,
+                thread: tid as u8,
+                fetch_id: fetched.fetch_id,
+                class: d.class,
+                srcs,
+                dst,
+                old_mapping,
+                cluster: choice.cluster.0,
+                state: SlotState::Waiting,
+                done_cycle: 0,
+                dispatch_cycle: self.cycle,
+                fetch_cycle: fetched.fetch_cycle,
+                mem_seq,
+                eff_addr: d.eff_addr,
+                is_load: d.is_load(),
+                is_store: d.is_store(),
+                mispredicted: fetched.mispredicted,
+            });
+        }
+        }
+        self.renamer.end_cycle(self.cycle);
+        self.note_deadlock(rename_blocked);
+    }
+
+    fn note_deadlock(&mut self, rename_blocked: bool) {
+        if self
+            .deadlock
+            .observe(rename_blocked, self.rob.is_empty() && rename_blocked)
+        {
+            if self.cfg.deadlock_recovery {
+                self.recover_from_deadlock();
+            } else {
+                self.deadlocked = true;
+            }
+        }
+    }
+
+    /// The §2.3 workaround (b): an exception is raised; its handler issues
+    /// moves that remap architectural registers from the exhausted subset
+    /// onto other subsets. Detection guarantees the window is empty, so no
+    /// in-flight µop can reference the moved physical registers. The
+    /// exception costs a pipeline refill (modelled as the misprediction
+    /// penalty).
+    fn recover_from_deadlock(&mut self) {
+        let Some((class, stuck)) = self.blocked_subset else {
+            self.deadlocked = true;
+            return;
+        };
+        debug_assert!(self.rob.is_empty(), "recovery requires a drained window");
+        let subsets = self.cfg.renamer.subsets;
+        // Move logical registers (of any hardware thread) out of the stuck
+        // subset until a dispatch group's worth of headroom exists.
+        let victims: Vec<(usize, usize)> = (0..self.cfg.threads)
+            .flat_map(|tid| {
+                self.renamer
+                    .map_table_for(tid, class)
+                    .iter()
+                    .filter(|(_, m)| m.subset == stuck)
+                    .map(|(l, _)| (tid, l))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut moved = 0;
+        let done_at = self.cycle + self.cfg.min_mispredict_penalty;
+        for (tid, logical) in victims {
+            if moved >= self.cfg.fetch_width {
+                break;
+            }
+            let target = (0..subsets)
+                .map(|s| Subset(s as u8))
+                .filter(|&s| s != stuck)
+                .max_by_key(|&s| self.renamer.available(class, s));
+            let Some(target) = target else { break };
+            if self.renamer.available(class, target) == 0 {
+                break;
+            }
+            if let Some(new) = self
+                .renamer
+                .force_remap_for(tid, class, logical, target, self.cycle)
+            {
+                // The move's result becomes readable once the handler ends.
+                self.reg_class_mut(class)[new.phys.0 as usize] = RegInfo {
+                    avail: done_at,
+                    cluster: new.subset.0 % self.cfg.clusters as u8,
+                };
+                moved += 1;
+            } else {
+                break;
+            }
+        }
+        if moved == 0 {
+            // No subset has a free register: unrecoverable.
+            self.deadlocked = true;
+            return;
+        }
+        self.dispatch_frozen_until = done_at;
+        self.recoveries += 1;
+        self.deadlock.reset();
+        self.blocked_subset = None;
+    }
+
+    fn reg_class_mut(&mut self, class: RegClass) -> &mut Vec<RegInfo> {
+        match class {
+            RegClass::Int => &mut self.reg_info[0],
+            RegClass::Fp => &mut self.reg_info[1],
+        }
+    }
+
+    fn reg_class(&self, class: RegClass) -> &Vec<RegInfo> {
+        match class {
+            RegClass::Int => &self.reg_info[0],
+            RegClass::Fp => &self.reg_info[1],
+        }
+    }
+
+    // ---- issue / execute ----
+
+    fn srcs_ready(&self, slot: &Slot) -> bool {
+        slot.srcs.iter().flatten().all(|s| {
+            let info = self.reg_class(s.class)[s.phys as usize];
+            info.avail != IN_FLIGHT
+                && self.cycle
+                    >= info.avail
+                        + self
+                            .cfg
+                            .fast_forward
+                            .penalty(info.cluster, slot.cluster)
+        })
+    }
+
+    /// Whether a µop may claim its destination physical register this
+    /// cycle under virtual-physical allocation (always true without VP).
+    /// `reserved` counts *older, still-unissued* destination µops per
+    /// class/subset — each holds a reservation a younger µop may not
+    /// consume, which makes allocation-at-issue deadlock-free.
+    fn vp_can_alloc(&self, slot: &Slot, reserved: &[Vec<usize>; 2]) -> bool {
+        let Some(vp) = self.vp.as_ref() else {
+            return true;
+        };
+        let Some((class, phys)) = slot.dst else {
+            return true;
+        };
+        let subset = self.cfg.renamer.phys_subset_of(class, phys);
+        let ci = match class {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        };
+        vp.used[ci][subset.index()] + reserved[ci][subset.index()] < vp.capacity
+    }
+
+    fn issue(&mut self) {
+        for c in &mut self.clusters {
+            c.new_cycle();
+        }
+        // Virtual-physical reservations, accumulated oldest-first during
+        // the scan below: once a waiting µop passes without issuing, its
+        // destination subset keeps one slot reserved against all younger
+        // µops this cycle.
+        let subsets = self.cfg.renamer.subsets;
+        let mut vp_reserved: [Vec<usize>; 2] = [vec![0; subsets], vec![0; subsets]];
+        let mut redirects = Vec::new();
+        let mut dest_updates: Vec<(RegClass, u32, u64)> = Vec::new();
+
+        // Single in-order pass: per-cluster oldest-first selection.
+        for i in 0..self.rob.len() {
+            let ready = {
+                let slot = &self.rob[i];
+                slot.state == SlotState::Waiting
+                    && slot.dispatch_cycle < self.cycle
+                    && self.clusters[slot.cluster as usize].has_issue_slot()
+                    && self.srcs_ready(slot)
+                    && slot
+                        .mem_seq
+                        .is_none_or(|ms| ms == self.mem_next_issue[slot.thread as usize])
+                    && self.vp_can_alloc(slot, &vp_reserved)
+            };
+            // A waiting µop that does not issue this iteration keeps a
+            // reservation on its destination subset for the rest of the
+            // scan (VP only).
+            let reserve = |rob: &VecDeque<Slot>, vp_reserved: &mut [Vec<usize>; 2], i: usize, cfg: &SimConfig| {
+                if self.vp.is_none() {
+                    return;
+                }
+                let slot = &rob[i];
+                if slot.state != SlotState::Waiting {
+                    return;
+                }
+                if let Some((class, phys)) = slot.dst {
+                    let subset = cfg.renamer.phys_subset_of(class, phys);
+                    let ci = match class {
+                        RegClass::Int => 0,
+                        RegClass::Fp => 1,
+                    };
+                    vp_reserved[ci][subset.index()] += 1;
+                }
+            };
+            if !ready {
+                reserve(&self.rob, &mut vp_reserved, i, self.cfg);
+                continue;
+            }
+            let (cluster, class) = {
+                let s = &self.rob[i];
+                (s.cluster as usize, s.class)
+            };
+            if !self.clusters[cluster].try_issue(class, self.cycle) {
+                reserve(&self.rob, &mut vp_reserved, i, self.cfg);
+                continue;
+            }
+
+            // Compute completion.
+            let (lat, forwarded) = self.exec_latency(i);
+            if forwarded {
+                self.store_forwards += 1;
+            }
+            let slot = &mut self.rob[i];
+            slot.done_cycle = self.cycle + u64::from(lat);
+            if let Some((entries, _)) = self.timeline.as_mut() {
+                if let Some(e) = entries.get_mut(slot.seq as usize) {
+                    e.issue = self.cycle;
+                    e.complete = slot.done_cycle;
+                }
+            }
+            if slot.mem_seq.is_some() {
+                self.mem_next_issue[slot.thread as usize] += 1;
+            }
+            if let Some((class, phys)) = slot.dst {
+                dest_updates.push((class, phys, slot.done_cycle));
+                if let Some(vp) = self.vp.as_mut() {
+                    let subset = self.cfg.renamer.phys_subset_of(class, phys);
+                    let ci = match class {
+                        RegClass::Int => 0,
+                        RegClass::Fp => 1,
+                    };
+                    vp.used[ci][subset.index()] += 1;
+                }
+            }
+            if slot.mispredicted {
+                let resume = (slot.done_cycle + 1)
+                    .max(slot.fetch_cycle + self.cfg.min_mispredict_penalty);
+                redirects.push((slot.thread as usize, slot.fetch_id, resume));
+            }
+            slot.state = SlotState::Done; // completion is timestamped
+        }
+
+        for (class, phys, done) in dest_updates {
+            self.reg_class_mut(class)[phys as usize].avail = done;
+        }
+        for (tid, fetch_id, resume) in redirects {
+            if self.redirects[tid] == Redirect::WaitingResolve(fetch_id) {
+                self.redirects[tid] = Redirect::WaitingCycle(resume);
+            }
+        }
+        self.vp_watch();
+    }
+
+    /// Virtual-physical anti-wedge: when the ROB head cannot claim a
+    /// physical register because architectural state has concentrated in
+    /// its destination subset (the issue-time analogue of §2.3), an
+    /// exception moves architectural mappings out of that subset — the
+    /// same workaround-(b) mechanism, applied to the VP file.
+    fn vp_watch(&mut self) {
+        const VP_BLOCK_THRESHOLD: u64 = 64;
+        if self.vp.is_none() {
+            return;
+        }
+        let no_reservations: [Vec<usize>; 2] = [
+            vec![0; self.cfg.renamer.subsets],
+            vec![0; self.cfg.renamer.subsets],
+        ];
+        let blocked = match self.rob.front() {
+            Some(head) if head.state == SlotState::Waiting => {
+                if self.vp_can_alloc(head, &no_reservations) {
+                    None
+                } else {
+                    head.dst.map(|(class, phys)| (head.seq, class, phys))
+                }
+            }
+            _ => None,
+        };
+        let Some((seq, class, phys)) = blocked else {
+            self.vp_blocked = (u64::MAX, 0);
+            return;
+        };
+        if self.vp_blocked.0 == seq {
+            self.vp_blocked.1 += 1;
+        } else {
+            self.vp_blocked = (seq, 1);
+        }
+        if self.vp_blocked.1 < VP_BLOCK_THRESHOLD {
+            return;
+        }
+        let stuck = self.cfg.renamer.phys_subset_of(class, phys);
+        self.vp_recover(class, stuck);
+        self.vp_blocked = (u64::MAX, 0);
+    }
+
+    fn vp_recover(&mut self, class: RegClass, stuck: Subset) {
+        use std::collections::HashSet;
+        let ci = match class {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        };
+        // Tags that in-flight µops still reference (as sources, pending
+        // destinations, or mappings to be freed at commit) cannot move.
+        let mut pinned: HashSet<u32> = HashSet::new();
+        for slot in &self.rob {
+            for s in slot.srcs.iter().flatten() {
+                if s.class == class {
+                    pinned.insert(s.phys);
+                }
+            }
+            if let Some((c, p)) = slot.dst {
+                if c == class {
+                    pinned.insert(p);
+                }
+            }
+            if let Some((c, m)) = slot.old_mapping {
+                if c == class {
+                    pinned.insert(m.phys.0);
+                }
+            }
+        }
+        let victims: Vec<(usize, usize)> = (0..self.cfg.threads)
+            .flat_map(|tid| {
+                self.renamer
+                    .map_table_for(tid, class)
+                    .iter()
+                    .filter(|(_, m)| m.subset == stuck && !pinned.contains(&m.phys.0))
+                    .filter(|(_, m)| {
+                        self.reg_class(class)[m.phys.0 as usize].avail != IN_FLIGHT
+                    })
+                    .map(|(l, _)| (tid, l))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let done_at = self.cycle + self.cfg.min_mispredict_penalty;
+        let subsets = self.cfg.renamer.subsets;
+        let mut moved = 0;
+        for (tid, logical) in victims {
+            if moved >= self.cfg.fetch_width {
+                break;
+            }
+            let vp = self.vp.as_ref().expect("vp_recover requires VP");
+            let target = (0..subsets)
+                .map(|s| Subset(s as u8))
+                .filter(|&s| s != stuck)
+                .filter(|&s| vp.used[ci][s.index()] + 1 < vp.capacity)
+                .min_by_key(|&s| vp.used[ci][s.index()]);
+            let Some(target) = target else { break };
+            if let Some(new) = self
+                .renamer
+                .force_remap_for(tid, class, logical, target, self.cycle)
+            {
+                let vp = self.vp.as_mut().expect("checked");
+                vp.used[ci][stuck.index()] -= 1;
+                vp.used[ci][target.index()] += 1;
+                self.reg_class_mut(class)[new.phys.0 as usize] = RegInfo {
+                    avail: done_at,
+                    cluster: new.subset.0 % self.cfg.clusters as u8,
+                };
+                moved += 1;
+            } else {
+                break;
+            }
+        }
+        if moved > 0 {
+            self.dispatch_frozen_until = self.dispatch_frozen_until.max(done_at);
+            self.recoveries += 1;
+        }
+    }
+
+    /// Execution latency for the µop in ROB slot `i`; returns
+    /// `(latency, store_forwarded)`.
+    fn exec_latency(&mut self, i: usize) -> (u32, bool) {
+        let slot = &self.rob[i];
+        let slow_read = self.reg_cache_penalty(slot);
+        if slot.is_load {
+            let addr = slot.eff_addr.expect("loads have addresses");
+            match self.store_queues[slot.thread as usize].query(slot.seq, addr) {
+                StoreQueueQuery::ForwardFrom(_) => (latency::LOAD_LATENCY + slow_read, true),
+                StoreQueueQuery::NoConflict => {
+                    let tagged = addr | ((slot.thread as u64) << 40);
+                    (self.hierarchy.load(tagged, self.cycle) + slow_read, false)
+                }
+            }
+        } else {
+            (latency::of(slot.class) + slow_read, false)
+        }
+    }
+
+    /// §6 \[4\]: operands older than the register cache's retention read
+    /// from the slow full copy, adding latency to this µop.
+    fn reg_cache_penalty(&self, slot: &Slot) -> u32 {
+        let Some(rc) = self.cfg.reg_cache else {
+            return 0;
+        };
+        let stale = slot.srcs.iter().flatten().any(|s| {
+            let info = self.reg_class(s.class)[s.phys as usize];
+            info.avail != IN_FLIGHT && self.cycle.saturating_sub(info.avail) > rc.retention_cycles
+        });
+        if stale {
+            rc.slow_read_penalty
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocPolicy;
+    use wsrs_isa::{Assembler, Emulator, Freg, Reg};
+    use wsrs_mem::HierarchyConfig;
+    use wsrs_regfile::RenameStrategy;
+
+    fn perfect(mut cfg: SimConfig) -> SimConfig {
+        cfg.hierarchy = HierarchyConfig::perfect();
+        cfg
+    }
+
+    fn run_cfg(cfg: SimConfig, a: Assembler) -> Report {
+        Simulator::new(cfg).run(Emulator::new(a.assemble(), 1 << 20))
+    }
+
+    /// A long chain of dependent single-cycle adds: IPC must approach 1.
+    #[test]
+    fn dependent_chain_is_serial() {
+        let mut a = Assembler::new();
+        let (x, n, i) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        a.li(x, 0);
+        a.li(n, 2000);
+        a.li(i, 0);
+        let top = a.bind_label();
+        a.addi(x, x, 1);
+        a.addi(x, x, 1);
+        a.addi(x, x, 1);
+        a.addi(x, x, 1);
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let r = run_cfg(perfect(SimConfig::conventional_rr(256)), a);
+        // 4 serial adds per iteration dominate. Round-robin scatters the
+        // chain across clusters, so each link pays the +1 inter-cluster
+        // forwarding delay: ~8 cycles per 6-µop iteration, IPC ≈ 0.75.
+        assert!(r.ipc() < 1.6, "ipc {}", r.ipc());
+        assert!(r.ipc() > 0.6, "ipc {}", r.ipc());
+    }
+
+    /// Independent work should reach high IPC on an 8-way machine.
+    #[test]
+    fn independent_work_is_parallel() {
+        let mut a = Assembler::new();
+        let n = Reg::new(1);
+        let i = Reg::new(2);
+        a.li(n, 3000);
+        a.li(i, 0);
+        let top = a.bind_label();
+        for k in 3..9 {
+            a.addi(Reg::new(k), Reg::new(k), 1);
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let r = run_cfg(perfect(SimConfig::conventional_rr(256)), a);
+        assert!(r.ipc() > 3.0, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn wsrs_configs_run_and_balance_reasonably() {
+        for policy in [AllocPolicy::RandomMonadic, AllocPolicy::RandomCommutative] {
+            let mut a = Assembler::new();
+            let n = Reg::new(1);
+            let i = Reg::new(2);
+            a.li(n, 2000);
+            a.li(i, 0);
+            let top = a.bind_label();
+            for k in 3..9 {
+                a.addi(Reg::new(k), Reg::new(k), 1);
+            }
+            a.addi(i, i, 1);
+            a.blt(i, n, top);
+            let r = run_cfg(
+                perfect(SimConfig::wsrs(512, policy, RenameStrategy::ExactCount)),
+                a,
+            );
+            assert!(r.ipc() > 1.5, "{policy:?} ipc {}", r.ipc());
+            let total: u64 = r.per_cluster.iter().sum();
+            assert_eq!(total, r.uops);
+            for &c in &r.per_cluster {
+                assert!(c > 0, "{policy:?}: every cluster used");
+            }
+        }
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        // Data-dependent unpredictable branches (xorshift parity).
+        let build = |_penalty: u64| {
+            let mut a = Assembler::new();
+            let (x, i, n, t) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+            a.li(x, 0x1234_5678);
+            a.li(i, 0);
+            a.li(n, 1500);
+            let top = a.bind_label();
+            // x ^= x << 13; x ^= x >> 7; x ^= x << 17
+            a.slli(t, x, 13);
+            a.xor(x, x, t);
+            a.srli(t, x, 7);
+            a.xor(x, x, t);
+            a.slli(t, x, 17);
+            a.xor(x, x, t);
+            a.andi(t, x, 1);
+            let skip = a.label();
+            a.beqz(t, skip);
+            a.addi(i, i, 0);
+            a.bind(skip);
+            a.addi(i, i, 1);
+            a.blt(i, n, top);
+            a
+        };
+        let base = run_cfg(perfect(SimConfig::conventional_rr(256)), build(17));
+        assert!(
+            base.mispredict_rate() > 0.2,
+            "xorshift branches are unpredictable: {}",
+            base.mispredict_rate()
+        );
+        // A predictable version of the same loop is much faster.
+        let mut a = Assembler::new();
+        let (i, n) = (Reg::new(2), Reg::new(3));
+        a.li(i, 0);
+        a.li(n, 1500);
+        let top = a.bind_label();
+        for k in 5..14 {
+            a.addi(Reg::new(k), Reg::new(k), 1);
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let pred = run_cfg(perfect(SimConfig::conventional_rr(256)), a);
+        assert!(
+            pred.ipc() > 1.5 * base.ipc(),
+            "pred {} vs base {}",
+            pred.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn store_load_forwarding_works() {
+        let mut a = Assembler::new();
+        let (b, v, o, i, n) = (
+            Reg::new(1),
+            Reg::new(2),
+            Reg::new(3),
+            Reg::new(4),
+            Reg::new(5),
+        );
+        a.li(b, 0x1000);
+        a.li(v, 7);
+        a.li(i, 0);
+        a.li(n, 500);
+        let top = a.bind_label();
+        a.sw(b, 0, v);
+        a.lw(o, b, 0); // always forwards from the store
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let r = run_cfg(SimConfig::conventional_rr(256), a);
+        assert!(r.store_forwards >= 499, "forwards: {}", r.store_forwards);
+    }
+
+    #[test]
+    fn cache_misses_slow_execution() {
+        // Stride through 4 MB — every load misses both levels.
+        let build = || {
+            let mut a = Assembler::new();
+            let (b, o, i, n) = (Reg::new(1), Reg::new(3), Reg::new(4), Reg::new(5));
+            a.li(b, 0);
+            a.li(i, 0);
+            a.li(n, 400);
+            let top = a.bind_label();
+            a.lw(o, b, 0);
+            a.add(Reg::new(6), Reg::new(6), o); // use the value
+            a.addi(b, b, 8192);
+            a.addi(i, i, 1);
+            a.blt(i, n, top);
+            a
+        };
+        let slow = run_cfg(SimConfig::conventional_rr(256), build());
+        let fast = run_cfg(perfect(SimConfig::conventional_rr(256)), build());
+        assert!(slow.cycles > 2 * fast.cycles);
+        assert!(slow.memory.l1.misses > 300);
+    }
+
+    #[test]
+    fn round_robin_unbalance_is_zero() {
+        let mut a = Assembler::new();
+        let (i, n) = (Reg::new(2), Reg::new(3));
+        a.li(i, 0);
+        a.li(n, 4000);
+        let top = a.bind_label();
+        for _ in 0..6 {
+            a.addi(Reg::new(5), Reg::new(5), 1);
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let r = run_cfg(perfect(SimConfig::conventional_rr(256)), a);
+        assert_eq!(r.unbalance_percent, 0.0);
+    }
+
+    #[test]
+    fn wsrs_dest_subset_matches_cluster() {
+        // Indirectly validated: a WSRS run with chained producers/consumers
+        // must still compute the right dynamic schedule (no hangs, all µops
+        // retire).
+        let mut a = Assembler::new();
+        let (x, y, i, n) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        a.li(x, 1);
+        a.li(y, 2);
+        a.li(i, 0);
+        a.li(n, 1000);
+        let top = a.bind_label();
+        a.add(x, x, y);
+        a.add(y, y, x);
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let r = run_cfg(
+            perfect(SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            )),
+            a,
+        );
+        assert_eq!(r.uops, 4 + 4 * 1000);
+    }
+
+    #[test]
+    fn fp_code_runs_on_wsrs() {
+        let mut a = Assembler::new();
+        let (fa, fb) = (Freg::new(0), Freg::new(1));
+        let (i, n, b) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        a.data_f64(0x100, 1.5);
+        a.li(b, 0x100);
+        a.li(i, 0);
+        a.li(n, 500);
+        a.lf(fa, b, 0);
+        let top = a.bind_label();
+        a.fmul(fb, fa, fa);
+        a.fadd(fb, fb, fa);
+        a.sf(b, 8, fb);
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let r = run_cfg(
+            SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::Recycling),
+            a,
+        );
+        assert!(r.ipc() > 0.5, "ipc {}", r.ipc());
+    }
+
+    /// A mixed kernel exercising every pool of the Figure 2b organization.
+    fn mixed_kernel() -> Assembler {
+        let mut a = Assembler::new();
+        let (i, n, b, x) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        let (fa, fb) = (Freg::new(0), Freg::new(1));
+        a.data_f64(0x100, 1.5);
+        a.li(b, 0x100);
+        a.lf(fa, b, 0);
+        a.li(i, 0);
+        a.li(n, 800);
+        let top = a.bind_label();
+        a.lw(x, b, 8);
+        a.addi(x, x, 3);
+        a.mul(Reg::new(5), x, x);
+        a.fmul(fb, fa, fa);
+        a.sw(b, 8, x);
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        a
+    }
+
+    #[test]
+    fn pooled_machine_routes_every_class_to_its_pool() {
+        let cfg = perfect(SimConfig::pooled_write_specialized(
+            512,
+            RenameStrategy::ExactCount,
+        ));
+        let r = run_cfg(cfg, mixed_kernel());
+        // P0 = memory, P1 = simple ALU, P2 = FP/complex, P3 = branches.
+        let mem_uops = 2 * 800 + 1; // lw + sw per iteration, one lf
+        let br_uops = 800; // blt per iteration
+        assert_eq!(r.per_cluster[0], mem_uops);
+        assert_eq!(r.per_cluster[3], br_uops);
+        assert!(r.per_cluster[1] > 0 && r.per_cluster[2] > 0);
+        assert!(!r.deadlocked);
+    }
+
+    #[test]
+    fn pooled_ws_stands_comparison_with_monolithic() {
+        // §2: write specialization over pools of functional units does not
+        // impair performance (static allocation, no extra rename stages).
+        let mono = run_cfg(perfect(SimConfig::monolithic(256)), mixed_kernel());
+        let pooled = run_cfg(
+            perfect(SimConfig::pooled_write_specialized(
+                512,
+                RenameStrategy::ExactCount,
+            )),
+            mixed_kernel(),
+        );
+        assert!(
+            pooled.ipc() > 0.9 * mono.ipc(),
+            "pooled {} vs monolithic {}",
+            pooled.ipc(),
+            mono.ipc()
+        );
+    }
+
+    #[test]
+    fn monolithic_beats_clustered_on_dependent_chains() {
+        // Complete bypass removes the inter-cluster cycle that round-robin
+        // pays on every chain link.
+        let chain = || {
+            let mut a = Assembler::new();
+            let (x, i, n) = (Reg::new(1), Reg::new(2), Reg::new(3));
+            a.li(i, 0);
+            a.li(n, 1000);
+            let top = a.bind_label();
+            a.addi(x, x, 1);
+            a.addi(x, x, 1);
+            a.addi(x, x, 1);
+            a.addi(i, i, 1);
+            a.blt(i, n, top);
+            a
+        };
+        let mono = run_cfg(perfect(SimConfig::monolithic(256)), chain());
+        let clustered = run_cfg(perfect(SimConfig::conventional_rr(256)), chain());
+        assert!(
+            mono.ipc() > 1.3 * clustered.ipc(),
+            "mono {} vs clustered {}",
+            mono.ipc(),
+            clustered.ipc()
+        );
+    }
+
+    #[test]
+    fn tiny_subsets_deadlock_is_detected() {
+        // 84 int regs over 4 subsets = 21 per subset with 20 architectural:
+        // one free register per subset; sustained renaming wedges once a
+        // subset's register holds architectural state for a stalled chain.
+        let mut cfg = perfect(SimConfig::wsrs(
+            512,
+            AllocPolicy::RandomCommutative,
+            RenameStrategy::ExactCount,
+        ));
+        cfg.renamer.int_regs = 84;
+        cfg.renamer.fp_regs = 132;
+        let mut a = Assembler::new();
+        // Write many distinct logical registers so mappings migrate.
+        let (i, n) = (Reg::new(70), Reg::new(71));
+        a.li(i, 0);
+        a.li(n, 3000);
+        let top = a.bind_label();
+        for k in 1..40 {
+            a.addi(Reg::new(k), Reg::new(k), 1);
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let r = run_cfg(cfg, a);
+        // Either it completes (lucky placement) or the deadlock monitor
+        // fires; both are acceptable — what is NOT acceptable is an
+        // infinite hang, which the monitor prevents.
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn virtual_physical_sustains_window_with_fewer_registers() {
+        // [13] applied on top of WS: a VP file with 40 physical registers
+        // per subset (160 total) sustains the performance of the plain
+        // 512-register machine, because registers are occupied only from
+        // issue to superseding-commit.
+        let kernel = || {
+            let mut a = Assembler::new();
+            let (i, n) = (Reg::new(1), Reg::new(2));
+            a.li(i, 0);
+            a.li(n, 1500);
+            let top = a.bind_label();
+            for k in 3..9 {
+                a.addi(Reg::new(k), Reg::new(k), 1);
+            }
+            a.lw(Reg::new(9), Reg::new(1), 0);
+            a.addi(i, i, 1);
+            a.blt(i, n, top);
+            a
+        };
+        let plain = run_cfg(
+            perfect(SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount)),
+            kernel(),
+        );
+        let vp_cfg = crate::config::SimConfigBuilder::from(perfect(
+            SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount),
+        ))
+        .virtual_physical(40)
+        .build();
+        let vp = run_cfg(vp_cfg, kernel());
+        assert_eq!(vp.uops, plain.uops);
+        assert!(!vp.deadlocked);
+        assert!(
+            vp.ipc() > 0.95 * plain.ipc(),
+            "vp {} vs plain {}",
+            vp.ipc(),
+            plain.ipc()
+        );
+    }
+
+    #[test]
+    fn virtual_physical_reservation_prevents_wedge() {
+        // Absurdly tight capacity (21/subset over 20 architectural): the
+        // oldest-waiting reservation must still let everything retire.
+        let mut cfg = perfect(SimConfig::write_specialized_rr(
+            512,
+            RenameStrategy::ExactCount,
+        ));
+        cfg.vp_phys_per_subset = Some(21);
+        cfg.renamer.int_regs = 4096 * 4;
+        cfg.renamer.fp_regs = 4096 * 4;
+        let mut a = Assembler::new();
+        let (i, n) = (Reg::new(1), Reg::new(2));
+        a.li(i, 0);
+        a.li(n, 300);
+        let top = a.bind_label();
+        for k in 3..40 {
+            a.addi(Reg::new(k), Reg::new(k), 1);
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let r = run_cfg(cfg, a);
+        assert!(!r.deadlocked);
+        assert_eq!(r.uops, 2 + 300 * 39);
+    }
+
+    fn smt_cfg(int_regs: usize) -> SimConfig {
+        crate::config::SimConfigBuilder::from(perfect(SimConfig::wsrs(
+            int_regs,
+            AllocPolicy::RandomCommutative,
+            RenameStrategy::ExactCount,
+        )))
+        .threads(2)
+        .deadlock_recovery(true)
+        .build()
+    }
+
+    fn int_loop(iters: i64, regs: std::ops::Range<u8>) -> Assembler {
+        let mut a = Assembler::new();
+        let (i, n) = (Reg::new(60), Reg::new(61));
+        a.li(i, 0);
+        a.li(n, iters);
+        let top = a.bind_label();
+        for k in regs.clone() {
+            a.addi(Reg::new(k), Reg::new(k), 1);
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        a
+    }
+
+    #[test]
+    fn smt_runs_two_threads_to_completion() {
+        // §2.3 motivation: with two threads the machine renames 160 logical
+        // integer registers; 512/4 = 128 per subset violates the static
+        // rule, so the recovery exception must be available.
+        let cfg = smt_cfg(512);
+        assert!(!cfg.renamer.statically_deadlock_free(wsrs_isa::RegClass::Int));
+        let t0 = int_loop(500, 1..6);
+        let t1 = int_loop(400, 10..20);
+        let expect0 = 2 + 500 * 7;
+        let expect1 = 2 + 400 * 12;
+        let r = Simulator::new(cfg).run_smt(vec![
+            Emulator::new(t0.assemble(), 1 << 16),
+            Emulator::new(t1.assemble(), 1 << 16),
+        ]);
+        assert!(!r.deadlocked);
+        assert_eq!(r.per_thread_uops, vec![expect0, expect1]);
+        assert_eq!(r.uops, expect0 + expect1);
+    }
+
+    #[test]
+    fn smt_throughput_exceeds_either_thread_alone() {
+        // Two copies of the same kernel: the shared 8-wide machine must
+        // outrun a single thread (latency hiding), though not reach 2x.
+        let build = || {
+            let mut a = int_loop(1500, 1..5);
+            a.halt();
+            a.assemble()
+        };
+        let single = Simulator::new(perfect(SimConfig::wsrs(
+            512,
+            AllocPolicy::RandomCommutative,
+            RenameStrategy::ExactCount,
+        )))
+        .run(Emulator::new(build(), 1 << 16));
+        let smt = Simulator::new(smt_cfg(512)).run_smt(vec![
+            Emulator::new(build(), 1 << 16),
+            Emulator::new(build(), 1 << 16),
+        ]);
+        assert!(!smt.deadlocked);
+        assert_eq!(smt.uops, 2 * single.uops);
+        let speedup = single.cycles as f64 * 2.0 / smt.cycles as f64;
+        assert!(
+            speedup > 1.05,
+            "SMT should beat serial execution: {speedup:.2}x"
+        );
+        assert!(speedup <= 2.05, "and cannot exceed 2x: {speedup:.2}x");
+    }
+
+    #[test]
+    fn smt_with_one_thread_matches_plain_run() {
+        let mut a = int_loop(800, 1..8);
+        a.halt();
+        let p = a.assemble();
+        let cfg = perfect(SimConfig::wsrs(
+            512,
+            AllocPolicy::RandomCommutative,
+            RenameStrategy::ExactCount,
+        ));
+        let plain = Simulator::new(cfg).run(Emulator::new(p.clone(), 1 << 16));
+        let smt = Simulator::new(cfg).run_smt(vec![Emulator::new(p, 1 << 16)]);
+        assert_eq!(plain.cycles, smt.cycles);
+        assert_eq!(plain.uops, smt.uops);
+    }
+
+    #[test]
+    fn smt_threads_do_not_forward_across_address_spaces() {
+        // Both threads store to the "same" address in their own memories;
+        // each must load back its own value (per-thread store queues and
+        // thread-tagged cache lines).
+        let build = |val: i64| {
+            let mut a = Assembler::new();
+            let (b, v, o, i, n) = (
+                Reg::new(1),
+                Reg::new(2),
+                Reg::new(3),
+                Reg::new(4),
+                Reg::new(5),
+            );
+            a.li(b, 0x1000);
+            a.li(v, val);
+            a.li(i, 0);
+            a.li(n, 200);
+            let top = a.bind_label();
+            a.sw(b, 0, v);
+            a.lw(o, b, 0);
+            a.add(Reg::new(6), Reg::new(6), o);
+            a.addi(i, i, 1);
+            a.blt(i, n, top);
+            a.halt();
+            a.assemble()
+        };
+        let r = Simulator::new(smt_cfg(512)).run_smt(vec![
+            Emulator::new(build(7), 1 << 16),
+            Emulator::new(build(9), 1 << 16),
+        ]);
+        assert!(!r.deadlocked);
+        assert_eq!(r.per_thread_uops[0], r.per_thread_uops[1]);
+        // forwarding still works within each thread
+        assert!(r.store_forwards > 300);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let r = Simulator::new(SimConfig::conventional_rr(256)).run(std::iter::empty());
+        assert_eq!(r.uops, 0);
+        assert_eq!(r.ipc(), 0.0);
+        assert!(!r.deadlocked);
+    }
+
+    #[test]
+    fn single_uop_program_retires() {
+        let mut a = Assembler::new();
+        a.li(Reg::new(1), 42);
+        a.halt();
+        let r = run_cfg(perfect(SimConfig::conventional_rr(256)), a);
+        assert_eq!(r.uops, 1);
+        assert!(r.cycles >= 1);
+    }
+
+    #[test]
+    fn timeline_records_ordered_lifecycle() {
+        let mut a = Assembler::new();
+        let (x, i, n) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        a.li(i, 0);
+        a.li(n, 50);
+        let top = a.bind_label();
+        a.addi(x, x, 1);
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        a.halt();
+        let (report, timeline) = Simulator::new(perfect(SimConfig::conventional_rr(256)))
+            .run_timeline(Emulator::new(a.assemble(), 4096), 64);
+        assert_eq!(timeline.len(), 64);
+        assert!(report.uops > 64);
+        for (k, t) in timeline.iter().enumerate() {
+            assert_eq!(t.seq, k as u64);
+            assert!(t.fetch <= t.dispatch, "uop {k}");
+            assert!(t.dispatch < t.issue, "uop {k}: issue after dispatch");
+            assert!(t.issue < t.complete, "uop {k}");
+            assert!(t.commit >= t.complete, "uop {k}");
+        }
+        // Commits are in program order.
+        for w in timeline.windows(2) {
+            assert!(w[0].commit <= w[1].commit);
+        }
+        // The render is well-formed.
+        let text = crate::pipeview::render(&timeline, 80);
+        assert!(text.lines().count() == 65);
+    }
+
+    #[test]
+    fn predictor_quality_orders_performance() {
+        use wsrs_frontend::PredictorKind;
+        // A periodic, history-learnable branch (taken every third
+        // iteration): gskew learns it, always-taken is wrong two thirds of
+        // the time.
+        let build = || {
+            let mut a = Assembler::new();
+            let (i, n, t, three) = (Reg::new(1), Reg::new(2), Reg::new(4), Reg::new(6));
+            a.li(i, 0);
+            a.li(n, 1500);
+            a.li(three, 3);
+            let top = a.bind_label();
+            a.rem(t, i, three);
+            let skip = a.label();
+            a.beqz(t, skip); // taken every third iteration only
+            a.addi(Reg::new(5), Reg::new(5), 1);
+            a.bind(skip);
+            a.addi(i, i, 1);
+            a.blt(i, n, top);
+            a
+        };
+        let run_with = |kind| {
+            let mut cfg = perfect(SimConfig::conventional_rr(256));
+            cfg.predictor = kind;
+            run_cfg(cfg, build())
+        };
+        let oracle = run_with(PredictorKind::Perfect);
+        let gskew = run_with(PredictorKind::TwoBcGskew512K);
+        let taken = run_with(PredictorKind::AlwaysTaken);
+        assert_eq!(oracle.mispredicts, 0);
+        assert!(oracle.ipc() >= gskew.ipc());
+        assert!(
+            gskew.ipc() > taken.ipc(),
+            "gskew {} vs always-taken {}",
+            gskew.ipc(),
+            taken.ipc()
+        );
+        // Always-taken mispredicts roughly half of the parity branches.
+        assert!(taken.mispredict_rate() > 0.2);
+    }
+
+    /// Builds a kernel that migrates many logical registers between
+    /// subsets — a deadlock generator for undersized subsets.
+    fn migrating_kernel() -> (Assembler, u64) {
+        let mut a = Assembler::new();
+        let (i, n) = (Reg::new(70), Reg::new(71));
+        a.li(i, 0);
+        a.li(n, 400);
+        let top = a.bind_label();
+        for k in 1..50 {
+            a.addi(Reg::new(k), Reg::new(k), 1);
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let uops = 2 + 400 * 51;
+        (a, uops)
+    }
+
+    #[test]
+    fn register_cache_slows_stale_reads_only() {
+        use crate::config::RegCache;
+        // A value produced early and read much later pays the slow-copy
+        // penalty; freshly produced values do not.
+        let kernel = || {
+            let mut a = Assembler::new();
+            let (inv, i, n, x) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+            a.li(inv, 7); // produced once, read forever (stale reads)
+            a.li(i, 0);
+            a.li(n, 2000);
+            let top = a.bind_label();
+            a.add(x, x, inv);
+            a.addi(i, i, 1);
+            a.blt(i, n, top);
+            a
+        };
+        let plain = run_cfg(perfect(SimConfig::conventional_rr(256)), kernel());
+        let cached = run_cfg(
+            perfect(SimConfig::conventional_reg_cache(
+                256,
+                RegCache {
+                    retention_cycles: 16,
+                    slow_read_penalty: 2,
+                },
+            )),
+            kernel(),
+        );
+        assert_eq!(plain.uops, cached.uops);
+        assert!(
+            cached.cycles > plain.cycles,
+            "stale invariant reads must cost: {} vs {}",
+            cached.cycles,
+            plain.cycles
+        );
+        // A fresh-value chain is unaffected by the cache.
+        let fresh = |cfg| {
+            let mut a = Assembler::new();
+            let (i, n, x) = (Reg::new(2), Reg::new(3), Reg::new(4));
+            a.li(i, 0);
+            let top = a.bind_label();
+            a.addi(x, x, 1);
+            a.li(n, 2000); // re-materialized: every operand stays fresh
+            a.addi(i, i, 1);
+            a.blt(i, n, top);
+            run_cfg(cfg, a)
+        };
+        let p = fresh(perfect(SimConfig::conventional_rr(256)));
+        let c = fresh(perfect(SimConfig::conventional_reg_cache(
+            256,
+            RegCache {
+                retention_cycles: 16,
+                slow_read_penalty: 2,
+            },
+        )));
+        // Identical up to a cycle of drain noise (one early read of an
+        // architectural reset value can age out).
+        assert!(
+            c.cycles <= p.cycles + 2,
+            "fresh chains read at cached speed: {} vs {}",
+            c.cycles,
+            p.cycles
+        );
+    }
+
+    #[test]
+    fn exhaustion_avoidance_reduces_deadlocks() {
+        // §2.3 workaround (a): with one spare register per subset, steering
+        // placement freedom away from exhausted subsets lets the same
+        // kernel that wedges under plain RC run much further (or finish).
+        let make = |avoid: bool| {
+            let mut cfg = perfect(SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ));
+            cfg.renamer.int_regs = 84;
+            cfg.renamer.fp_regs = 132;
+            cfg.avoid_exhaustion = avoid;
+            cfg
+        };
+        let (prog, uops) = migrating_kernel();
+        let plain = run_cfg(make(false), prog);
+        let (prog, _) = migrating_kernel();
+        let avoiding = run_cfg(make(true), prog);
+        assert!(
+            avoiding.uops > plain.uops || (!avoiding.deadlocked && avoiding.uops == uops),
+            "avoidance should retire more: {} vs {} (of {uops})",
+            avoiding.uops,
+            plain.uops
+        );
+    }
+
+    #[test]
+    fn deadlock_recovery_completes_what_detection_aborts() {
+        let make = |recovery: bool| {
+            let mut cfg = perfect(SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ));
+            cfg.renamer.int_regs = 84; // 21/subset for 80 logicals: 1 spare
+            cfg.renamer.fp_regs = 132;
+            cfg.deadlock_recovery = recovery;
+            cfg
+        };
+        let (prog, uops) = migrating_kernel();
+        let without = run_cfg(make(false), prog);
+        let (prog, _) = migrating_kernel();
+        let with = run_cfg(make(true), prog);
+        assert!(
+            without.deadlocked,
+            "the 1-spare-register configuration should wedge"
+        );
+        assert!(!with.deadlocked, "recovery should unwedge it");
+        assert_eq!(with.uops, uops, "every µop retires after recovery");
+        assert!(with.deadlock_recoveries > 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Bimodal (per-PC 2-bit counter) predictor.
+
+use crate::counter::CounterTable;
+use crate::DirectionPredictor;
+
+/// The classic bimodal predictor: one 2-bit counter per PC hash bucket.
+///
+/// Serves both as an ablation baseline and as the BIM bank inside
+/// [`crate::TwoBcGskew`].
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: CounterTable,
+}
+
+impl Bimodal {
+    /// A bimodal predictor with `1 << log2_entries` counters.
+    #[must_use]
+    pub fn new(log2_entries: u32) -> Self {
+        Bimodal {
+            table: CounterTable::new(log2_entries),
+        }
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: u64) -> bool {
+        self.table.get(pc).predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        self.table.update(pc, taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut p = Bimodal::new(10);
+        for _ in 0..4 {
+            p.update(100, true);
+        }
+        assert!(p.predict(100));
+        assert!(!p.predict(101), "other PCs unaffected");
+    }
+
+    #[test]
+    fn cannot_learn_alternating_pattern() {
+        // Bimodal mispredicts heavily on strict alternation — this is the
+        // behaviour gshare/gskew improve upon.
+        let mut p = Bimodal::new(10);
+        let mut wrong = 0;
+        let mut taken = false;
+        for _ in 0..100 {
+            if p.predict(7) != taken {
+                wrong += 1;
+            }
+            p.update(7, taken);
+            taken = !taken;
+        }
+        assert!(wrong >= 50);
+    }
+
+    #[test]
+    fn storage_budget() {
+        assert_eq!(Bimodal::new(16).storage_bits(), 2 << 16);
+    }
+}

@@ -1,0 +1,82 @@
+//! Gshare (global-history XOR PC) predictor, used for ablations.
+
+use crate::counter::CounterTable;
+use crate::DirectionPredictor;
+
+/// The gshare predictor: global branch history XORed with the PC indexes a
+/// single counter table.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    table: CounterTable,
+    history: u64,
+    history_bits: u32,
+}
+
+impl Gshare {
+    /// A gshare with `1 << log2_entries` counters and `history_bits` bits of
+    /// global history (clamped to `log2_entries`).
+    #[must_use]
+    pub fn new(log2_entries: u32, history_bits: u32) -> Self {
+        Gshare {
+            table: CounterTable::new(log2_entries),
+            history: 0,
+            history_bits: history_bits.min(log2_entries),
+        }
+    }
+
+    fn index(&self, pc: u64) -> u64 {
+        let hist_mask = (1u64 << self.history_bits) - 1;
+        pc ^ (self.history & hist_mask)
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&self, pc: u64) -> bool {
+        self.table.get(self.index(pc)).predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table.update(idx, taken);
+        self.history = (self.history << 1) | u64::from(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Accuracy;
+
+    #[test]
+    fn learns_alternating_pattern() {
+        let mut p = Gshare::new(12, 8);
+        let mut acc = Accuracy::default();
+        let mut taken = false;
+        for _ in 0..2000 {
+            acc.observe(&mut p, 7, taken);
+            taken = !taken;
+        }
+        assert!(
+            acc.rate() > 0.95,
+            "gshare should learn alternation, got {}",
+            acc.rate()
+        );
+    }
+
+    #[test]
+    fn learns_loop_exit_pattern() {
+        // taken 7 times then not-taken once, repeatedly (8-iteration loop).
+        let mut p = Gshare::new(14, 10);
+        let mut acc = Accuracy::default();
+        for _ in 0..500 {
+            for i in 0..8 {
+                acc.observe(&mut p, 42, i != 7);
+            }
+        }
+        assert!(acc.rate() > 0.95, "got {}", acc.rate());
+    }
+}

@@ -1,0 +1,101 @@
+//! Predictor selection for the simulator configuration.
+
+use crate::{Bimodal, DirectionPredictor, Gshare, TwoBcGskew};
+
+/// A trivial static predictor (always taken) — the floor any dynamic
+/// predictor must beat; backward branches in loops make "always taken"
+/// surprisingly serviceable on loopy numeric codes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysTaken;
+
+impl DirectionPredictor for AlwaysTaken {
+    fn predict(&self, _pc: u64) -> bool {
+        true
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+
+    fn storage_bits(&self) -> usize {
+        0
+    }
+}
+
+/// Which conditional-branch direction predictor the simulated front end
+/// uses. The paper's evaluation uses [`PredictorKind::TwoBcGskew512K`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PredictorKind {
+    /// The paper's EV8-class 512 Kbit 2Bc-gskew.
+    TwoBcGskew512K,
+    /// A 64 K-entry gshare (128 Kbit) — a weaker, cheaper alternative.
+    Gshare64K,
+    /// A 64 K-entry bimodal (128 Kbit).
+    Bimodal64K,
+    /// Static always-taken.
+    AlwaysTaken,
+    /// Oracle: no branch ever mispredicts. Isolates the cost of the
+    /// front-end pipeline depth from prediction quality.
+    Perfect,
+}
+
+impl PredictorKind {
+    /// Builds the predictor; `None` means oracle (the caller skips
+    /// prediction entirely).
+    #[must_use]
+    pub fn build(self) -> Option<Box<dyn DirectionPredictor>> {
+        match self {
+            PredictorKind::TwoBcGskew512K => Some(Box::new(TwoBcGskew::ev8_budget())),
+            PredictorKind::Gshare64K => Some(Box::new(Gshare::new(16, 14))),
+            PredictorKind::Bimodal64K => Some(Box::new(Bimodal::new(16))),
+            PredictorKind::AlwaysTaken => Some(Box::new(AlwaysTaken)),
+            PredictorKind::Perfect => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PredictorKind::TwoBcGskew512K => "2bcgskew-512k",
+            PredictorKind::Gshare64K => "gshare-64k",
+            PredictorKind::Bimodal64K => "bimodal-64k",
+            PredictorKind::AlwaysTaken => "always-taken",
+            PredictorKind::Perfect => "perfect",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_kinds() {
+        assert!(PredictorKind::TwoBcGskew512K.build().is_some());
+        assert!(PredictorKind::Gshare64K.build().is_some());
+        assert!(PredictorKind::Bimodal64K.build().is_some());
+        assert!(PredictorKind::AlwaysTaken.build().is_some());
+        assert!(PredictorKind::Perfect.build().is_none());
+    }
+
+    #[test]
+    fn storage_budgets() {
+        assert_eq!(
+            PredictorKind::TwoBcGskew512K.build().unwrap().storage_bits(),
+            512 * 1024
+        );
+        assert_eq!(
+            PredictorKind::Gshare64K.build().unwrap().storage_bits(),
+            128 * 1024
+        );
+        assert_eq!(PredictorKind::AlwaysTaken.build().unwrap().storage_bits(), 0);
+    }
+
+    #[test]
+    fn always_taken_is_static() {
+        let mut p = AlwaysTaken;
+        assert!(p.predict(1));
+        p.update(1, false);
+        assert!(p.predict(1), "no learning");
+    }
+}

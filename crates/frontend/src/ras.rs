@@ -1,0 +1,106 @@
+//! Return-address stack.
+//!
+//! The paper assumes procedure returns are predicted "almost perfectly with
+//! a return stack" (§5.2) and charges no target-misprediction penalty. The
+//! timing simulator therefore uses perfect targets; this component exists so
+//! the front end is complete and its accuracy claims are testable.
+
+/// A bounded return-address stack with wrap-around overwrite (like real
+/// hardware: deep recursion silently loses the oldest entries).
+#[derive(Clone, Debug)]
+pub struct ReturnStack {
+    entries: Vec<u64>,
+    top: usize,
+    depth: usize,
+    capacity: usize,
+}
+
+impl ReturnStack {
+    /// A return stack holding up to `capacity` addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "return stack capacity must be positive");
+        ReturnStack {
+            entries: vec![0; capacity],
+            top: 0,
+            depth: 0,
+            capacity,
+        }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, addr: u64) {
+        self.entries[self.top] = addr;
+        self.top = (self.top + 1) % self.capacity;
+        self.depth = (self.depth + 1).min(self.capacity);
+    }
+
+    /// Pops the predicted return address (on a return); `None` when the
+    /// stack has underflowed.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        self.top = (self.top + self.capacity - 1) % self.capacity;
+        self.depth -= 1;
+        Some(self.entries[self.top])
+    }
+
+    /// Current number of live entries.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnStack::new(8);
+        r.push(10);
+        r.push(20);
+        assert_eq!(r.pop(), Some(20));
+        assert_eq!(r.pop(), Some(10));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = ReturnStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = ReturnStack::new(0);
+    }
+
+    #[test]
+    fn matched_call_return_nesting_is_perfect() {
+        let mut r = ReturnStack::new(16);
+        // simulate 3-deep nesting repeated
+        for _ in 0..10 {
+            r.push(100);
+            r.push(200);
+            r.push(300);
+            assert_eq!(r.pop(), Some(300));
+            assert_eq!(r.pop(), Some(200));
+            assert_eq!(r.pop(), Some(100));
+        }
+        assert_eq!(r.depth(), 0);
+    }
+}

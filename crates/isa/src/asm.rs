@@ -1,0 +1,556 @@
+//! A typed, label-based program builder ("assembler").
+//!
+//! Workload kernels are written against this API; it resolves forward
+//! branches and rejects use of the reserved µop scratch register.
+//!
+//! # Example
+//!
+//! ```
+//! use wsrs_isa::{Assembler, Reg};
+//!
+//! let mut a = Assembler::new();
+//! let r1 = Reg::new(1);
+//! a.li(r1, 5);
+//! let done = a.label();
+//! a.beqz(r1, done);
+//! a.addi(r1, r1, -1);
+//! a.bind(done);
+//! a.halt();
+//! let program = a.assemble();
+//! assert_eq!(program.len(), 4);
+//! ```
+
+use crate::inst::Inst;
+use crate::op::Opcode;
+use crate::program::{Label, Program};
+use crate::reg::{Freg, Reg, SCRATCH_REG};
+
+/// Builder for [`Program`]s. See the [module documentation](self).
+#[derive(Debug, Default)]
+pub struct Assembler {
+    insts: Vec<Inst>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Label)>,
+    data: Vec<(u64, u64)>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len());
+    }
+
+    /// Allocates a label and binds it to the next instruction in one step.
+    pub fn bind_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Current instruction index (the index the next emitted instruction
+    /// will get).
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Installs an initial 64-bit word at byte address `addr` (8-byte
+    /// aligned) in the emulated memory image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn data_word(&mut self, addr: u64, value: u64) {
+        assert_eq!(addr % 8, 0, "data word address must be 8-byte aligned");
+        self.data.push((addr, value));
+    }
+
+    /// Installs an initial `f64` at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn data_f64(&mut self, addr: u64, value: f64) {
+        self.data_word(addr, value.to_bits());
+    }
+
+    /// Finishes assembly, resolving all branch targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    #[must_use]
+    pub fn assemble(mut self) -> Program {
+        for (inst_idx, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("label {label:?} referenced but never bound"));
+            self.insts[inst_idx].target = Some(target);
+        }
+        Program::new(self.insts, self.data)
+    }
+
+    // ---- emission helpers ----
+
+    fn check(r: Reg) -> Reg {
+        assert!(
+            r != SCRATCH_REG,
+            "register {r} is reserved for µop cracking"
+        );
+        r
+    }
+
+    fn push(&mut self, i: Inst) {
+        self.insts.push(i);
+    }
+
+    fn rrr(&mut self, op: Opcode, rd: Reg, ra: Reg, rb: Reg) {
+        let mut i = Inst::new(op);
+        i.rd = Some(Self::check(rd).into());
+        i.ra = Some(Self::check(ra).into());
+        i.rb = Some(Self::check(rb).into());
+        self.push(i);
+    }
+
+    fn rri(&mut self, op: Opcode, rd: Reg, ra: Reg, imm: i64) {
+        let mut i = Inst::new(op);
+        i.rd = Some(Self::check(rd).into());
+        i.ra = Some(Self::check(ra).into());
+        i.imm = imm;
+        self.push(i);
+    }
+
+    fn fff(&mut self, op: Opcode, fd: Freg, fa: Freg, fb: Freg) {
+        let mut i = Inst::new(op);
+        i.rd = Some(fd.into());
+        i.ra = Some(fa.into());
+        i.rb = Some(fb.into());
+        self.push(i);
+    }
+
+    fn ff(&mut self, op: Opcode, fd: Freg, fa: Freg) {
+        let mut i = Inst::new(op);
+        i.rd = Some(fd.into());
+        i.ra = Some(fa.into());
+        self.push(i);
+    }
+
+    fn branch_rr(&mut self, op: Opcode, ra: Reg, rb: Reg, target: Label) {
+        let mut i = Inst::new(op);
+        i.ra = Some(Self::check(ra).into());
+        i.rb = Some(Self::check(rb).into());
+        self.fixups.push((self.insts.len(), target));
+        self.push(i);
+    }
+
+    fn branch_r(&mut self, op: Opcode, ra: Reg, target: Label) {
+        let mut i = Inst::new(op);
+        i.ra = Some(Self::check(ra).into());
+        self.fixups.push((self.insts.len(), target));
+        self.push(i);
+    }
+
+    // ---- integer ALU, register-register ----
+
+    /// `rd = ra + rb`
+    pub fn add(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Add, rd, ra, rb);
+    }
+    /// `rd = ra - rb`
+    pub fn sub(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Sub, rd, ra, rb);
+    }
+    /// `rd = ra & rb`
+    pub fn and(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::And, rd, ra, rb);
+    }
+    /// `rd = ra | rb`
+    pub fn or(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Or, rd, ra, rb);
+    }
+    /// `rd = ra ^ rb`
+    pub fn xor(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Xor, rd, ra, rb);
+    }
+    /// `rd = ra << (rb & 63)`
+    pub fn sll(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Sll, rd, ra, rb);
+    }
+    /// `rd = (ra as u64) >> (rb & 63)`
+    pub fn srl(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Srl, rd, ra, rb);
+    }
+    /// `rd = ra >> (rb & 63)` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Sra, rd, ra, rb);
+    }
+    /// `rd = (ra < rb) as i64` (signed)
+    pub fn slt(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Slt, rd, ra, rb);
+    }
+    /// `rd = ((ra as u64) < (rb as u64)) as i64`
+    pub fn sltu(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Sltu, rd, ra, rb);
+    }
+    /// `rd = min(ra, rb)` (signed)
+    pub fn min(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Min, rd, ra, rb);
+    }
+    /// `rd = max(ra, rb)` (signed)
+    pub fn max(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Max, rd, ra, rb);
+    }
+    /// `rd = ra * rb`
+    pub fn mul(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Mul, rd, ra, rb);
+    }
+    /// `rd = ra / rb` (signed; `x / 0 == 0`)
+    pub fn div(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Div, rd, ra, rb);
+    }
+    /// `rd = ra % rb` (signed; `x % 0 == 0`)
+    pub fn rem(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::Rem, rd, ra, rb);
+    }
+
+    // ---- integer ALU, immediate forms ----
+
+    /// `rd = ra + imm`
+    pub fn addi(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.rri(Opcode::Addi, rd, ra, imm);
+    }
+    /// `rd = ra & imm`
+    pub fn andi(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.rri(Opcode::Andi, rd, ra, imm);
+    }
+    /// `rd = ra | imm`
+    pub fn ori(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.rri(Opcode::Ori, rd, ra, imm);
+    }
+    /// `rd = ra ^ imm`
+    pub fn xori(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.rri(Opcode::Xori, rd, ra, imm);
+    }
+    /// `rd = ra << imm`
+    pub fn slli(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.rri(Opcode::Slli, rd, ra, imm);
+    }
+    /// `rd = (ra as u64) >> imm`
+    pub fn srli(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.rri(Opcode::Srli, rd, ra, imm);
+    }
+    /// `rd = ra >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.rri(Opcode::Srai, rd, ra, imm);
+    }
+    /// `rd = (ra < imm) as i64` (signed)
+    pub fn slti(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.rri(Opcode::Slti, rd, ra, imm);
+    }
+
+    // ---- moves and unary ----
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        let mut i = Inst::new(Opcode::Li);
+        i.rd = Some(Self::check(rd).into());
+        i.imm = imm;
+        self.push(i);
+    }
+    /// `rd = ra`
+    pub fn mov(&mut self, rd: Reg, ra: Reg) {
+        let mut i = Inst::new(Opcode::Mov);
+        i.rd = Some(Self::check(rd).into());
+        i.ra = Some(Self::check(ra).into());
+        self.push(i);
+    }
+    /// `rd = !ra`
+    pub fn not(&mut self, rd: Reg, ra: Reg) {
+        let mut i = Inst::new(Opcode::Not);
+        i.rd = Some(Self::check(rd).into());
+        i.ra = Some(Self::check(ra).into());
+        self.push(i);
+    }
+    /// `rd = -ra`
+    pub fn neg(&mut self, rd: Reg, ra: Reg) {
+        let mut i = Inst::new(Opcode::Neg);
+        i.rd = Some(Self::check(rd).into());
+        i.ra = Some(Self::check(ra).into());
+        self.push(i);
+    }
+    /// `rd = popcount(ra)`
+    pub fn popc(&mut self, rd: Reg, ra: Reg) {
+        let mut i = Inst::new(Opcode::Popc);
+        i.rd = Some(Self::check(rd).into());
+        i.ra = Some(Self::check(ra).into());
+        self.push(i);
+    }
+
+    // ---- memory ----
+
+    /// `rd = mem[ra + imm]`
+    pub fn lw(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.rri(Opcode::Lw, rd, ra, imm);
+    }
+    /// `rd = mem[ra + rb]`
+    pub fn lw_idx(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.rrr(Opcode::LwIdx, rd, ra, rb);
+    }
+    /// `mem[ra + imm] = rb`
+    pub fn sw(&mut self, ra: Reg, imm: i64, rb: Reg) {
+        let mut i = Inst::new(Opcode::Sw);
+        i.ra = Some(Self::check(ra).into());
+        i.rb = Some(Self::check(rb).into());
+        i.imm = imm;
+        self.push(i);
+    }
+    /// `mem[ra + rb] = rc` — cracked into two µops by the decoder.
+    pub fn sw_idx(&mut self, ra: Reg, rb: Reg, rc: Reg) {
+        let mut i = Inst::new(Opcode::SwIdx);
+        i.ra = Some(Self::check(ra).into());
+        i.rb = Some(Self::check(rb).into());
+        i.rc = Some(Self::check(rc).into());
+        self.push(i);
+    }
+    /// `fd = mem[ra + imm]`
+    pub fn lf(&mut self, fd: Freg, ra: Reg, imm: i64) {
+        let mut i = Inst::new(Opcode::Lf);
+        i.rd = Some(fd.into());
+        i.ra = Some(Self::check(ra).into());
+        i.imm = imm;
+        self.push(i);
+    }
+    /// `fd = mem[ra + rb]`
+    pub fn lf_idx(&mut self, fd: Freg, ra: Reg, rb: Reg) {
+        let mut i = Inst::new(Opcode::LfIdx);
+        i.rd = Some(fd.into());
+        i.ra = Some(Self::check(ra).into());
+        i.rb = Some(Self::check(rb).into());
+        self.push(i);
+    }
+    /// `mem[ra + imm] = fb`
+    pub fn sf(&mut self, ra: Reg, imm: i64, fb: Freg) {
+        let mut i = Inst::new(Opcode::Sf);
+        i.ra = Some(Self::check(ra).into());
+        i.rb = Some(fb.into());
+        i.imm = imm;
+        self.push(i);
+    }
+
+    // ---- floating point ----
+
+    /// `fd = fa + fb`
+    pub fn fadd(&mut self, fd: Freg, fa: Freg, fb: Freg) {
+        self.fff(Opcode::Fadd, fd, fa, fb);
+    }
+    /// `fd = fa - fb`
+    pub fn fsub(&mut self, fd: Freg, fa: Freg, fb: Freg) {
+        self.fff(Opcode::Fsub, fd, fa, fb);
+    }
+    /// `fd = fa * fb`
+    pub fn fmul(&mut self, fd: Freg, fa: Freg, fb: Freg) {
+        self.fff(Opcode::Fmul, fd, fa, fb);
+    }
+    /// `fd = fa / fb`
+    pub fn fdiv(&mut self, fd: Freg, fa: Freg, fb: Freg) {
+        self.fff(Opcode::Fdiv, fd, fa, fb);
+    }
+    /// `fd = sqrt(fa)`
+    pub fn fsqrt(&mut self, fd: Freg, fa: Freg) {
+        self.ff(Opcode::Fsqrt, fd, fa);
+    }
+    /// `fd = -fa`
+    pub fn fneg(&mut self, fd: Freg, fa: Freg) {
+        self.ff(Opcode::Fneg, fd, fa);
+    }
+    /// `fd = |fa|`
+    pub fn fabs(&mut self, fd: Freg, fa: Freg) {
+        self.ff(Opcode::Fabs, fd, fa);
+    }
+    /// `fd = fa`
+    pub fn fmov(&mut self, fd: Freg, fa: Freg) {
+        self.ff(Opcode::Fmov, fd, fa);
+    }
+    /// `fd = ra as f64`
+    pub fn fcvt(&mut self, fd: Freg, ra: Reg) {
+        let mut i = Inst::new(Opcode::Fcvt);
+        i.rd = Some(fd.into());
+        i.ra = Some(Self::check(ra).into());
+        self.push(i);
+    }
+    /// `rd = fa as i64`
+    pub fn ficvt(&mut self, rd: Reg, fa: Freg) {
+        let mut i = Inst::new(Opcode::Ficvt);
+        i.rd = Some(Self::check(rd).into());
+        i.ra = Some(fa.into());
+        self.push(i);
+    }
+    /// `rd = (fa < fb) as i64`
+    pub fn fcmplt(&mut self, rd: Reg, fa: Freg, fb: Freg) {
+        let mut i = Inst::new(Opcode::Fcmplt);
+        i.rd = Some(Self::check(rd).into());
+        i.ra = Some(fa.into());
+        i.rb = Some(fb.into());
+        self.push(i);
+    }
+    /// `rd = (fa == fb) as i64`
+    pub fn fcmpeq(&mut self, rd: Reg, fa: Freg, fb: Freg) {
+        let mut i = Inst::new(Opcode::Fcmpeq);
+        i.rd = Some(Self::check(rd).into());
+        i.ra = Some(fa.into());
+        i.rb = Some(fb.into());
+        self.push(i);
+    }
+
+    // ---- control flow ----
+
+    /// Branch to `target` if `ra == rb`.
+    pub fn beq(&mut self, ra: Reg, rb: Reg, target: Label) {
+        self.branch_rr(Opcode::Beq, ra, rb, target);
+    }
+    /// Branch to `target` if `ra != rb`.
+    pub fn bne(&mut self, ra: Reg, rb: Reg, target: Label) {
+        self.branch_rr(Opcode::Bne, ra, rb, target);
+    }
+    /// Branch to `target` if `ra < rb` (signed).
+    pub fn blt(&mut self, ra: Reg, rb: Reg, target: Label) {
+        self.branch_rr(Opcode::Blt, ra, rb, target);
+    }
+    /// Branch to `target` if `ra >= rb` (signed).
+    pub fn bge(&mut self, ra: Reg, rb: Reg, target: Label) {
+        self.branch_rr(Opcode::Bge, ra, rb, target);
+    }
+    /// Branch to `target` if `ra == 0`.
+    pub fn beqz(&mut self, ra: Reg, target: Label) {
+        self.branch_r(Opcode::Beqz, ra, target);
+    }
+    /// Branch to `target` if `ra != 0`.
+    pub fn bnez(&mut self, ra: Reg, target: Label) {
+        self.branch_r(Opcode::Bnez, ra, target);
+    }
+    /// Unconditional jump to `target`.
+    pub fn jump(&mut self, target: Label) {
+        let i = Inst::new(Opcode::Jump);
+        self.fixups.push((self.insts.len(), target));
+        self.push(i);
+    }
+    /// Call `target`: writes the return instruction index to the link
+    /// register, then jumps.
+    pub fn call(&mut self, target: Label) {
+        let mut i = Inst::new(Opcode::Call);
+        i.rd = Some(crate::reg::LINK_REG.into());
+        self.fixups.push((self.insts.len(), target));
+        self.push(i);
+    }
+    /// Return: indirect jump through the link register.
+    pub fn ret(&mut self) {
+        let mut i = Inst::new(Opcode::Ret);
+        i.ra = Some(crate::reg::LINK_REG.into());
+        self.push(i);
+    }
+    /// Indirect jump through `ra` (the register holds an instruction index).
+    pub fn jump_reg(&mut self, ra: Reg) {
+        let mut i = Inst::new(Opcode::JumpReg);
+        i.ra = Some(Self::check(ra).into());
+        self.push(i);
+    }
+    /// Stops emulation.
+    pub fn halt(&mut self) {
+        self.push(Inst::new(Opcode::Halt));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{LINK_REG, NUM_INT_REGS};
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new();
+        let r1 = Reg::new(1);
+        let back = a.bind_label();
+        let fwd = a.label();
+        a.beqz(r1, fwd);
+        a.jump(back);
+        a.bind(fwd);
+        a.halt();
+        let p = a.assemble();
+        assert_eq!(p.get(0).unwrap().target, Some(2));
+        assert_eq!(p.get(1).unwrap().target, Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut a = Assembler::new();
+        let l = a.label();
+        a.jump(l);
+        let _ = a.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn scratch_register_rejected() {
+        let mut a = Assembler::new();
+        let scratch = Reg::new(NUM_INT_REGS - 1);
+        a.li(scratch, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Assembler::new();
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn call_writes_link_register() {
+        let mut a = Assembler::new();
+        let f = a.label();
+        a.call(f);
+        a.bind(f);
+        a.ret();
+        let p = a.assemble();
+        assert_eq!(p.get(0).unwrap().rd, Some(LINK_REG.into()));
+        assert_eq!(p.get(1).unwrap().ra, Some(LINK_REG.into()));
+    }
+
+    #[test]
+    fn data_words_recorded() {
+        let mut a = Assembler::new();
+        a.data_word(64, 7);
+        a.data_f64(72, 1.5);
+        a.halt();
+        let p = a.assemble();
+        assert_eq!(p.data().len(), 2);
+        assert_eq!(p.data()[0], (64, 7));
+        assert_eq!(p.data()[1], (72, 1.5f64.to_bits()));
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_data_panics() {
+        let mut a = Assembler::new();
+        a.data_word(3, 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Textual disassembly of instructions and dynamic µops — the debugging
+//! surface for kernels and traces.
+//!
+//! [`Inst`] and [`DynInst`] get `Display` implementations through the
+//! functions here (kept out of the type modules so the formatting rules
+//! live in one place). The syntax mirrors the assembler API:
+//!
+//! ```text
+//! add r3, r1, r2
+//! lw r4, [r1+16]
+//! sw [r1+8], r2
+//! blt r1, r2, @12
+//! fmul f2, f0, f1
+//! ```
+
+use crate::dyninst::DynInst;
+use crate::inst::Inst;
+use crate::op::Opcode;
+use std::fmt;
+
+/// Formats a static instruction.
+pub fn fmt_inst(i: &Inst, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let op = format!("{:?}", i.op).to_lowercase();
+    use Opcode::*;
+    match i.op {
+        Lw | LwIdx | Lf | LfIdx => {
+            let dst = i.rd.expect("loads have destinations");
+            match i.op {
+                Lw | Lf => write!(f, "{op} {dst}, [{}{:+}]", i.ra.unwrap(), i.imm),
+                _ => write!(f, "{op} {dst}, [{}+{}]", i.ra.unwrap(), i.rb.unwrap()),
+            }
+        }
+        Sw | Sf => write!(f, "{op} [{}{:+}], {}", i.ra.unwrap(), i.imm, i.rb.unwrap()),
+        SwIdx => write!(
+            f,
+            "{op} [{}+{}], {}",
+            i.ra.unwrap(),
+            i.rb.unwrap(),
+            i.rc.unwrap()
+        ),
+        Beq | Bne | Blt | Bge => write!(
+            f,
+            "{op} {}, {}, @{}",
+            i.ra.unwrap(),
+            i.rb.unwrap(),
+            i.target.map_or(-1, |t| t as i64)
+        ),
+        Beqz | Bnez => write!(
+            f,
+            "{op} {}, @{}",
+            i.ra.unwrap(),
+            i.target.map_or(-1, |t| t as i64)
+        ),
+        Jump | Call => write!(f, "{op} @{}", i.target.map_or(-1, |t| t as i64)),
+        Ret => write!(f, "ret"),
+        JumpReg => write!(f, "{op} {}", i.ra.unwrap()),
+        Halt => write!(f, "halt"),
+        Li => write!(f, "{op} {}, {}", i.rd.unwrap(), i.imm),
+        _ => {
+            // Generic register/immediate forms.
+            write!(f, "{op}")?;
+            let mut first = true;
+            for r in [i.rd, i.ra, i.rb].into_iter().flatten() {
+                write!(f, "{} {r}", if first { "" } else { "," })?;
+                first = false;
+            }
+            // Immediate forms carry the constant last.
+            if matches!(
+                i.op,
+                Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti
+            ) {
+                write!(f, ", {}", i.imm)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Formats a dynamic µop with its runtime annotations.
+pub fn fmt_dyninst(d: &DynInst, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let op = format!("{:?}", d.op).to_lowercase();
+    write!(f, "[{:>6}]{} {op}", d.pc, if d.uop > 0 { "+" } else { " " })?;
+    if let Some(dst) = d.dst {
+        write!(f, " {dst} <-")?;
+    }
+    for s in d.srcs.iter().flatten() {
+        write!(f, " {s}")?;
+    }
+    if let Some(a) = d.eff_addr {
+        write!(f, " @{a:#x}")?;
+    }
+    if d.is_control() {
+        write!(f, " {}→{}", if d.taken { "T" } else { "N" }, d.target)?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_inst(self, f)
+    }
+}
+
+impl fmt::Display for DynInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_dyninst(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::asm::Assembler;
+    use crate::emu::Emulator;
+    use crate::reg::{Freg, Reg};
+
+    fn disasm_all(a: Assembler) -> Vec<String> {
+        a.assemble().iter().map(|i| i.to_string()).collect()
+    }
+
+    #[test]
+    fn arithmetic_forms() {
+        let mut a = Assembler::new();
+        let (r1, r2, r3) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        a.add(r3, r1, r2);
+        a.addi(r3, r1, -5);
+        a.li(r1, 42);
+        let t = disasm_all(a);
+        assert_eq!(t[0], "add r3, r1, r2");
+        assert_eq!(t[1], "addi r3, r1, -5");
+        assert_eq!(t[2], "li r1, 42");
+    }
+
+    #[test]
+    fn memory_forms() {
+        let mut a = Assembler::new();
+        let (r1, r2, r3) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        a.lw(r3, r1, 16);
+        a.sw(r1, 8, r2);
+        a.sw_idx(r1, r2, r3);
+        a.lf(Freg::new(0), r1, 0);
+        let t = disasm_all(a);
+        assert_eq!(t[0], "lw r3, [r1+16]");
+        assert_eq!(t[1], "sw [r1+8], r2");
+        assert_eq!(t[2], "swidx [r1+r2], r3");
+        assert_eq!(t[3], "lf f0, [r1+0]");
+    }
+
+    #[test]
+    fn control_forms() {
+        let mut a = Assembler::new();
+        let r1 = Reg::new(1);
+        let l = a.label();
+        a.beqz(r1, l);
+        a.bind(l);
+        a.ret();
+        let t = disasm_all(a);
+        assert_eq!(t[0], "beqz r1, @1");
+        assert_eq!(t[1], "ret");
+    }
+
+    #[test]
+    fn dyninst_annotations() {
+        let mut a = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        a.li(r1, 0x100);
+        a.lw(r2, r1, 8);
+        let back = a.label();
+        a.bnez(r2, back);
+        a.bind(back);
+        a.halt();
+        let trace: Vec<String> = Emulator::new(a.assemble(), 4096)
+            .map(|d| d.to_string())
+            .collect();
+        assert!(trace[0].contains("li r1"));
+        assert!(trace[1].contains("@0x108"), "{}", trace[1]);
+        assert!(trace[2].contains("N→3") || trace[2].contains("T→"), "{}", trace[2]);
+    }
+
+    #[test]
+    fn every_opcode_formats_without_panicking() {
+        // Exercise the whole mix of a real kernel through Display.
+        let mut a = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        let f0 = Freg::new(0);
+        a.li(r1, 1);
+        a.mul(r2, r1, r1);
+        a.div(r2, r2, r1);
+        a.popc(r2, r1);
+        a.fcvt(f0, r1);
+        a.fsqrt(f0, f0);
+        a.ficvt(r2, f0);
+        a.fcmplt(r2, f0, f0);
+        a.jump_reg(r1);
+        for line in disasm_all(a) {
+            assert!(!line.is_empty());
+        }
+    }
+}

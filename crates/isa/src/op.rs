@@ -1,0 +1,413 @@
+//! Opcodes, execution classes and operand-arity metadata.
+//!
+//! The WSRS cluster-allocation machinery cares about exactly two static
+//! properties of an instruction (paper §3.3):
+//!
+//! * its **dynamic register arity** — how many *register* operands it reads
+//!   (immediates do not count): [`Arity::Noadic`], [`Arity::Monadic`] or
+//!   [`Arity::Dyadic`];
+//! * whether its two register operands may be **swapped** (commutative
+//!   operations, or any dyadic operation once the functional units execute
+//!   "both forms", e.g. `A-B` and `-A+B`).
+//!
+//! The timing simulator additionally needs the [`OpClass`] (which functional
+//! unit executes it and with which latency, paper Table 2).
+
+use std::fmt;
+
+/// Every static instruction opcode of the ISA.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[non_exhaustive]
+pub enum Opcode {
+    // ---- integer ALU, register-register (dyadic) ----
+    /// `rd = ra + rb`
+    Add,
+    /// `rd = ra - rb`
+    Sub,
+    /// `rd = ra & rb`
+    And,
+    /// `rd = ra | rb`
+    Or,
+    /// `rd = ra ^ rb`
+    Xor,
+    /// `rd = ra << (rb & 63)`
+    Sll,
+    /// `rd = (ra as u64) >> (rb & 63)`
+    Srl,
+    /// `rd = ra >> (rb & 63)` (arithmetic)
+    Sra,
+    /// `rd = if ra < rb { 1 } else { 0 }` (signed)
+    Slt,
+    /// `rd = if (ra as u64) < (rb as u64) { 1 } else { 0 }`
+    Sltu,
+    /// `rd = min(ra, rb)` (signed)
+    Min,
+    /// `rd = max(ra, rb)` (signed)
+    Max,
+
+    // ---- integer ALU, register-immediate (monadic) ----
+    /// `rd = ra + imm`
+    Addi,
+    /// `rd = ra & imm`
+    Andi,
+    /// `rd = ra | imm`
+    Ori,
+    /// `rd = ra ^ imm`
+    Xori,
+    /// `rd = ra << imm`
+    Slli,
+    /// `rd = (ra as u64) >> imm`
+    Srli,
+    /// `rd = ra >> imm` (arithmetic)
+    Srai,
+    /// `rd = if ra < imm { 1 } else { 0 }` (signed)
+    Slti,
+
+    // ---- integer ALU, other ----
+    /// `rd = imm` (noadic)
+    Li,
+    /// `rd = ra` (monadic)
+    Mov,
+    /// `rd = !ra` (monadic)
+    Not,
+    /// `rd = -ra` (monadic)
+    Neg,
+    /// `rd = popcount(ra)` (monadic; crafty-style bitboard work)
+    Popc,
+
+    // ---- long-latency integer (dyadic) ----
+    /// `rd = ra * rb`
+    Mul,
+    /// `rd = ra / rb` (signed; division by zero yields 0)
+    Div,
+    /// `rd = ra % rb` (signed; modulo zero yields 0)
+    Rem,
+
+    // ---- memory (integer) ----
+    /// `rd = mem[ra + imm]` (monadic load)
+    Lw,
+    /// `rd = mem[ra + rb]` (dyadic indexed load)
+    LwIdx,
+    /// `mem[ra + imm] = rb` (dyadic store: address base + data)
+    Sw,
+    /// `mem[ra + rb] = rc` — three register operands; the decoder cracks it
+    /// into an address-generation µop plus a plain [`Opcode::Sw`] (paper
+    /// §5.1.1).
+    SwIdx,
+
+    // ---- memory (floating-point) ----
+    /// `fd = mem[ra + imm]` (monadic FP load; int base register)
+    Lf,
+    /// `fd = mem[ra + rb]` (dyadic indexed FP load)
+    LfIdx,
+    /// `mem[ra + imm] = fb` (dyadic FP store)
+    Sf,
+
+    // ---- floating point ----
+    /// `fd = fa + fb`
+    Fadd,
+    /// `fd = fa - fb`
+    Fsub,
+    /// `fd = fa * fb`
+    Fmul,
+    /// `fd = fa / fb`
+    Fdiv,
+    /// `fd = sqrt(fa)` (monadic)
+    Fsqrt,
+    /// `fd = -fa` (monadic)
+    Fneg,
+    /// `fd = |fa|` (monadic)
+    Fabs,
+    /// `fd = fa` (monadic)
+    Fmov,
+    /// `fd = fa as f64` from integer register `ra` (monadic, int → fp)
+    Fcvt,
+    /// `rd = fa as i64` (monadic, fp → int)
+    Ficvt,
+    /// `rd = if fa < fb { 1 } else { 0 }` (dyadic FP compare → int reg)
+    Fcmplt,
+    /// `rd = if fa == fb { 1 } else { 0 }` (dyadic FP compare → int reg)
+    Fcmpeq,
+
+    // ---- control flow ----
+    /// branch if `ra == rb` (dyadic)
+    Beq,
+    /// branch if `ra != rb` (dyadic)
+    Bne,
+    /// branch if `ra < rb` signed (dyadic)
+    Blt,
+    /// branch if `ra >= rb` signed (dyadic)
+    Bge,
+    /// branch if `ra == 0` (monadic)
+    Beqz,
+    /// branch if `ra != 0` (monadic)
+    Bnez,
+    /// unconditional PC-relative jump (noadic)
+    Jump,
+    /// call: writes the return address to the link register (noadic, has dest)
+    Call,
+    /// return: indirect jump through the link register (monadic)
+    Ret,
+    /// indirect jump through `ra` (monadic); targets come from a jump table
+    JumpReg,
+
+    /// terminates emulation (never reaches the timing core)
+    Halt,
+}
+
+/// Register-operand arity of an instruction — the paper's noadic / monadic /
+/// dyadic classification (§3.3). Immediate operands do not count.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Arity {
+    /// No register source operands.
+    Noadic,
+    /// One register source operand.
+    Monadic,
+    /// Two register source operands.
+    Dyadic,
+}
+
+impl fmt::Display for Arity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arity::Noadic => f.write_str("noadic"),
+            Arity::Monadic => f.write_str("monadic"),
+            Arity::Dyadic => f.write_str("dyadic"),
+        }
+    }
+}
+
+/// Execution class: selects the functional unit and the latency (Table 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Long-latency integer multiply/divide (15 cycles, shared unit).
+    IntMulDiv,
+    /// Load (2-cycle L1 hit), executes on the load/store unit.
+    Load,
+    /// Store, executes on the load/store unit.
+    Store,
+    /// Conditional or unconditional control flow, executes on an ALU.
+    Branch,
+    /// FP add-class operation (4 cycles, pipelined).
+    FpAdd,
+    /// FP multiply (4 cycles, pipelined).
+    FpMul,
+    /// FP divide / square root (15 cycles).
+    FpDivSqrt,
+    /// Short FP move/convert/compare (2 cycles).
+    FpMove,
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMulDiv => "int-muldiv",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::FpAdd => "fp-add",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDivSqrt => "fp-divsqrt",
+            OpClass::FpMove => "fp-move",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Opcode {
+    /// The register-operand arity of this opcode *as encoded* (before any
+    /// µop cracking; [`Opcode::SwIdx`] reports `Dyadic` because each of its
+    /// two µops is dyadic at most).
+    #[must_use]
+    pub fn arity(self) -> Arity {
+        use Opcode::*;
+        match self {
+            Li | Jump | Call | Halt => Arity::Noadic,
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Mov | Not | Neg | Popc | Lw
+            | Lf | Fsqrt | Fneg | Fabs | Fmov | Fcvt | Ficvt | Beqz | Bnez | Ret | JumpReg => {
+                Arity::Monadic
+            }
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Min | Max | Mul | Div
+            | Rem | LwIdx | Sw | SwIdx | LfIdx | Sf | Fadd | Fsub | Fmul | Fdiv | Fcmplt
+            | Fcmpeq | Beq | Bne | Blt | Bge => Arity::Dyadic,
+        }
+    }
+
+    /// Whether the operation's two register operands commute mathematically
+    /// (`a op b == b op a`). Under the paper's "commutative clusters"
+    /// assumption *any* dyadic instruction may swap operands; this flag is
+    /// the conservative property used when that assumption is off.
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Add | And | Or | Xor | Min | Max | Mul | Fadd | Fmul | Beq | Bne | Fcmpeq
+        )
+    }
+
+    /// Execution class of this opcode.
+    #[must_use]
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Min | Max | Addi
+            | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Li | Mov | Not | Neg | Popc => {
+                OpClass::IntAlu
+            }
+            Mul | Div | Rem => OpClass::IntMulDiv,
+            Lw | LwIdx | Lf | LfIdx => OpClass::Load,
+            Sw | SwIdx | Sf => OpClass::Store,
+            Beq | Bne | Blt | Bge | Beqz | Bnez | Jump | Call | Ret | JumpReg | Halt => {
+                OpClass::Branch
+            }
+            Fadd | Fsub => OpClass::FpAdd,
+            Fmul => OpClass::FpMul,
+            Fdiv | Fsqrt => OpClass::FpDivSqrt,
+            Fneg | Fabs | Fmov | Fcvt | Ficvt | Fcmplt | Fcmpeq => OpClass::FpMove,
+        }
+    }
+
+    /// Whether the opcode is any form of control transfer.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        self.class() == OpClass::Branch
+    }
+
+    /// Whether the opcode is a *conditional* branch (predicted by the
+    /// direction predictor).
+    #[must_use]
+    pub fn is_cond_branch(self) -> bool {
+        use Opcode::*;
+        matches!(self, Beq | Bne | Blt | Bge | Beqz | Bnez)
+    }
+
+    /// Whether the opcode reads memory.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        self.class() == OpClass::Load
+    }
+
+    /// Whether the opcode writes memory.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        self.class() == OpClass::Store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: &[Opcode] = &[
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Slt,
+        Opcode::Sltu,
+        Opcode::Min,
+        Opcode::Max,
+        Opcode::Addi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Slti,
+        Opcode::Li,
+        Opcode::Mov,
+        Opcode::Not,
+        Opcode::Neg,
+        Opcode::Popc,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::Lw,
+        Opcode::LwIdx,
+        Opcode::Sw,
+        Opcode::SwIdx,
+        Opcode::Lf,
+        Opcode::LfIdx,
+        Opcode::Sf,
+        Opcode::Fadd,
+        Opcode::Fsub,
+        Opcode::Fmul,
+        Opcode::Fdiv,
+        Opcode::Fsqrt,
+        Opcode::Fneg,
+        Opcode::Fabs,
+        Opcode::Fmov,
+        Opcode::Fcvt,
+        Opcode::Ficvt,
+        Opcode::Fcmplt,
+        Opcode::Fcmpeq,
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Beqz,
+        Opcode::Bnez,
+        Opcode::Jump,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::JumpReg,
+        Opcode::Halt,
+    ];
+
+    #[test]
+    fn commutative_ops_are_dyadic() {
+        for &op in ALL {
+            if op.is_commutative() {
+                assert_eq!(op.arity(), Arity::Dyadic, "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn loads_and_stores_classified() {
+        assert!(Opcode::Lw.is_load());
+        assert!(Opcode::LfIdx.is_load());
+        assert!(Opcode::Sw.is_store());
+        assert!(Opcode::Sf.is_store());
+        assert!(!Opcode::Add.is_load());
+        assert!(!Opcode::Add.is_store());
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Opcode::Beq.is_cond_branch());
+        assert!(Opcode::Bnez.is_cond_branch());
+        assert!(!Opcode::Jump.is_cond_branch());
+        assert!(Opcode::Jump.is_control());
+        assert!(Opcode::Ret.is_control());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn every_opcode_has_consistent_metadata() {
+        for &op in ALL {
+            // arity and class never panic, and conditional branches are control.
+            let _ = op.arity();
+            let _ = op.class();
+            if op.is_cond_branch() {
+                assert!(op.is_control(), "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_is_not_commutative() {
+        assert!(!Opcode::Sub.is_commutative());
+        assert!(!Opcode::Blt.is_commutative());
+        assert!(!Opcode::Fdiv.is_commutative());
+    }
+}

@@ -1,0 +1,88 @@
+//! Assembled programs.
+
+use crate::inst::Inst;
+
+/// A forward-referenceable code label handed out by the assembler.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(pub(crate) usize);
+
+/// A fully assembled program: a flat instruction sequence with all labels
+/// resolved to instruction indices, plus an optional initial data image.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    insts: Vec<Inst>,
+    data: Vec<(u64, u64)>,
+}
+
+impl Program {
+    pub(crate) fn new(insts: Vec<Inst>, data: Vec<(u64, u64)>) -> Self {
+        Program { insts, data }
+    }
+
+    /// Builds a program directly from decoded instructions, with no data
+    /// image — the counterpart of [`crate::encode::decode`].
+    #[must_use]
+    pub fn from_insts(insts: Vec<Inst>) -> Self {
+        Program {
+            insts,
+            data: Vec::new(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn new_for_tests(insts: Vec<Inst>) -> Self {
+        Self::from_insts(insts)
+    }
+
+    /// The instruction at index `idx`, if any.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> Option<&Inst> {
+        self.insts.get(idx)
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterates over the static instructions in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &Inst> {
+        self.insts.iter()
+    }
+
+    /// The initial data image: `(word_address, value)` pairs the emulator
+    /// installs before execution. Addresses are byte addresses of 8-byte
+    /// aligned words.
+    #[must_use]
+    pub fn data(&self) -> &[(u64, u64)] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Opcode;
+
+    #[test]
+    fn empty_program() {
+        let p = Program::default();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(p.get(0).is_none());
+    }
+
+    #[test]
+    fn iteration_matches_len() {
+        let p = Program::new(vec![Inst::new(Opcode::Halt)], vec![]);
+        assert_eq!(p.iter().count(), p.len());
+        assert_eq!(p.get(0).unwrap().op, Opcode::Halt);
+    }
+}

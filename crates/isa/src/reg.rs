@@ -1,0 +1,265 @@
+//! Architectural (logical) register names.
+//!
+//! The paper simulates the SPARC ISA with four register windows mapped at
+//! once, i.e. **80 logical general-purpose integer registers** (§5.1.1). We
+//! reproduce that count directly, without window-overflow traps, plus 32
+//! logical floating-point registers. Integer register 0 is hard-wired to
+//! zero (reads return 0, writes are discarded and produce no rename target),
+//! and the last integer register is reserved as the µop scratch register
+//! used when cracking indexed stores.
+
+use std::fmt;
+
+/// Number of logical general-purpose integer registers (SPARC, 4 windows).
+pub const NUM_INT_REGS: u8 = 80;
+/// Number of logical floating-point registers.
+pub const NUM_FP_REGS: u8 = 32;
+/// Integer register hard-wired to zero (like SPARC `%g0`).
+pub const ZERO_REG: Reg = Reg(0);
+/// Integer register reserved for µop cracking (address temporaries).
+/// The [`crate::Assembler`] refuses to let user code name it.
+pub const SCRATCH_REG: Reg = Reg(NUM_INT_REGS - 1);
+/// Conventional link register written by `call` and read by `ret`.
+pub const LINK_REG: Reg = Reg(NUM_INT_REGS - 2);
+
+/// A logical general-purpose integer register, `r0..r79`.
+///
+/// `r0` always reads as zero. Construct with [`Reg::new`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates register `r{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_INT_REGS`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            index < NUM_INT_REGS,
+            "integer register index {index} out of range (max {})",
+            NUM_INT_REGS - 1
+        );
+        Reg(index)
+    }
+
+    /// The register index, `0..NUM_INT_REGS`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A logical floating-point register, `f0..f31`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Freg(u8);
+
+impl Freg {
+    /// Creates register `f{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_FP_REGS`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            index < NUM_FP_REGS,
+            "fp register index {index} out of range (max {})",
+            NUM_FP_REGS - 1
+        );
+        Freg(index)
+    }
+
+    /// The register index, `0..NUM_FP_REGS`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Freg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for Freg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// The two architectural register classes; each is renamed onto its own
+/// physical register file, mirroring the paper's separate integer and
+/// floating-point files.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RegClass {
+    /// General-purpose integer register.
+    Int,
+    /// Floating-point register.
+    Fp,
+}
+
+impl RegClass {
+    /// Number of logical registers of this class.
+    #[must_use]
+    pub fn logical_count(self) -> usize {
+        match self {
+            RegClass::Int => NUM_INT_REGS as usize,
+            RegClass::Fp => NUM_FP_REGS as usize,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => f.write_str("int"),
+            RegClass::Fp => f.write_str("fp"),
+        }
+    }
+}
+
+/// A class-tagged logical register reference, the unit the renamer works on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegRef {
+    class: RegClass,
+    index: u8,
+}
+
+impl RegRef {
+    /// An integer register reference.
+    #[must_use]
+    pub fn int(r: Reg) -> Self {
+        RegRef {
+            class: RegClass::Int,
+            index: r.index(),
+        }
+    }
+
+    /// A floating-point register reference.
+    #[must_use]
+    pub fn fp(f: Freg) -> Self {
+        RegRef {
+            class: RegClass::Fp,
+            index: f.index(),
+        }
+    }
+
+    /// The register class.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The register index within its class.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// Whether this is the hard-wired integer zero register, which never
+    /// creates a rename dependency.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.class == RegClass::Int && self.index == 0
+    }
+}
+
+impl From<Reg> for RegRef {
+    fn from(r: Reg) -> Self {
+        RegRef::int(r)
+    }
+}
+
+impl From<Freg> for RegRef {
+    fn from(f: Freg) -> Self {
+        RegRef::fp(f)
+    }
+}
+
+impl fmt::Debug for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_roundtrip() {
+        for i in 0..NUM_INT_REGS {
+            assert_eq!(Reg::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_out_of_range_panics() {
+        let _ = Reg::new(NUM_INT_REGS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_reg_out_of_range_panics() {
+        let _ = Freg::new(NUM_FP_REGS);
+    }
+
+    #[test]
+    fn zero_register_detection() {
+        assert!(Reg::new(0).is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert!(RegRef::int(Reg::new(0)).is_zero());
+        assert!(!RegRef::fp(Freg::new(0)).is_zero());
+    }
+
+    #[test]
+    fn regref_orders_int_before_fp() {
+        let a = RegRef::int(Reg::new(5));
+        let b = RegRef::fp(Freg::new(5));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+        assert_eq!(Freg::new(3).to_string(), "f3");
+        assert_eq!(RegRef::fp(Freg::new(3)).to_string(), "f3");
+    }
+
+    #[test]
+    fn logical_counts_match_constants() {
+        assert_eq!(RegClass::Int.logical_count(), 80);
+        assert_eq!(RegClass::Fp.logical_count(), 32);
+    }
+}

@@ -1,0 +1,36 @@
+//! # wsrs-mem — data-memory hierarchy and load/store disambiguation
+//!
+//! Implements the paper's Table 3 memory model:
+//!
+//! | level | size   | latency   | miss penalty | bandwidth   |
+//! |-------|--------|-----------|--------------|-------------|
+//! | L1 D$ | 32 KB  | 2 cycles  | 12 cycles    | 4 W/cycle   |
+//! | L2 $  | 512 KB | 12 cycles | 80 cycles    | 16 B/cycle  |
+//!
+//! plus the paper's load/store discipline (§5.2): *addresses are computed in
+//! order; loads bypass stores whenever no conflict is encountered*, with
+//! store-to-load forwarding on a conflict.
+//!
+//! The hierarchy is a **timing** model — data values come from the
+//! functional emulator — so caches track tags, replacement state and
+//! occupancy only.
+//!
+//! # Example
+//!
+//! ```
+//! use wsrs_mem::{HierarchyConfig, MemoryHierarchy};
+//!
+//! let mut mem = MemoryHierarchy::new(HierarchyConfig::paper());
+//! let cold = mem.load(0x1000, 0);
+//! let warm = mem.load(0x1000, 200);
+//! assert!(cold > warm);
+//! assert_eq!(warm, 2); // L1 hit latency
+//! ```
+
+pub mod cache;
+pub mod hierarchy;
+pub mod lsq;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{HierarchyConfig, HierarchyStats, MemoryHierarchy};
+pub use lsq::{StoreQueue, StoreQueueQuery};

@@ -1,0 +1,121 @@
+//! Property tests for the memory subsystem: the set-associative cache is
+//! checked against an executable reference model, and the store queue
+//! against a naive scan.
+
+use proptest::prelude::*;
+use wsrs_mem::{Cache, CacheConfig, StoreQueue, StoreQueueQuery};
+
+/// Reference cache: per-set LRU lists, checked element by element.
+struct RefCache {
+    sets: Vec<Vec<u64>>, // most recent last
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); cfg.num_sets()],
+            ways: cfg.associativity,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg.num_sets() as u64 - 1,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == tag) {
+            s.remove(pos);
+            s.push(tag);
+            true
+        } else {
+            if s.len() == self.ways {
+                s.remove(0);
+            }
+            s.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The tag-array cache agrees with the reference LRU model on every
+    /// access of an arbitrary address stream.
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..(1 << 14), 1..400)) {
+        let cfg = CacheConfig {
+            size_bytes: 2048,
+            line_bytes: 64,
+            associativity: 4,
+            hit_latency: 1,
+        };
+        let mut dut = Cache::new(cfg);
+        let mut reference = RefCache::new(&cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            prop_assert_eq!(dut.access(a), reference.access(a), "access {} addr {:#x}", i, a);
+        }
+        prop_assert_eq!(dut.stats().accesses, addrs.len() as u64);
+    }
+
+    /// probe() never lies: immediately after an access the line is
+    /// resident; stats add up.
+    #[test]
+    fn probe_after_access(addrs in prop::collection::vec(0u64..(1 << 16), 1..200)) {
+        let mut c = Cache::new(CacheConfig::paper_l1d());
+        let mut misses = 0;
+        for &a in &addrs {
+            if !c.access(a) {
+                misses += 1;
+            }
+            prop_assert!(c.probe(a));
+        }
+        prop_assert_eq!(c.stats().misses, misses);
+        prop_assert!(c.stats().misses <= c.stats().accesses);
+    }
+
+    /// Store-queue query equals a naive scan over the live stores.
+    #[test]
+    fn store_queue_matches_naive_scan(
+        stores in prop::collection::vec((0u64..64, any::<bool>()), 1..80),
+        load_word in 0u64..64,
+    ) {
+        let mut q = StoreQueue::new();
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (seq, word)
+        let mut seq = 0u64;
+        for &(word, remove_oldest) in &stores {
+            q.insert(seq, word * 8);
+            live.push((seq, word));
+            seq += 1;
+            if remove_oldest && !live.is_empty() && live.len() > 4 {
+                let (s, _) = live.remove(0);
+                q.remove(s);
+            }
+        }
+        let load_seq = seq + 1;
+        let expect = live
+            .iter()
+            .rev()
+            .find(|&&(s, w)| s < load_seq && w == load_word)
+            .map(|&(s, _)| s);
+        let got = match q.query(load_seq, load_word * 8) {
+            StoreQueueQuery::ForwardFrom(s) => Some(s),
+            StoreQueueQuery::NoConflict => None,
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Perfect hierarchies return the L1 hit latency for every access.
+    #[test]
+    fn perfect_hierarchy_constant_latency(addrs in prop::collection::vec(any::<u64>(), 1..100)) {
+        use wsrs_mem::{HierarchyConfig, MemoryHierarchy};
+        let mut m = MemoryHierarchy::new(HierarchyConfig::perfect());
+        for (i, &a) in addrs.iter().enumerate() {
+            // spread accesses over cycles to avoid port contention
+            prop_assert_eq!(m.load(a, (i * 2) as u64), 2);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The logical → physical map table.
+//!
+//! One table per register class. Besides the mapping itself, the table can
+//! emit the paper's `f` and `s` subset-bit vectors (§3.2): bit `i` of `f`
+//! (resp. `s`) is the first (resp. second) bit of the subset number of the
+//! physical register currently mapped to logical register `i`. On a WSRS
+//! machine these vectors drive cluster allocation; here they are derived
+//! views, and the derivation is exactly the property tested below.
+
+use crate::types::{Mapping, PhysReg, Subset};
+
+/// Map table for one register class.
+#[derive(Clone, Debug)]
+pub struct MapTable {
+    map: Vec<Mapping>,
+}
+
+impl MapTable {
+    /// A map table for `logical_count` logical registers with an initial
+    /// mapping supplied by `init` (logical index → mapping).
+    #[must_use]
+    pub fn new(logical_count: usize, mut init: impl FnMut(usize) -> Mapping) -> Self {
+        MapTable {
+            map: (0..logical_count).map(&mut init).collect(),
+        }
+    }
+
+    /// Number of logical registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Current mapping of logical register `logical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of range.
+    #[must_use]
+    pub fn lookup(&self, logical: usize) -> Mapping {
+        self.map[logical]
+    }
+
+    /// Installs a new mapping, returning the previous one (to be freed when
+    /// the renamed instruction commits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of range.
+    pub fn update(&mut self, logical: usize, m: Mapping) -> Mapping {
+        std::mem::replace(&mut self.map[logical], m)
+    }
+
+    /// The `f` subset-bit vector (paper §3.2): bit `i` set iff logical
+    /// register `i` currently lives in a subset with `f = 1`.
+    #[must_use]
+    pub fn f_vector(&self) -> u128 {
+        self.bit_vector(|s| s.f())
+    }
+
+    /// The `s` subset-bit vector (paper §3.2).
+    #[must_use]
+    pub fn s_vector(&self) -> u128 {
+        self.bit_vector(|s| s.s())
+    }
+
+    fn bit_vector(&self, bit: impl Fn(Subset) -> u8) -> u128 {
+        self.map
+            .iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, m)| acc | (u128::from(bit(m.subset)) << i))
+    }
+
+    /// How many logical registers currently map into `subset` — the number
+    /// of physical registers of that subset holding architectural state
+    /// (used by the §2.3 deadlock analysis).
+    #[must_use]
+    pub fn mapped_into(&self, subset: Subset) -> usize {
+        self.map.iter().filter(|m| m.subset == subset).count()
+    }
+
+    /// Iterates over all current mappings.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Mapping)> + '_ {
+        self.map.iter().copied().enumerate()
+    }
+}
+
+/// The default reset mapping: logical register `i` is placed in subset
+/// `i % subsets`, physical register `i` (physical indices 0..logical_count
+/// are reserved by the reset state; free lists start above).
+pub fn reset_mapping(subsets: usize) -> impl FnMut(usize) -> Mapping {
+    move |i| Mapping {
+        phys: PhysReg(i as u32),
+        subset: Subset((i % subsets) as u8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_update_roundtrip() {
+        let mut t = MapTable::new(8, reset_mapping(4));
+        let old = t.lookup(3);
+        assert_eq!(old.subset, Subset(3));
+        let new = Mapping {
+            phys: PhysReg(100),
+            subset: Subset(1),
+        };
+        let returned = t.update(3, new);
+        assert_eq!(returned, old);
+        assert_eq!(t.lookup(3), new);
+    }
+
+    #[test]
+    fn fs_vectors_track_subset_bits() {
+        let mut t = MapTable::new(4, reset_mapping(4));
+        // reset: logical i in subset i: subsets 0,1,2,3 -> f bits 0,0,1,1; s bits 0,1,0,1
+        assert_eq!(t.f_vector(), 0b1100);
+        assert_eq!(t.s_vector(), 0b1010);
+        t.update(
+            0,
+            Mapping {
+                phys: PhysReg(9),
+                subset: Subset(3),
+            },
+        );
+        assert_eq!(t.f_vector(), 0b1101);
+        assert_eq!(t.s_vector(), 0b1011);
+    }
+
+    #[test]
+    fn mapped_into_counts() {
+        let t = MapTable::new(80, reset_mapping(4));
+        assert_eq!(t.mapped_into(Subset(0)), 20);
+        assert_eq!(t.mapped_into(Subset(1)), 20);
+        assert_eq!(t.mapped_into(Subset(2)), 20);
+        assert_eq!(t.mapped_into(Subset(3)), 20);
+    }
+
+    #[test]
+    fn conventional_single_subset() {
+        let t = MapTable::new(16, reset_mapping(1));
+        assert_eq!(t.mapped_into(Subset(0)), 16);
+        assert_eq!(t.f_vector(), 0);
+        assert_eq!(t.s_vector(), 0);
+    }
+}

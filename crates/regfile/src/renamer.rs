@@ -1,0 +1,542 @@
+//! The rename stage with Register Write Specialization.
+//!
+//! One [`Renamer`] covers both register classes (integer and floating
+//! point), each with its own map table and per-subset free lists. The
+//! per-cycle protocol mirrors the hardware:
+//!
+//! 1. [`Renamer::begin_cycle`] — free lists mature recycled registers;
+//!    under [`RenameStrategy::Recycling`] up to `N` registers are staged
+//!    from *every* free list (the paper's §2.2.1 speculative pick);
+//! 2. for each µop of the rename group, in program order:
+//!    [`Renamer::map_source`] for sources (dependency propagation within
+//!    the group happens naturally because destinations update the map
+//!    immediately), [`Renamer::can_alloc`] / [`Renamer::alloc`] /
+//!    [`Renamer::rename_dest`] for the destination;
+//! 3. [`Renamer::end_cycle`] — staged-but-unused registers enter the
+//!    recycling pipeline.
+//!
+//! At commit, [`Renamer::free`] reclaims the *previous* mapping of the
+//! committing instruction's destination.
+
+use crate::freelist::FreeList;
+use crate::map::MapTable;
+use crate::types::{Mapping, PhysReg, RenameStrategy, Subset};
+use wsrs_isa::{RegClass, RegRef};
+
+/// Default depth of the strategy-1 free-register recycling pipeline
+/// (build the two lists → pack → merge → append, §2.2.1).
+pub const DEFAULT_RECYCLE_DELAY: u64 = 4;
+
+/// Renamer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RenamerConfig {
+    /// Number of register-file subsets (1 = conventional).
+    pub subsets: usize,
+    /// Total physical integer registers, split evenly across subsets.
+    pub int_regs: usize,
+    /// Total physical floating-point registers, split evenly across subsets.
+    pub fp_regs: usize,
+    /// Which §2.2 renaming implementation to model.
+    pub strategy: RenameStrategy,
+    /// Recycling pipeline depth in cycles (strategy 1 only).
+    pub recycle_delay: u64,
+    /// Instructions renamed in parallel (`N` in §2.2) — the speculative
+    /// per-list pick width of strategy 1.
+    pub rename_width: usize,
+    /// Hardware threads sharing the physical file (SMT, §2.3). Each thread
+    /// has its own architectural map; free lists are shared.
+    pub threads: usize,
+}
+
+impl RenamerConfig {
+    /// A conventional renamer: single subset, direct free lists.
+    #[must_use]
+    pub fn conventional(int_regs: usize, fp_regs: usize) -> Self {
+        RenamerConfig {
+            subsets: 1,
+            int_regs,
+            fp_regs,
+            strategy: RenameStrategy::ExactCount,
+            recycle_delay: 0,
+            rename_width: 8,
+            threads: 1,
+        }
+    }
+
+    /// A write-specialized renamer with four subsets.
+    #[must_use]
+    pub fn write_specialized(int_regs: usize, fp_regs: usize, strategy: RenameStrategy) -> Self {
+        RenamerConfig {
+            subsets: 4,
+            int_regs,
+            fp_regs,
+            strategy,
+            recycle_delay: match strategy {
+                RenameStrategy::Recycling => DEFAULT_RECYCLE_DELAY,
+                RenameStrategy::ExactCount => 0,
+            },
+            rename_width: 8,
+            threads: 1,
+        }
+    }
+
+    /// Registers per subset for `class`.
+    #[must_use]
+    pub fn per_subset(&self, class: RegClass) -> usize {
+        let total = match class {
+            RegClass::Int => self.int_regs,
+            RegClass::Fp => self.fp_regs,
+        };
+        total / self.subsets
+    }
+
+    /// The subset a (class-global) physical register index belongs to —
+    /// the inverse of the subset-contiguous register numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys` is out of range for the class's register file.
+    #[must_use]
+    pub fn phys_subset_of(&self, class: RegClass, phys: u32) -> Subset {
+        let per = self.per_subset(class);
+        let s = phys as usize / per;
+        assert!(s < self.subsets, "physical register {phys} out of range");
+        Subset(s as u8)
+    }
+
+    /// The paper's §2.3 static deadlock-freedom condition: every subset
+    /// holds at least as many physical registers as the machine has
+    /// logical registers of the class — **across all hardware threads**,
+    /// which is precisely why the paper flags SMT as the problematic case.
+    #[must_use]
+    pub fn statically_deadlock_free(&self, class: RegClass) -> bool {
+        self.per_subset(class) >= self.threads * class.logical_count()
+    }
+}
+
+/// Counters accumulated by the renamer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RenameStats {
+    /// Successful destination allocations.
+    pub allocs: u64,
+    /// Registers reclaimed at commit.
+    pub frees: u64,
+    /// `can_alloc` refusals (renaming stalled on an empty free list /
+    /// exhausted staging).
+    pub alloc_refusals: u64,
+    /// Registers that traversed the recycling pipeline unused (strategy 1
+    /// waste).
+    pub recycled_unused: u64,
+}
+
+#[derive(Clone, Debug)]
+struct ClassRename {
+    /// One architectural map per hardware thread.
+    maps: Vec<MapTable>,
+    free: Vec<FreeList>,
+    /// Strategy-1 staging: registers picked this cycle, per subset.
+    staged: Vec<Vec<PhysReg>>,
+}
+
+/// The rename stage. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Renamer {
+    config: RenamerConfig,
+    classes: [ClassRename; 2],
+    stats: RenameStats,
+    in_cycle: bool,
+}
+
+fn class_idx(class: RegClass) -> usize {
+    match class {
+        RegClass::Int => 0,
+        RegClass::Fp => 1,
+    }
+}
+
+impl Renamer {
+    /// Builds the renamer in the reset state: logical register `i` of each
+    /// class maps to subset `i % subsets`; all remaining physical registers
+    /// populate the free lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any subset would hold fewer physical registers than the
+    /// architectural registers initially mapped into it.
+    #[must_use]
+    pub fn new(config: RenamerConfig) -> Self {
+        let threads = config.threads.max(1);
+        let build = |class: RegClass| {
+            let logical = class.logical_count();
+            let per = config.per_subset(class);
+            let subsets = config.subsets;
+            // Reset mapping: thread t, logical i -> subset i % subsets; slots
+            // within each subset are handed out sequentially across threads.
+            let mut next_slot = vec![0usize; subsets];
+            let maps: Vec<MapTable> = (0..threads)
+                .map(|_| {
+                    MapTable::new(logical, |i| {
+                        let s = i % subsets;
+                        let slot = next_slot[s];
+                        next_slot[s] += 1;
+                        Mapping {
+                            phys: PhysReg((s * per + slot) as u32),
+                            subset: Subset(s as u8),
+                        }
+                    })
+                })
+                .collect();
+            let free = (0..subsets)
+                .map(|s| {
+                    let reserved = next_slot[s];
+                    assert!(
+                        per >= reserved,
+                        "subset {s} of {class} file too small: {per} regs for {reserved} architectural"
+                    );
+                    FreeList::new(
+                        (reserved..per).map(|slot| PhysReg((s * per + slot) as u32)),
+                        config.recycle_delay,
+                    )
+                })
+                .collect();
+            ClassRename {
+                maps,
+                free,
+                staged: vec![Vec::new(); subsets],
+            }
+        };
+        Renamer {
+            config,
+            classes: [build(RegClass::Int), build(RegClass::Fp)],
+            stats: RenameStats::default(),
+            in_cycle: false,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &RenamerConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> RenameStats {
+        self.stats
+    }
+
+    /// Current mapping of a source operand (hardware thread 0).
+    #[must_use]
+    pub fn map_source(&self, src: RegRef) -> Mapping {
+        self.map_source_for(0, src)
+    }
+
+    /// Current mapping of a source operand of hardware thread `thread`.
+    #[must_use]
+    pub fn map_source_for(&self, thread: usize, src: RegRef) -> Mapping {
+        self.classes[class_idx(src.class())].maps[thread].lookup(src.index() as usize)
+    }
+
+    /// Starts a rename cycle: matures recycling pipelines and, under
+    /// strategy 1, stages up to `group_size` registers from every free list.
+    pub fn begin_cycle(&mut self, cycle: u64, group_size: usize) {
+        self.in_cycle = true;
+        let staging = self.config.strategy == RenameStrategy::Recycling;
+        for c in &mut self.classes {
+            for (s, list) in c.free.iter_mut().enumerate() {
+                list.tick(cycle);
+                if staging {
+                    debug_assert!(c.staged[s].is_empty(), "end_cycle not called");
+                    for _ in 0..group_size {
+                        match list.alloc() {
+                            Some(r) => c.staged[s].push(r),
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a destination register of `class` can be allocated in
+    /// `subset` this cycle. Records a refusal in the statistics when false.
+    pub fn can_alloc(&mut self, class: RegClass, subset: Subset) -> bool {
+        let c = &self.classes[class_idx(class)];
+        let ok = match self.config.strategy {
+            RenameStrategy::Recycling => !c.staged[subset.index()].is_empty(),
+            RenameStrategy::ExactCount => c.free[subset.index()].available() > 0,
+        };
+        if !ok {
+            self.stats.alloc_refusals += 1;
+        }
+        ok
+    }
+
+    /// Allocates a destination register of `class` in `subset`, or `None`
+    /// if the subset is exhausted this cycle.
+    pub fn alloc(&mut self, class: RegClass, subset: Subset) -> Option<Mapping> {
+        let c = &mut self.classes[class_idx(class)];
+        let phys = match self.config.strategy {
+            RenameStrategy::Recycling => c.staged[subset.index()].pop(),
+            RenameStrategy::ExactCount => c.free[subset.index()].alloc(),
+        }?;
+        self.stats.allocs += 1;
+        Some(Mapping { phys, subset })
+    }
+
+    /// Installs `mapping` as the new home of logical destination `dst`
+    /// (hardware thread 0), returning the previous mapping (reclaimed when
+    /// the instruction commits).
+    pub fn rename_dest(&mut self, dst: RegRef, mapping: Mapping) -> Mapping {
+        self.rename_dest_for(0, dst, mapping)
+    }
+
+    /// Installs `mapping` for hardware thread `thread`.
+    pub fn rename_dest_for(&mut self, thread: usize, dst: RegRef, mapping: Mapping) -> Mapping {
+        self.classes[class_idx(dst.class())].maps[thread].update(dst.index() as usize, mapping)
+    }
+
+    /// Ends the rename cycle: staged-but-unused registers re-enter the free
+    /// lists through the recycling pipeline (strategy 1's waste, §2.2.1).
+    pub fn end_cycle(&mut self, cycle: u64) {
+        self.in_cycle = false;
+        if self.config.strategy != RenameStrategy::Recycling {
+            return;
+        }
+        for c in &mut self.classes {
+            for (s, staged) in c.staged.iter_mut().enumerate() {
+                for reg in staged.drain(..) {
+                    self.stats.recycled_unused += 1;
+                    c.free[s].free(reg, cycle);
+                }
+            }
+        }
+    }
+
+    /// Reclaims a mapping at commit (the *previous* mapping of the
+    /// committing instruction's destination).
+    pub fn free(&mut self, class: RegClass, mapping: Mapping, cycle: u64) {
+        self.stats.frees += 1;
+        self.classes[class_idx(class)].free[mapping.subset.index()].free(mapping.phys, cycle);
+    }
+
+    /// Registers currently allocatable in `subset` of `class` (diagnostic).
+    #[must_use]
+    pub fn available(&self, class: RegClass, subset: Subset) -> usize {
+        self.classes[class_idx(class)].free[subset.index()].available()
+    }
+
+    /// Registers allocatable *this cycle* in `subset` of `class`: the
+    /// staged pick under strategy 1 (between `begin_cycle` and
+    /// `end_cycle`), the free list under strategy 2.
+    #[must_use]
+    pub fn allocatable_now(&self, class: RegClass, subset: Subset) -> usize {
+        let c = &self.classes[class_idx(class)];
+        match self.config.strategy {
+            RenameStrategy::Recycling => c.staged[subset.index()].len(),
+            RenameStrategy::ExactCount => c.free[subset.index()].available(),
+        }
+    }
+
+    /// Registers of `subset` currently in the recycling pipeline.
+    #[must_use]
+    pub fn in_recycling(&self, class: RegClass, subset: Subset) -> usize {
+        self.classes[class_idx(class)].free[subset.index()].in_recycling()
+    }
+
+    /// The map table of `class` for hardware thread 0 (for the `f`/`s`
+    /// vectors and diagnostics).
+    #[must_use]
+    pub fn map_table(&self, class: RegClass) -> &MapTable {
+        self.map_table_for(0, class)
+    }
+
+    /// The map table of `class` for hardware thread `thread`.
+    #[must_use]
+    pub fn map_table_for(&self, thread: usize, class: RegClass) -> &MapTable {
+        &self.classes[class_idx(class)].maps[thread]
+    }
+
+    /// Deadlock workaround (b) of §2.3: forcibly remap logical register
+    /// `logical` of `class` into `to_subset`, as the exception handler's
+    /// move instructions would. Returns the new mapping, or `None` if the
+    /// target subset has no free register either.
+    pub fn force_remap(
+        &mut self,
+        class: RegClass,
+        logical: usize,
+        to_subset: Subset,
+        cycle: u64,
+    ) -> Option<Mapping> {
+        self.force_remap_for(0, class, logical, to_subset, cycle)
+    }
+
+    /// [`Renamer::force_remap`] for hardware thread `thread`.
+    pub fn force_remap_for(
+        &mut self,
+        thread: usize,
+        class: RegClass,
+        logical: usize,
+        to_subset: Subset,
+        cycle: u64,
+    ) -> Option<Mapping> {
+        let new = {
+            let c = &mut self.classes[class_idx(class)];
+            let phys = c.free[to_subset.index()].alloc()?;
+            Mapping {
+                phys,
+                subset: to_subset,
+            }
+        };
+        let old = self.classes[class_idx(class)].maps[thread].update(logical, new);
+        self.free(class, old, cycle);
+        Some(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrs_isa::Reg;
+
+    fn int(i: u8) -> RegRef {
+        RegRef::int(Reg::new(i))
+    }
+
+    #[test]
+    fn conventional_initial_state() {
+        let r = Renamer::new(RenamerConfig::conventional(256, 128));
+        // 80 int logicals reserved, 176 free.
+        assert_eq!(r.available(RegClass::Int, Subset(0)), 176);
+        assert_eq!(r.available(RegClass::Fp, Subset(0)), 96);
+        assert!(r.config().statically_deadlock_free(RegClass::Int));
+    }
+
+    #[test]
+    fn write_specialized_splits_evenly() {
+        let r = Renamer::new(RenamerConfig::write_specialized(
+            512,
+            256,
+            RenameStrategy::ExactCount,
+        ));
+        // 512/4 = 128 per subset; 80 int logicals spread 20 per subset.
+        for s in 0..4 {
+            assert_eq!(r.available(RegClass::Int, Subset(s)), 108);
+            assert_eq!(r.available(RegClass::Fp, Subset(s)), 56);
+        }
+        assert!(r.config().statically_deadlock_free(RegClass::Int));
+    }
+
+    #[test]
+    fn deadlock_condition_matches_paper_rule() {
+        // 384/4 = 96 >= 80: safe. 256/4 = 64 < 80: not statically safe.
+        let safe = RenamerConfig::write_specialized(384, 192, RenameStrategy::ExactCount);
+        assert!(safe.statically_deadlock_free(RegClass::Int));
+        let unsafe_cfg = RenamerConfig::write_specialized(256, 128, RenameStrategy::ExactCount);
+        assert!(!unsafe_cfg.statically_deadlock_free(RegClass::Int));
+    }
+
+    #[test]
+    fn rename_then_commit_reclaims() {
+        let mut r = Renamer::new(RenamerConfig::write_specialized(
+            512,
+            256,
+            RenameStrategy::ExactCount,
+        ));
+        let before = r.available(RegClass::Int, Subset(1));
+        r.begin_cycle(0, 8);
+        let m = r.alloc(RegClass::Int, Subset(1)).unwrap();
+        let old = r.rename_dest(int(5), m);
+        r.end_cycle(0);
+        assert_eq!(r.map_source(int(5)), m);
+        assert_eq!(r.available(RegClass::Int, Subset(1)), before - 1);
+        let avail_old = r.available(RegClass::Int, old.subset);
+        r.free(RegClass::Int, old, 50);
+        assert_eq!(r.available(RegClass::Int, old.subset), avail_old + 1);
+        assert_eq!(r.stats().allocs, 1);
+        assert_eq!(r.stats().frees, 1);
+    }
+
+    #[test]
+    fn dependency_propagation_within_group() {
+        // Two µops renamed the same cycle: the second reads the first's
+        // freshly installed mapping.
+        let mut r = Renamer::new(RenamerConfig::conventional(256, 128));
+        r.begin_cycle(0, 8);
+        let m1 = r.alloc(RegClass::Int, Subset(0)).unwrap();
+        r.rename_dest(int(3), m1);
+        assert_eq!(r.map_source(int(3)), m1, "younger µop sees older's dest");
+        r.end_cycle(0);
+    }
+
+    #[test]
+    fn recycling_strategy_stages_and_recycles() {
+        let mut r = Renamer::new(RenamerConfig::write_specialized(
+            512,
+            256,
+            RenameStrategy::Recycling,
+        ));
+        r.begin_cycle(0, 8);
+        // 8 staged per subset per class; use only 1.
+        let m = r.alloc(RegClass::Int, Subset(0)).unwrap();
+        r.rename_dest(int(1), m);
+        r.end_cycle(0);
+        // 7 unused int regs per subset 0 + 8 each in 1..3 + 8*4 fp = recycling
+        assert_eq!(r.in_recycling(RegClass::Int, Subset(0)), 7);
+        assert_eq!(r.in_recycling(RegClass::Int, Subset(1)), 8);
+        assert!(r.stats().recycled_unused >= 31);
+        // They mature after the recycle delay.
+        let before = r.available(RegClass::Int, Subset(0));
+        r.begin_cycle(DEFAULT_RECYCLE_DELAY, 0);
+        r.end_cycle(DEFAULT_RECYCLE_DELAY);
+        assert_eq!(r.available(RegClass::Int, Subset(0)), before + 7);
+    }
+
+    #[test]
+    fn exhausted_subset_refuses() {
+        let mut cfg = RenamerConfig::write_specialized(512, 256, RenameStrategy::ExactCount);
+        cfg.int_regs = 96; // 24 per subset, 20 architectural -> 4 free each
+        let mut r = Renamer::new(cfg);
+        r.begin_cycle(0, 8);
+        for _ in 0..4 {
+            assert!(r.can_alloc(RegClass::Int, Subset(2)));
+            let m = r.alloc(RegClass::Int, Subset(2)).unwrap();
+            let _ = r.rename_dest(int(9), m);
+        }
+        assert!(!r.can_alloc(RegClass::Int, Subset(2)));
+        assert!(r.alloc(RegClass::Int, Subset(2)).is_none());
+        assert!(r.can_alloc(RegClass::Int, Subset(3)), "other subsets unaffected");
+        assert_eq!(r.stats().alloc_refusals, 1);
+    }
+
+    #[test]
+    fn force_remap_moves_between_subsets() {
+        let mut r = Renamer::new(RenamerConfig::write_specialized(
+            512,
+            256,
+            RenameStrategy::ExactCount,
+        ));
+        let before = r.map_source(int(7));
+        let new = r.force_remap(RegClass::Int, 7, Subset(0), 10).unwrap();
+        assert_eq!(new.subset, Subset(0));
+        assert_ne!(r.map_source(int(7)), before);
+        assert_eq!(r.map_table(RegClass::Int).mapped_into(Subset(0)), 21);
+    }
+
+    #[test]
+    fn fs_vectors_update_with_renames() {
+        let mut r = Renamer::new(RenamerConfig::write_specialized(
+            512,
+            256,
+            RenameStrategy::ExactCount,
+        ));
+        // logical 0 starts in subset 0 (f=0,s=0)
+        assert_eq!(r.map_table(RegClass::Int).f_vector() & 1, 0);
+        r.begin_cycle(0, 8);
+        let m = r.alloc(RegClass::Int, Subset(3)).unwrap();
+        r.rename_dest(int(0), m);
+        r.end_cycle(0);
+        assert_eq!(r.map_table(RegClass::Int).f_vector() & 1, 1);
+        assert_eq!(r.map_table(RegClass::Int).s_vector() & 1, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the renamer: physical registers are conserved and
+//! never double-allocated under arbitrary rename/commit interleavings.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use wsrs_isa::{Reg, RegClass, RegRef};
+use wsrs_regfile::{Mapping, RenameStrategy, Renamer, RenamerConfig, Subset};
+
+#[derive(Clone, Debug)]
+enum Action {
+    /// Rename logical register `l` into subset `s`.
+    Rename { logical: u8, subset: u8 },
+    /// Commit (free) the oldest outstanding previous-mapping.
+    Commit,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..79, 0u8..4).prop_map(|(logical, subset)| Action::Rename { logical, subset }),
+        Just(Action::Commit),
+    ]
+}
+
+fn run_actions(strategy: RenameStrategy, actions: &[Action]) -> Result<(), TestCaseError> {
+    let cfg = RenamerConfig::write_specialized(512, 256, strategy);
+    let mut r = Renamer::new(cfg);
+    let mut cycle = 0u64;
+    // Previous mappings awaiting commit, oldest first.
+    let mut pending: Vec<Mapping> = Vec::new();
+    // Every physical register currently the target of a live mapping.
+    let mut live: HashSet<u32> = r
+        .map_table(RegClass::Int)
+        .iter()
+        .map(|(_, m)| m.phys.0)
+        .collect();
+
+    for action in actions {
+        cycle += 1;
+        match *action {
+            Action::Rename { logical, subset } => {
+                r.begin_cycle(cycle, 8);
+                if let Some(m) = r.alloc(RegClass::Int, Subset(subset)) {
+                    // Never hand out a register that is still live.
+                    prop_assert!(
+                        live.insert(m.phys.0),
+                        "double allocation of {:?}",
+                        m.phys
+                    );
+                    prop_assert_eq!(m.subset, Subset(subset));
+                    let old = r.rename_dest(RegRef::int(Reg::new(logical)), m);
+                    pending.push(old);
+                }
+                r.end_cycle(cycle);
+            }
+            Action::Commit => {
+                if !pending.is_empty() {
+                    let old = pending.remove(0);
+                    prop_assert!(live.remove(&old.phys.0), "freeing non-live register");
+                    r.free(RegClass::Int, old, cycle);
+                }
+            }
+        }
+    }
+
+    // Conservation: live + free + recycling == total.
+    let mut accounted = live.len();
+    for s in 0..4 {
+        accounted += r.available(RegClass::Int, Subset(s));
+        accounted += r.in_recycling(RegClass::Int, Subset(s));
+    }
+    prop_assert_eq!(accounted, 512, "register leak or duplication");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn exact_count_conserves_registers(actions in prop::collection::vec(action_strategy(), 1..300)) {
+        run_actions(RenameStrategy::ExactCount, &actions)?;
+    }
+
+    #[test]
+    fn recycling_conserves_registers(actions in prop::collection::vec(action_strategy(), 1..300)) {
+        run_actions(RenameStrategy::Recycling, &actions)?;
+    }
+
+    /// Source lookups always return the most recent mapping installed for
+    /// that logical register.
+    #[test]
+    fn map_lookup_returns_latest(renames in prop::collection::vec((0u8..79, 0u8..4), 1..100)) {
+        let cfg = RenamerConfig::write_specialized(512, 256, RenameStrategy::ExactCount);
+        let mut r = Renamer::new(cfg);
+        let mut latest: std::collections::HashMap<u8, Mapping> = Default::default();
+        for (cycle, &(logical, subset)) in renames.iter().enumerate() {
+            r.begin_cycle(cycle as u64, 8);
+            if let Some(m) = r.alloc(RegClass::Int, Subset(subset)) {
+                r.rename_dest(RegRef::int(Reg::new(logical)), m);
+                latest.insert(logical, m);
+            }
+            r.end_cycle(cycle as u64);
+        }
+        for (&logical, &m) in &latest {
+            prop_assert_eq!(r.map_source(RegRef::int(Reg::new(logical))), m);
+        }
+    }
+
+    /// The f/s subset-bit vectors always agree with the map table.
+    #[test]
+    fn fs_vectors_consistent(renames in prop::collection::vec((0u8..79, 0u8..4), 1..80)) {
+        let cfg = RenamerConfig::write_specialized(512, 256, RenameStrategy::ExactCount);
+        let mut r = Renamer::new(cfg);
+        for (cycle, &(logical, subset)) in renames.iter().enumerate() {
+            r.begin_cycle(cycle as u64, 8);
+            if let Some(m) = r.alloc(RegClass::Int, Subset(subset)) {
+                r.rename_dest(RegRef::int(Reg::new(logical)), m);
+            }
+            r.end_cycle(cycle as u64);
+        }
+        let table = r.map_table(RegClass::Int);
+        let (f, s) = (table.f_vector(), table.s_vector());
+        for (i, m) in table.iter() {
+            prop_assert_eq!(((f >> i) & 1) as u8, m.subset.f());
+            prop_assert_eq!(((s >> i) & 1) as u8, m.subset.s());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! `applu` analogue: SSOR lower/upper triangular sweeps.
+//!
+//! 173.applu solves five coupled PDEs with symmetric successive
+//! over-relaxation: forward and backward substitution sweeps whose
+//! recurrences **serialize on the previously computed element**. The
+//! kernel carries `x[i-1]` in an FP register through a forward sweep and
+//! `x[i+1]` through a backward sweep — long FP dependence chains and
+//! moderate IPC, like the original.
+
+use crate::common::emit_fp_fill;
+use wsrs_isa::{Assembler, Freg, Program, Reg};
+
+const B: i64 = 0x10_0000;
+const X: i64 = 0x20_0000;
+const L: i64 = 0x30_0000;
+/// Row length of one sweep.
+const N: i64 = 2048;
+
+/// Builds the kernel with `outer` SSOR iterations.
+#[must_use]
+pub fn build(outer: i64) -> Program {
+    let mut a = Assembler::new();
+    let r = |i: u8| Reg::new(i);
+    let f = |i: u8| Freg::new(i);
+    let (i, oc, tmp, bp, xp, lp) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    let (carry, bv, lv, t0, omega) = (f(0), f(1), f(2), f(3), f(4));
+
+    emit_fp_fill(&mut a, B, N, 0.003, 0xf00);
+    emit_fp_fill(&mut a, L, N, 0.0001, 0xf08);
+    emit_fp_fill(&mut a, X, N, 0.0, 0xf10);
+
+    a.data_f64(0xf18, 0.8); // over-relaxation factor
+    a.li(tmp, 0xf18);
+    a.lf(omega, tmp, 0);
+
+    a.li(oc, outer);
+    let outer_top = a.bind_label();
+
+    // Forward sweep: x[i] = omega * (b[i] - l[i] * x[i-1])
+    a.li(bp, B);
+    a.li(xp, X);
+    a.li(lp, L);
+    a.li(i, N - 1);
+    a.lf(carry, xp, 0);
+    a.addi(xp, xp, 8);
+    a.addi(bp, bp, 8);
+    a.addi(lp, lp, 8);
+    let fwd = a.bind_label();
+    a.lf(bv, bp, 0);
+    a.lf(lv, lp, 0);
+    a.fmul(t0, lv, carry);
+    a.fsub(t0, bv, t0);
+    a.fmul(carry, omega, t0); // serializes the sweep
+    a.sf(xp, 0, carry);
+    a.addi(bp, bp, 8);
+    a.addi(lp, lp, 8);
+    a.addi(xp, xp, 8);
+    a.addi(i, i, -1);
+    a.bnez(i, fwd);
+
+    // Backward sweep: x[i] = omega * (b[i] - l[i] * x[i+1])
+    a.li(tmp, (N - 1) * 8);
+    a.li(bp, B);
+    a.add(bp, bp, tmp);
+    a.li(xp, X);
+    a.add(xp, xp, tmp);
+    a.li(lp, L);
+    a.add(lp, lp, tmp);
+    a.li(i, N - 1);
+    a.lf(carry, xp, 0);
+    a.addi(xp, xp, -8);
+    a.addi(bp, bp, -8);
+    a.addi(lp, lp, -8);
+    let bwd = a.bind_label();
+    a.lf(bv, bp, 0);
+    a.lf(lv, lp, 0);
+    a.fmul(t0, lv, carry);
+    a.fsub(t0, bv, t0);
+    a.fmul(carry, omega, t0);
+    a.sf(xp, 0, carry);
+    a.addi(bp, bp, -8);
+    a.addi(lp, lp, -8);
+    a.addi(xp, xp, -8);
+    a.addi(i, i, -1);
+    a.bnez(i, bwd);
+
+    a.addi(oc, oc, -1);
+    a.bnez(oc, outer_top);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrs_isa::Emulator;
+
+    #[test]
+    fn sweeps_fill_the_solution_vector() {
+        let mut e = Emulator::new(build(1), 32 << 20);
+        for _ in e.by_ref() {}
+        let mut nonzero = 0;
+        for k in 1..N as u64 - 1 {
+            if e.memory().read_f64(X as u64 + k * 8) != 0.0 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero > N - 10, "x mostly unwritten: {nonzero}");
+    }
+
+    #[test]
+    fn values_stay_finite() {
+        let mut e = Emulator::new(build(3), 32 << 20);
+        for _ in e.by_ref() {}
+        for k in 0..N as u64 {
+            assert!(e.memory().read_f64(X as u64 + k * 8).is_finite());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! `crafty` analogue: bitboard move generation.
+//!
+//! Models 186.crafty's chess engine core: 64-bit bitboard logic — isolate
+//! the least-significant set bit, generate attack masks by shifting,
+//! intersect with enemy occupancy, count captures with population count.
+//! Almost no memory traffic, dense dyadic logic ops, high IPC.
+
+use crate::common::emit_xorshift;
+use wsrs_isa::{Assembler, Program, Reg};
+
+/// Builds the kernel with `outer` search plies (128 positions each).
+#[must_use]
+pub fn build(outer: i64) -> Program {
+    let mut a = Assembler::new();
+    let r = |i: u8| Reg::new(i);
+    let (own, enemy, b, lsb, att, caps, score, tmp) =
+        (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    let (rng, oc, positions, t2) = (r(9), r(10), r(11), r(12));
+
+    a.li(rng, 0x0123_4567_89ab);
+    a.li(oc, outer);
+    let outer_top = a.bind_label();
+
+    a.li(positions, 128);
+    let pos_top = a.bind_label();
+    // New pseudo-random position.
+    emit_xorshift(&mut a, rng, tmp);
+    a.mov(own, rng);
+    emit_xorshift(&mut a, rng, tmp);
+    a.mov(enemy, rng);
+    a.not(tmp, own);
+    a.and(enemy, enemy, tmp); // disjoint occupancies
+    a.mov(b, own);
+
+    // For each piece: generate knight-ish attacks and count captures.
+    let piece_loop = a.bind_label();
+    let done = a.label();
+    a.beqz(b, done);
+    a.neg(lsb, b);
+    a.and(lsb, lsb, b); // isolate LSB
+    // attack mask: a cloud of shifts around the piece
+    a.slli(att, lsb, 17);
+    a.srli(tmp, lsb, 17);
+    a.or(att, att, tmp);
+    a.slli(tmp, lsb, 15);
+    a.or(att, att, tmp);
+    a.srli(tmp, lsb, 15);
+    a.or(att, att, tmp);
+    a.slli(tmp, lsb, 10);
+    a.or(att, att, tmp);
+    a.srli(tmp, lsb, 10);
+    a.or(att, att, tmp);
+    a.slli(tmp, lsb, 6);
+    a.or(att, att, tmp);
+    a.srli(tmp, lsb, 6);
+    a.or(att, att, tmp);
+    // captures & mobility
+    a.and(t2, att, enemy);
+    a.popc(t2, t2);
+    a.add(caps, caps, t2);
+    a.not(t2, own);
+    a.and(t2, att, t2);
+    a.popc(t2, t2);
+    a.add(score, score, t2);
+    a.xor(b, b, lsb); // clear the piece
+    a.jump(piece_loop);
+    a.bind(done);
+
+    a.addi(positions, positions, -1);
+    a.bnez(positions, pos_top);
+
+    a.addi(oc, oc, -1);
+    a.bnez(oc, outer_top);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+    use wsrs_isa::Emulator;
+
+    #[test]
+    fn scores_accumulate() {
+        let mut e = Emulator::new(build(1), 4096);
+        for _ in e.by_ref() {}
+        assert!(e.int_reg(Reg::new(6)) > 0, "no captures");
+        assert!(e.int_reg(Reg::new(7)) > 0, "no mobility");
+    }
+
+    #[test]
+    fn almost_no_memory_traffic() {
+        let s = TraceStats::measure(Emulator::new(build(1), 4096).take(30_000));
+        assert!(s.memory_fraction() < 0.01, "got {}", s.memory_fraction());
+        assert!(s.dyadic_fraction() > 0.4, "got {}", s.dyadic_fraction());
+    }
+}

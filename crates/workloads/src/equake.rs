@@ -1,0 +1,114 @@
+//! `equake` analogue: sparse matrix–vector product.
+//!
+//! 183.equake simulates seismic wave propagation dominated by
+//! sparse-matrix–vector products over an unstructured mesh. The kernel is
+//! a CSR SpMV: per row, indirect column-index loads feed indexed FP loads
+//! of the source vector — the irregular, cache-unfriendly FP access
+//! pattern of the original.
+
+use crate::common::emit_fp_fill;
+use wsrs_isa::{Assembler, Program, Reg};
+use wsrs_isa::Freg;
+
+/// Column-index array (word per nonzero).
+const COLS: i64 = 0x10_0000;
+/// Nonzero values.
+const VALS: i64 = 0x60_0000;
+/// Source vector (32 K entries = 256 KB, defeats the L1).
+const XV: i64 = 0xb0_0000;
+const YV: i64 = 0xf0_0000;
+const ROWS: i64 = 4096;
+const NNZ_PER_ROW: i64 = 8;
+const XMASK: i64 = (1 << 15) - 1;
+
+/// Builds the kernel with `outer` SpMV applications.
+#[must_use]
+pub fn build(outer: i64) -> Program {
+    let mut a = Assembler::new();
+    let r = |i: u8| Reg::new(i);
+    let f = |i: u8| Freg::new(i);
+    let (i, k, oc, tmp, cp, vp, yp, col, seed) =
+        (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8), r(9));
+    let (acc, av, xv, t0) = (f(0), f(1), f(2), f(3));
+
+    // Column indices: scrambled but deterministic (byte offsets into x).
+    a.li(i, 0);
+    a.li(tmp, ROWS * NNZ_PER_ROW);
+    a.li(seed, 0x2545_f491);
+    let ci = a.bind_label();
+    a.mul(col, i, seed);
+    a.srli(col, col, 7);
+    a.andi(col, col, XMASK);
+    a.slli(col, col, 3);
+    a.slli(cp, i, 3);
+    a.li(k, COLS);
+    a.sw_idx(k, cp, col);
+    a.addi(i, i, 1);
+    a.blt(i, tmp, ci);
+
+    emit_fp_fill(&mut a, VALS, ROWS * NNZ_PER_ROW, 0.0003, 0xf00);
+    emit_fp_fill(&mut a, XV, XMASK + 1, 0.001, 0xf08);
+
+    a.li(oc, outer);
+    let outer_top = a.bind_label();
+
+    a.li(i, 0);
+    a.li(cp, COLS);
+    a.li(vp, VALS);
+    a.li(yp, YV);
+    let row_top = a.bind_label();
+    a.fsub(acc, acc, acc);
+    a.li(k, NNZ_PER_ROW);
+    let nz_top = a.bind_label();
+    a.lw(col, cp, 0); // column byte-offset
+    a.li(tmp, XV);
+    a.lf_idx(xv, tmp, col); // indirect gather
+    a.lf(av, vp, 0);
+    a.fmul(t0, av, xv);
+    a.fadd(acc, acc, t0);
+    a.addi(cp, cp, 8);
+    a.addi(vp, vp, 8);
+    a.addi(k, k, -1);
+    a.bnez(k, nz_top);
+    a.sf(yp, 0, acc);
+    a.addi(yp, yp, 8);
+    a.addi(i, i, 1);
+    a.li(tmp, ROWS);
+    a.blt(i, tmp, row_top);
+
+    a.addi(oc, oc, -1);
+    a.bnez(oc, outer_top);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+    use wsrs_isa::Emulator;
+
+    #[test]
+    fn produces_row_sums() {
+        let mut e = Emulator::new(build(1), 32 << 20);
+        for _ in e.by_ref() {}
+        let mut nonzero = 0;
+        for k in 0..ROWS as u64 {
+            let v = e.memory().read_f64(YV as u64 + k * 8);
+            assert!(v.is_finite());
+            if v != 0.0 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero > ROWS / 2, "y mostly zero: {nonzero}");
+    }
+
+    #[test]
+    fn gather_heavy() {
+        let s = TraceStats::measure(
+            Emulator::new(build(2), 32 << 20).skip(700_000).take(30_000),
+        );
+        assert!(s.memory_fraction() > 0.18, "got {}", s.memory_fraction());
+        assert!(s.fp_fraction() > 0.1, "got {}", s.fp_fraction());
+    }
+}

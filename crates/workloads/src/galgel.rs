@@ -1,0 +1,125 @@
+//! `galgel` analogue: Galerkin power iteration.
+//!
+//! 178.galgel performs Galerkin-method fluid-stability analysis dominated
+//! by dense linear algebra with normalizations. The kernel runs a power
+//! iteration on a 64×64 matrix: `y = A·x`, `norm = 1/√(y·y)`,
+//! `x = y·norm` — dense FP with the divide/square-root latencies the
+//! paper's Table 2 prices at 15 cycles.
+
+use crate::common::emit_fp_fill;
+use wsrs_isa::{Assembler, Freg, Program, Reg};
+
+const A: i64 = 0x10_0000;
+const XV: i64 = 0x30_0000;
+const YV: i64 = 0x31_0000;
+const N: i64 = 64;
+
+/// Builds the kernel with `outer` power iterations.
+#[must_use]
+pub fn build(outer: i64) -> Program {
+    let mut a = Assembler::new();
+    let r = |i: u8| Reg::new(i);
+    let f = |i: u8| Freg::new(i);
+    let (i, j, oc, tmp, arow, xp, yp) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7));
+    let (acc, av, xv, t0, dot, norm, one) = (f(0), f(1), f(2), f(3), f(4), f(5), f(6));
+
+    emit_fp_fill(&mut a, A, N * N, 0.0005, 0xf00);
+    emit_fp_fill(&mut a, XV, N, 0.01, 0xf08);
+
+    a.data_f64(0xf10, 1.0);
+    a.li(tmp, 0xf10);
+    a.lf(one, tmp, 0);
+
+    a.li(oc, outer);
+    let outer_top = a.bind_label();
+
+    // y = A x
+    a.li(i, 0);
+    let i_top = a.bind_label();
+    a.slli(tmp, i, 9); // i * 64 * 8
+    a.li(arow, A);
+    a.add(arow, arow, tmp);
+    a.li(xp, XV);
+    a.fsub(acc, acc, acc); // acc = 0
+    a.li(j, 0);
+    let j_top = a.bind_label();
+    a.lf(av, arow, 0);
+    a.lf(xv, xp, 0);
+    a.fmul(t0, av, xv);
+    a.fadd(acc, acc, t0);
+    a.addi(arow, arow, 8);
+    a.addi(xp, xp, 8);
+    a.addi(j, j, 1);
+    a.li(tmp, N);
+    a.blt(j, tmp, j_top);
+    a.li(yp, YV);
+    a.slli(tmp, i, 3);
+    a.add(yp, yp, tmp);
+    a.sf(yp, 0, acc);
+    a.addi(i, i, 1);
+    a.li(tmp, N);
+    a.blt(i, tmp, i_top);
+
+    // dot = y·y
+    a.fsub(dot, dot, dot);
+    a.li(yp, YV);
+    a.li(i, N);
+    let dot_top = a.bind_label();
+    a.lf(av, yp, 0);
+    a.fmul(t0, av, av);
+    a.fadd(dot, dot, t0);
+    a.addi(yp, yp, 8);
+    a.addi(i, i, -1);
+    a.bnez(i, dot_top);
+
+    // norm = 1 / sqrt(dot) — the long-latency tail.
+    a.fsqrt(norm, dot);
+    a.fdiv(norm, one, norm);
+
+    // x = y * norm
+    a.li(yp, YV);
+    a.li(xp, XV);
+    a.li(i, N);
+    let scale_top = a.bind_label();
+    a.lf(av, yp, 0);
+    a.fmul(av, av, norm);
+    a.sf(xp, 0, av);
+    a.addi(yp, yp, 8);
+    a.addi(xp, xp, 8);
+    a.addi(i, i, -1);
+    a.bnez(i, scale_top);
+
+    a.addi(oc, oc, -1);
+    a.bnez(oc, outer_top);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrs_isa::Emulator;
+
+    #[test]
+    fn iterate_normalizes_x() {
+        let mut e = Emulator::new(build(2), 32 << 20);
+        for _ in e.by_ref() {}
+        // After normalization, Σ x² ≈ 1.
+        let mut sum = 0.0;
+        for k in 0..N as u64 {
+            let v = e.memory().read_f64(XV as u64 + k * 8);
+            assert!(v.is_finite());
+            sum += v * v;
+        }
+        assert!((sum - 1.0).abs() < 1e-6, "norm² = {sum}");
+    }
+
+    #[test]
+    fn uses_divide_and_sqrt() {
+        use wsrs_isa::OpClass;
+        let n = Emulator::new(build(2), 32 << 20)
+            .filter(|d| d.class == OpClass::FpDivSqrt)
+            .count();
+        assert_eq!(n, 4, "2 iterations x (sqrt + div)");
+    }
+}

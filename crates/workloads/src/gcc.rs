@@ -1,0 +1,151 @@
+//! `gcc` analogue: a bytecode/expression-tree interpreter.
+//!
+//! Models 176.gcc's character: very branchy, irregular control flow over
+//! in-memory intermediate representation, modest IPC. The interpreter
+//! dispatches over an 8-opcode bytecode stream with a compare-and-branch
+//! chain (real compilers lower small switches this way), each case doing a
+//! short burst of work against an environment array.
+
+use crate::common::emit_fill;
+use wsrs_isa::{Assembler, Program, Reg};
+
+/// Bytecode stream: 2048 pseudo-random opcodes.
+const CODE: i64 = 0x1_0000;
+const CODE_WORDS: i64 = 2048;
+/// Environment / operand array.
+const ENV: i64 = 0x8_0000;
+const ENV_MASK: i64 = 0x3ff;
+
+/// Builds the kernel with `outer` interpretation passes.
+#[must_use]
+pub fn build(outer: i64) -> Program {
+    let mut a = Assembler::new();
+    let r = |i: u8| Reg::new(i);
+    let (pc, opw, op, acc, x, tmp, base, oc, end) =
+        (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8), r(9));
+    let (stores, idx) = (r(10), r(11));
+
+    emit_fill(&mut a, CODE, CODE_WORDS, 0x1234_89ab, base, tmp, opw, x);
+    emit_fill(&mut a, ENV, 1024, 0xfeed_f00d, base, tmp, opw, x);
+
+    a.li(oc, outer);
+    let outer_top = a.bind_label();
+
+    a.li(pc, 0);
+    a.li(end, CODE_WORDS * 8);
+    a.li(acc, 1);
+    let fetch = a.bind_label();
+    a.li(base, CODE);
+    a.lw_idx(opw, base, pc);
+    a.andi(op, opw, 7);
+    // operand index derived from the instruction word
+    a.srli(idx, opw, 8);
+    a.andi(idx, idx, ENV_MASK);
+    a.slli(idx, idx, 3);
+    a.li(base, ENV);
+
+    // dispatch: compare-branch chain, lowered like a small switch.
+    let (c1, c2, c3, c4, c5, c6, c7) = (
+        a.label(),
+        a.label(),
+        a.label(),
+        a.label(),
+        a.label(),
+        a.label(),
+        a.label(),
+    );
+    let next = a.label();
+    a.li(tmp, 1);
+    a.beq(op, tmp, c1);
+    a.li(tmp, 2);
+    a.beq(op, tmp, c2);
+    a.li(tmp, 3);
+    a.beq(op, tmp, c3);
+    a.li(tmp, 4);
+    a.beq(op, tmp, c4);
+    a.li(tmp, 5);
+    a.beq(op, tmp, c5);
+    a.li(tmp, 6);
+    a.beq(op, tmp, c6);
+    a.bnez(op, c7);
+    // case 0: ADD env operand
+    a.lw_idx(x, base, idx);
+    a.add(acc, acc, x);
+    a.jump(next);
+    a.bind(c1); // SUB
+    a.lw_idx(x, base, idx);
+    a.sub(acc, acc, x);
+    a.jump(next);
+    a.bind(c2); // LOAD indirect
+    a.lw_idx(x, base, idx);
+    a.andi(x, x, ENV_MASK);
+    a.slli(x, x, 3);
+    a.lw_idx(acc, base, x);
+    a.jump(next);
+    a.bind(c3); // STORE
+    a.sw_idx(base, idx, acc);
+    a.addi(stores, stores, 1);
+    a.jump(next);
+    a.bind(c4); // SHIFT mix
+    a.slli(x, acc, 1);
+    a.srli(tmp, acc, 3);
+    a.xor(acc, x, tmp);
+    a.jump(next);
+    a.bind(c5); // XOR env
+    a.lw_idx(x, base, idx);
+    a.xor(acc, acc, x);
+    a.jump(next);
+    a.bind(c6); // conditional on accumulator parity (data-dependent)
+    a.andi(tmp, acc, 1);
+    let odd = a.label();
+    a.bnez(tmp, odd);
+    a.addi(acc, acc, 7);
+    a.jump(next);
+    a.bind(odd);
+    a.srai(acc, acc, 1);
+    a.jump(next);
+    a.bind(c7); // rare MUL
+    a.lw_idx(x, base, idx);
+    a.ori(x, x, 1);
+    a.mul(acc, acc, x);
+    a.bind(next);
+    a.addi(pc, pc, 8);
+    a.blt(pc, end, fetch);
+
+    a.addi(oc, oc, -1);
+    a.bnez(oc, outer_top);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+    use wsrs_isa::Emulator;
+
+    #[test]
+    fn interprets_whole_stream() {
+        let mut e = Emulator::new(build(1), 1 << 20);
+        let n = e.by_ref().count();
+        assert!(e.is_halted());
+        assert!(n as i64 > CODE_WORDS * 5, "per-op work missing: {n}");
+    }
+
+    #[test]
+    fn branchier_than_most() {
+        // Skip the fill loops; measure the interpreter itself.
+        let s = TraceStats::measure(
+            Emulator::new(build(10), 1 << 20).skip(40_000).take(30_000),
+        );
+        assert!(s.branch_fraction() > 0.15, "got {}", s.branch_fraction());
+    }
+
+    #[test]
+    fn all_cases_executed() {
+        let mut e = Emulator::new(build(1), 1 << 20);
+        for _ in e.by_ref() {}
+        assert!(e.int_reg(Reg::new(10)) > 0, "store case never hit");
+        assert_ne!(e.int_reg(Reg::new(4)), 1, "accumulator unchanged");
+    }
+}

@@ -1,0 +1,311 @@
+//! # wsrs-workloads — benchmark kernels standing in for SPEC CPU2000
+//!
+//! The paper simulates 5 SPECint2000 and 7 SPECfp2000 benchmarks (§5.3).
+//! SPEC sources and SPARC binaries are not redistributable, so this crate
+//! provides twelve hand-written kernels, one per benchmark, each built with
+//! the `wsrs-isa` assembler and executed by the functional emulator. Every
+//! kernel is written to reproduce the *dynamic properties WSRS is
+//! sensitive to* of its namesake:
+//!
+//! | kernel   | models                          | character |
+//! |----------|---------------------------------|-----------|
+//! | gzip     | LZ77 hash-chain compressor      | high-IPC int, hash loads |
+//! | vpr      | annealing placement             | data-dependent accept branches |
+//! | gcc      | expression-tree interpreter     | branchy, irregular |
+//! | mcf      | network-simplex pointer chasing | L2 misses, low IPC |
+//! | crafty   | bitboard move generation        | 64-bit logic ops, high IPC |
+//! | wupwise  | blocked matrix multiply         | FP chains, invariant operands |
+//! | swim     | shallow-water 2-D stencil       | FP, large grid |
+//! | mgrid    | 3-D multigrid relaxation        | FP, strided 3-D access |
+//! | applu    | SSOR triangular sweeps          | FP recurrences |
+//! | galgel   | Galerkin eigen-iteration        | FP with div/sqrt |
+//! | equake   | sparse matrix-vector product    | indirect FP loads |
+//! | facerec  | windowed image correlation      | FP dot products, reuse |
+//!
+//! All kernels take an `outer` repetition count so traces can be made
+//! arbitrarily long; [`Workload::trace`] uses a practically unbounded
+//! count, so **always bound consumption with `.take(n)`**.
+//!
+//! # Example
+//!
+//! ```
+//! use wsrs_workloads::Workload;
+//!
+//! let trace: Vec<_> = Workload::Gzip.trace().take(10_000).collect();
+//! assert_eq!(trace.len(), 10_000);
+//! let stats = wsrs_workloads::stats::TraceStats::measure(trace.iter().copied());
+//! assert!(stats.branch_fraction() > 0.05);
+//! ```
+
+pub mod applu;
+pub mod common;
+pub mod crafty;
+pub mod equake;
+pub mod facerec;
+pub mod galgel;
+pub mod gcc;
+pub mod gzip;
+pub mod mcf;
+pub mod mgrid;
+pub mod stats;
+pub mod swim;
+pub mod vpr;
+pub mod wupwise;
+
+use wsrs_isa::{Emulator, Program};
+
+/// Default emulated-memory size (bytes) — large enough for the biggest
+/// kernel footprints (mcf/equake stride through multiple megabytes).
+pub const DEFAULT_MEM_BYTES: usize = 32 << 20;
+
+/// An effectively unbounded outer-loop count for streaming traces.
+const UNBOUNDED: i64 = i64::MAX / 2;
+
+/// The twelve benchmark kernels (5 integer + 7 floating point).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Workload {
+    /// LZ77 hash-chain compressor (SPECint 164.gzip analogue).
+    Gzip,
+    /// Annealing-style placement (175.vpr).
+    Vpr,
+    /// Expression-tree interpreter (176.gcc).
+    Gcc,
+    /// Network-simplex pointer chasing (181.mcf).
+    Mcf,
+    /// Bitboard move generation (186.crafty).
+    Crafty,
+    /// Blocked matrix multiply (168.wupwise).
+    Wupwise,
+    /// Shallow-water stencil (171.swim).
+    Swim,
+    /// Multigrid relaxation (172.mgrid).
+    Mgrid,
+    /// SSOR sweeps (173.applu).
+    Applu,
+    /// Galerkin eigen-iteration (178.galgel).
+    Galgel,
+    /// Sparse matrix-vector product (183.equake).
+    Equake,
+    /// Windowed correlation (187.facerec).
+    Facerec,
+}
+
+impl Workload {
+    /// All workloads, integer benchmarks first (the paper's Figure 4
+    /// ordering).
+    #[must_use]
+    pub fn all() -> [Workload; 12] {
+        [
+            Workload::Gzip,
+            Workload::Vpr,
+            Workload::Gcc,
+            Workload::Mcf,
+            Workload::Crafty,
+            Workload::Wupwise,
+            Workload::Swim,
+            Workload::Mgrid,
+            Workload::Applu,
+            Workload::Galgel,
+            Workload::Equake,
+            Workload::Facerec,
+        ]
+    }
+
+    /// The five integer benchmarks.
+    #[must_use]
+    pub fn integer() -> [Workload; 5] {
+        [
+            Workload::Gzip,
+            Workload::Vpr,
+            Workload::Gcc,
+            Workload::Mcf,
+            Workload::Crafty,
+        ]
+    }
+
+    /// The seven floating-point benchmarks.
+    #[must_use]
+    pub fn floating_point() -> [Workload; 7] {
+        [
+            Workload::Wupwise,
+            Workload::Swim,
+            Workload::Mgrid,
+            Workload::Applu,
+            Workload::Galgel,
+            Workload::Equake,
+            Workload::Facerec,
+        ]
+    }
+
+    /// Display name (lower-case, as in the paper's figures).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Gzip => "gzip",
+            Workload::Vpr => "vpr",
+            Workload::Gcc => "gcc",
+            Workload::Mcf => "mcf",
+            Workload::Crafty => "crafty",
+            Workload::Wupwise => "wupwise",
+            Workload::Swim => "swim",
+            Workload::Mgrid => "mgrid",
+            Workload::Applu => "applu",
+            Workload::Galgel => "galgel",
+            Workload::Equake => "equake",
+            Workload::Facerec => "facerec",
+        }
+    }
+
+    /// Whether this kernel is part of the floating-point set.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        !matches!(
+            self,
+            Workload::Gzip | Workload::Vpr | Workload::Gcc | Workload::Mcf | Workload::Crafty
+        )
+    }
+
+    /// Builds the kernel program with `outer` outer-loop repetitions.
+    #[must_use]
+    pub fn program(self, outer: i64) -> Program {
+        match self {
+            Workload::Gzip => gzip::build(outer),
+            Workload::Vpr => vpr::build(outer),
+            Workload::Gcc => gcc::build(outer),
+            Workload::Mcf => mcf::build(outer),
+            Workload::Crafty => crafty::build(outer),
+            Workload::Wupwise => wupwise::build(outer),
+            Workload::Swim => swim::build(outer),
+            Workload::Mgrid => mgrid::build(outer),
+            Workload::Applu => applu::build(outer),
+            Workload::Galgel => galgel::build(outer),
+            Workload::Equake => equake::build(outer),
+            Workload::Facerec => facerec::build(outer),
+        }
+    }
+
+    /// An emulator over an effectively unbounded run of the kernel — bound
+    /// it with `.take(n)`.
+    #[must_use]
+    pub fn trace(self) -> Emulator {
+        Emulator::new(self.program(UNBOUNDED), DEFAULT_MEM_BYTES)
+    }
+
+    /// An emulator over a short, terminating run (functional tests).
+    #[must_use]
+    pub fn short_run(self) -> Emulator {
+        Emulator::new(self.program(2), DEFAULT_MEM_BYTES)
+    }
+}
+
+impl std::str::FromStr for Workload {
+    type Err = UnknownWorkload;
+
+    fn from_str(s: &str) -> Result<Self, UnknownWorkload> {
+        Workload::all()
+            .into_iter()
+            .find(|w| w.name() == s)
+            .ok_or_else(|| UnknownWorkload(s.to_string()))
+    }
+}
+
+/// Error returned when parsing an unknown workload name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownWorkload(String);
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown workload '{}'", self.0)
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads_partition() {
+        assert_eq!(Workload::all().len(), 12);
+        assert_eq!(Workload::integer().len(), 5);
+        assert_eq!(Workload::floating_point().len(), 7);
+        for w in Workload::integer() {
+            assert!(!w.is_fp());
+        }
+        for w in Workload::floating_point() {
+            assert!(w.is_fp());
+        }
+    }
+
+    #[test]
+    fn names_parse_round_trip() {
+        for w in Workload::all() {
+            let parsed: Workload = w.name().parse().unwrap();
+            assert_eq!(parsed, w);
+        }
+        assert!("nonesuch".parse::<Workload>().is_err());
+    }
+
+    #[test]
+    fn every_kernel_terminates_on_short_run() {
+        for w in Workload::all() {
+            let mut emu = w.short_run();
+            let n = emu.by_ref().count();
+            assert!(emu.is_halted(), "{w} did not halt");
+            assert!(n > 500, "{w} too short: {n} µops");
+        }
+    }
+
+    #[test]
+    fn every_kernel_streams_unbounded() {
+        for w in Workload::all() {
+            let n = w.trace().take(5_000).count();
+            assert_eq!(n, 5_000, "{w} trace ended early");
+        }
+    }
+
+    #[test]
+    fn fp_kernels_actually_use_fp() {
+        use wsrs_isa::OpClass;
+        for w in Workload::floating_point() {
+            // Skip past data-initialization loops into steady state.
+            let fp = w
+                .trace()
+                .skip(1_000_000)
+                .take(20_000)
+                .filter(|d| {
+                    matches!(
+                        d.class,
+                        OpClass::FpAdd | OpClass::FpMul | OpClass::FpDivSqrt | OpClass::FpMove
+                    )
+                })
+                .count();
+            assert!(fp > 2_000, "{w}: only {fp} FP µops in 20k");
+        }
+    }
+
+    #[test]
+    fn int_kernels_avoid_fp() {
+        use wsrs_isa::OpClass;
+        for w in Workload::integer() {
+            let fp = w
+                .trace()
+                .take(20_000)
+                .filter(|d| {
+                    matches!(
+                        d.class,
+                        OpClass::FpAdd | OpClass::FpMul | OpClass::FpDivSqrt | OpClass::FpMove
+                    )
+                })
+                .count();
+            assert_eq!(fp, 0, "{w} uses FP");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! `mcf` analogue: network-simplex pointer chasing.
+//!
+//! Models 181.mcf, the most memory-bound SPECint2000 member: a
+//! cache-defeating pointer chase over a node arena larger than the L2,
+//! interleaved with a sequential arc-pricing scan. Dominated by L2 misses
+//! and serialized loads — the low-IPC bar of the paper's Figure 4.
+
+use wsrs_isa::{Assembler, Program, Reg};
+
+/// Node arena: 64 K nodes × 2 words (next, cost) = 1 MB (2 × the L2).
+const NODES: i64 = 0x40_0000;
+const NODE_COUNT: i64 = 1 << 16;
+/// Stride of the next-pointer permutation (odd → full cycle over 2^16).
+const STRIDE: i64 = 40503;
+/// Arc array scanned sequentially.
+const ARCS: i64 = 0x80_0000;
+const ARC_WORDS: i64 = 4096;
+
+/// Builds the kernel with `outer` simplex iterations.
+#[must_use]
+pub fn build(outer: i64) -> Program {
+    let mut a = Assembler::new();
+    let r = |i: u8| Reg::new(i);
+    let (i, n, ptr, nxt, tmp, oc) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    let (cur, cost, steps, abase, aend, best) = (r(7), r(8), r(9), r(10), r(11), r(12));
+
+    // Build the permutation: next[i] = (i + STRIDE) mod 2^16, cost[i] = i^mix.
+    a.li(i, 0);
+    a.li(n, NODE_COUNT);
+    let init = a.bind_label();
+    a.addi(nxt, i, STRIDE);
+    a.andi(nxt, nxt, NODE_COUNT - 1);
+    a.slli(tmp, i, 4); // node i at NODES + 16*i
+    a.li(ptr, NODES);
+    a.add(ptr, ptr, tmp);
+    a.slli(nxt, nxt, 4);
+    a.sw(ptr, 0, nxt); // next offset (pre-scaled)
+    a.xori(tmp, i, 0x5a5a);
+    a.sw(ptr, 8, tmp); // cost
+    a.addi(i, i, 1);
+    a.blt(i, n, init);
+    // Arc array: pseudo prices.
+    a.li(i, 0);
+    a.li(n, ARC_WORDS);
+    let ainit = a.bind_label();
+    a.slli(tmp, i, 3);
+    a.li(ptr, ARCS);
+    a.mul(nxt, i, i);
+    a.sw_idx(ptr, tmp, nxt);
+    a.addi(i, i, 1);
+    a.blt(i, n, ainit);
+
+    a.li(oc, outer);
+    let outer_top = a.bind_label();
+
+    // Phase 1: chase 8192 pointers (serial, L2-missing).
+    a.li(cur, 0);
+    a.li(steps, 8192);
+    a.li(ptr, NODES);
+    let chase = a.bind_label();
+    a.add(tmp, ptr, cur);
+    a.lw(nxt, tmp, 0); // next offset (dependent load chain)
+    a.lw(cost, tmp, 8);
+    a.add(best, best, cost);
+    a.mov(cur, nxt);
+    a.addi(steps, steps, -1);
+    a.bnez(steps, chase);
+
+    // Phase 2: sequential arc pricing scan (ILP-rich by contrast).
+    a.li(abase, ARCS);
+    a.li(aend, ARCS + ARC_WORDS * 8);
+    let scan = a.bind_label();
+    a.lw(tmp, abase, 0);
+    a.lw(nxt, abase, 8);
+    a.add(tmp, tmp, nxt);
+    a.slt(cost, tmp, best);
+    a.add(best, best, cost);
+    a.addi(abase, abase, 16);
+    a.blt(abase, aend, scan);
+
+    a.addi(oc, oc, -1);
+    a.bnez(oc, outer_top);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+    use wsrs_isa::Emulator;
+
+    #[test]
+    fn permutation_cycles_the_arena() {
+        // Follow next pointers in the final memory image: offsets must stay
+        // in-range and not immediately revisit.
+        let mut e = Emulator::new(build(1), 32 << 20);
+        for _ in e.by_ref() {}
+        let mut cur = 0u64;
+        let mut seen_zero_again = 0;
+        for _ in 0..1000 {
+            let next = e.memory().read(NODES as u64 + cur);
+            assert!(next < (NODE_COUNT as u64) * 16, "offset out of range");
+            assert_eq!(next % 16, 0);
+            if next == 0 {
+                seen_zero_again += 1;
+            }
+            cur = next;
+        }
+        assert!(seen_zero_again <= 1, "cycle too short");
+    }
+
+    #[test]
+    fn memory_fraction_is_high() {
+        // Skip initialization, then measure the chase phase.
+        let s = TraceStats::measure(
+            Emulator::new(build(100), 32 << 20)
+                .skip(900_000)
+                .take(50_000),
+        );
+        assert!(s.memory_fraction() > 0.2, "got {}", s.memory_fraction());
+    }
+}

@@ -1,0 +1,134 @@
+//! Dynamic-trace statistics: the instruction-mix quantities the paper's
+//! analysis leans on (monadic/dyadic fractions, branch density, memory
+//! density).
+
+use wsrs_isa::{Arity, DynInst, OpClass};
+
+/// Aggregate statistics of a µop stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceStats {
+    /// Total µops measured.
+    pub total: u64,
+    /// Noadic / monadic / dyadic µop counts (dynamic register arity).
+    pub arity: [u64; 3],
+    /// Dyadic µops whose opcode commutes mathematically.
+    pub commutative_dyadic: u64,
+    /// Conditional branches.
+    pub cond_branches: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// FP-class µops.
+    pub fp_ops: u64,
+}
+
+impl TraceStats {
+    /// Measures a stream of µops.
+    #[must_use]
+    pub fn measure(trace: impl Iterator<Item = DynInst>) -> Self {
+        let mut s = TraceStats::default();
+        for d in trace {
+            s.total += 1;
+            let idx = match d.arity() {
+                Arity::Noadic => 0,
+                Arity::Monadic => 1,
+                Arity::Dyadic => 2,
+            };
+            s.arity[idx] += 1;
+            if idx == 2 && d.op.is_commutative() {
+                s.commutative_dyadic += 1;
+            }
+            if d.is_cond_branch() {
+                s.cond_branches += 1;
+            }
+            match d.class {
+                OpClass::Load => s.loads += 1,
+                OpClass::Store => s.stores += 1,
+                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDivSqrt | OpClass::FpMove => {
+                    s.fp_ops += 1;
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    fn frac(&self, n: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            n as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of µops that are monadic (one register operand) — the
+    /// paper's key degree of freedom for WSRS allocation.
+    #[must_use]
+    pub fn monadic_fraction(&self) -> f64 {
+        self.frac(self.arity[1])
+    }
+
+    /// Fraction of µops that are dyadic.
+    #[must_use]
+    pub fn dyadic_fraction(&self) -> f64 {
+        self.frac(self.arity[2])
+    }
+
+    /// Fraction of µops that are conditional branches.
+    #[must_use]
+    pub fn branch_fraction(&self) -> f64 {
+        self.frac(self.cond_branches)
+    }
+
+    /// Fraction of µops that touch memory.
+    #[must_use]
+    pub fn memory_fraction(&self) -> f64 {
+        self.frac(self.loads + self.stores)
+    }
+
+    /// Fraction of µops that are FP-class.
+    #[must_use]
+    pub fn fp_fraction(&self) -> f64 {
+        self.frac(self.fp_ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn fractions_sum_to_one_over_arities() {
+        let s = TraceStats::measure(Workload::Gzip.trace().take(20_000));
+        let sum: u64 = s.arity.iter().sum();
+        assert_eq!(sum, s.total);
+    }
+
+    #[test]
+    fn every_kernel_has_monadic_freedom() {
+        // §3.3: "a large fraction of the instructions are either monadic or
+        // noadic" — each kernel must give the WSRS policies something to
+        // work with.
+        for w in Workload::all() {
+            let s = TraceStats::measure(w.trace().take(30_000));
+            let free = s.monadic_fraction() + s.frac(s.arity[0]);
+            assert!(free > 0.15, "{w}: only {free:.2} monadic+noadic");
+        }
+    }
+
+    #[test]
+    fn mcf_is_memory_bound_gzip_is_not() {
+        let mcf = TraceStats::measure(Workload::Mcf.trace().take(30_000));
+        let gzip = TraceStats::measure(Workload::Gzip.trace().take(30_000));
+        assert!(mcf.memory_fraction() > gzip.memory_fraction());
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::measure(std::iter::empty());
+        assert_eq!(s.total, 0);
+        assert_eq!(s.monadic_fraction(), 0.0);
+    }
+}

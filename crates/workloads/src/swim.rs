@@ -1,0 +1,122 @@
+//! `swim` analogue: shallow-water finite-difference stencil.
+//!
+//! 171.swim sweeps 2-D grids with a neighbour stencil. The kernel updates a
+//! 128×128 grid from three source grids (u, v, p) with invariant weight
+//! constants held in FP registers, streaming ~512 KB of grid data per
+//! sweep — enough to keep the L2 busy, like the original.
+
+use crate::common::emit_fp_fill;
+use wsrs_isa::{Assembler, Freg, Program, Reg};
+
+const U: i64 = 0x10_0000;
+const V: i64 = 0x30_0000;
+const P: i64 = 0x50_0000;
+const UNEW: i64 = 0x70_0000;
+/// Grid side (words); row stride is `N * 8` bytes.
+const N: i64 = 128;
+
+/// Builds the kernel with `outer` stencil sweeps.
+#[must_use]
+pub fn build(outer: i64) -> Program {
+    let mut a = Assembler::new();
+    let r = |i: u8| Reg::new(i);
+    let f = |i: u8| Freg::new(i);
+    let (i, j, oc, tmp) = (r(1), r(2), r(3), r(4));
+    let (urow, vrow, prow, orow) = (r(5), r(6), r(7), r(8));
+    let (c1, c2, c3) = (f(0), f(1), f(2));
+    let (pu, pd, pl, pr, uv, vv, acc, t0) = (f(3), f(4), f(5), f(6), f(7), f(8), f(9), f(10));
+
+    emit_fp_fill(&mut a, U, N * N, 0.01, 0xf00);
+    emit_fp_fill(&mut a, V, N * N, 0.02, 0xf08);
+    emit_fp_fill(&mut a, P, N * N, 0.03, 0xf10);
+
+    // Invariant stencil weights.
+    a.data_f64(0xf18, 0.25);
+    a.data_f64(0xf20, 0.125);
+    a.data_f64(0xf28, 0.5);
+    a.li(tmp, 0xf18);
+    a.lf(c1, tmp, 0);
+    a.lf(c2, tmp, 8);
+    a.lf(c3, tmp, 16);
+
+    a.li(oc, outer);
+    let outer_top = a.bind_label();
+
+    a.li(i, 1);
+    let i_top = a.bind_label();
+    // row bases for row i
+    a.slli(tmp, i, 10); // i * N * 8
+    a.li(urow, U);
+    a.add(urow, urow, tmp);
+    a.li(vrow, V);
+    a.add(vrow, vrow, tmp);
+    a.li(prow, P);
+    a.add(prow, prow, tmp);
+    a.li(orow, UNEW);
+    a.add(orow, orow, tmp);
+
+    a.li(j, 1);
+    let j_top = a.bind_label();
+    a.slli(tmp, j, 3);
+    // p neighbours
+    a.add(Reg::new(9), prow, tmp);
+    a.lf(pl, Reg::new(9), -8);
+    a.lf(pr, Reg::new(9), 8);
+    a.lf(pu, Reg::new(9), -(N * 8));
+    a.lf(pd, Reg::new(9), N * 8);
+    // u, v centre
+    a.add(Reg::new(10), urow, tmp);
+    a.lf(uv, Reg::new(10), 0);
+    a.add(Reg::new(11), vrow, tmp);
+    a.lf(vv, Reg::new(11), 0);
+    // unew = u + c1*(pr-pl) + c2*(pd-pu) + c3*v
+    a.fsub(t0, pr, pl);
+    a.fmul(t0, c1, t0);
+    a.fadd(acc, uv, t0);
+    a.fsub(t0, pd, pu);
+    a.fmul(t0, c2, t0);
+    a.fadd(acc, acc, t0);
+    a.fmul(t0, c3, vv);
+    a.fadd(acc, acc, t0);
+    a.add(Reg::new(12), orow, tmp);
+    a.sf(Reg::new(12), 0, acc);
+    a.addi(j, j, 1);
+    a.li(tmp, N - 1);
+    a.blt(j, tmp, j_top);
+
+    a.addi(i, i, 1);
+    a.li(tmp, N - 1);
+    a.blt(i, tmp, i_top);
+
+    a.addi(oc, oc, -1);
+    a.bnez(oc, outer_top);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+    use wsrs_isa::Emulator;
+
+    #[test]
+    fn interior_is_written_boundary_is_not() {
+        let mut e = Emulator::new(build(1), 32 << 20);
+        for _ in e.by_ref() {}
+        // interior point (1,1)
+        let interior = e.memory().read_f64(UNEW as u64 + (N as u64 * 8) + 8);
+        assert_ne!(interior, 0.0);
+        // boundary row 0 untouched
+        assert_eq!(e.memory().read_f64(UNEW as u64), 0.0);
+    }
+
+    #[test]
+    fn heavy_fp_and_memory() {
+        let s = TraceStats::measure(
+            Emulator::new(build(2), 32 << 20).skip(400_000).take(30_000),
+        );
+        assert!(s.fp_fraction() > 0.3, "fp {}", s.fp_fraction());
+        assert!(s.memory_fraction() > 0.2, "mem {}", s.memory_fraction());
+    }
+}

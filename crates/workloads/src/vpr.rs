@@ -1,0 +1,110 @@
+//! `vpr` analogue: simulated-annealing placement moves.
+//!
+//! Models 175.vpr's place phase: pick two random cells, compute the cost
+//! delta of swapping them, accept or reject on a data-dependent threshold.
+//! The accept branch is driven by pseudo-random data, producing the
+//! hard-to-predict branch profile (and resulting misprediction stalls) of
+//! the real benchmark.
+
+use crate::common::{emit_fill, emit_xorshift};
+use wsrs_isa::{Assembler, Program, Reg};
+
+/// Cell-position array: 1024 cells.
+const POS: i64 = 0x1_0000;
+const CELLS_MASK: i64 = 1023;
+/// Net-cost lookup array.
+const COST: i64 = 0x5_0000;
+
+/// Builds the kernel with `outer` annealing sweeps (4096 moves each).
+#[must_use]
+pub fn build(outer: i64) -> Program {
+    let mut a = Assembler::new();
+    let r = |i: u8| Reg::new(i);
+    let (rng, tmp, i_idx, j_idx, pi, pj) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    let (delta, thresh, acc, rej, moves, oc, base) = (r(7), r(8), r(9), r(10), r(11), r(12), r(13));
+    let (ci, cj) = (r(14), r(15));
+
+    emit_fill(&mut a, POS, 1024, 0x243f_6a88, base, moves, pi, tmp);
+    emit_fill(&mut a, COST, 1024, 0x8525_308d, base, moves, pi, tmp);
+
+    a.li(rng, 0x1357_9bdf);
+    a.li(oc, outer);
+    let outer_top = a.bind_label();
+
+    a.li(moves, 4096);
+    let move_top = a.bind_label();
+    emit_xorshift(&mut a, rng, tmp);
+    // i = rng & 1023, j = (rng >> 16) & 1023
+    a.andi(i_idx, rng, CELLS_MASK);
+    a.srli(j_idx, rng, 16);
+    a.andi(j_idx, j_idx, CELLS_MASK);
+    a.slli(i_idx, i_idx, 3);
+    a.slli(j_idx, j_idx, 3);
+    // load positions and costs
+    a.li(base, POS);
+    a.lw_idx(pi, base, i_idx);
+    a.lw_idx(pj, base, j_idx);
+    a.li(base, COST);
+    a.lw_idx(ci, base, i_idx);
+    a.lw_idx(cj, base, j_idx);
+    // delta = |pi - pj| - |ci - cj| (bounded wire-length proxy)
+    a.sub(delta, pi, pj);
+    a.srai(tmp, delta, 63);
+    a.xor(delta, delta, tmp);
+    a.sub(delta, delta, tmp); // |pi - pj|
+    a.sub(tmp, ci, cj);
+    a.srai(thresh, tmp, 63);
+    a.xor(tmp, tmp, thresh);
+    a.sub(tmp, tmp, thresh); // |ci - cj|
+    a.sub(delta, delta, tmp);
+    a.andi(delta, delta, 0xffff);
+    // threshold = rng >> 32 & 0xffff (annealing temperature proxy)
+    a.srli(thresh, rng, 32);
+    a.andi(thresh, thresh, 0xffff);
+    let reject = a.label();
+    a.bge(delta, thresh, reject); // ~50% data-dependent
+    // accept: swap positions
+    a.li(base, POS);
+    a.sw_idx(base, i_idx, pj);
+    a.sw_idx(base, j_idx, pi);
+    a.addi(acc, acc, 1);
+    let next = a.label();
+    a.jump(next);
+    a.bind(reject);
+    a.addi(rej, rej, 1);
+    a.bind(next);
+    a.addi(moves, moves, -1);
+    a.bnez(moves, move_top);
+
+    a.addi(oc, oc, -1);
+    a.bnez(oc, outer_top);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrs_isa::Emulator;
+
+    #[test]
+    fn accepts_and_rejects_mix() {
+        let mut e = Emulator::new(build(1), 1 << 20);
+        for _ in e.by_ref() {}
+        let acc = e.int_reg(Reg::new(9));
+        let rej = e.int_reg(Reg::new(10));
+        assert_eq!(acc + rej, 4096);
+        // Both outcomes well represented (the branch is genuinely mixed).
+        assert!(acc > 400, "accepts: {acc}");
+        assert!(rej > 400, "rejects: {rej}");
+    }
+
+    #[test]
+    fn swaps_modify_memory() {
+        let mut before = Emulator::new(build(1), 1 << 20);
+        let init: Vec<u64> = (0..32).map(|i| before.memory().read(POS as u64 + i * 8)).collect();
+        for _ in before.by_ref() {}
+        let after: Vec<u64> = (0..32).map(|i| before.memory().read(POS as u64 + i * 8)).collect();
+        assert_ne!(init, after);
+    }
+}

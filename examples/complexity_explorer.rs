@@ -1,0 +1,69 @@
+//! Complexity explorer: how register-file organization choices trade
+//! area, energy and access time — the §4 analysis as an interactive sweep.
+//!
+//! Prints (a) the paper's five organizations, (b) a WSRS register-count
+//! sweep showing how gently the specialized file scales, and (c) the cost
+//! of adding ports to a conventional file (the quadratic wall that
+//! motivates the whole paper).
+//!
+//! ```sh
+//! cargo run --release --example complexity_explorer
+//! ```
+
+use wsrs::complexity::{
+    bypass_sources, pipeline_cycles, reg_bit_area_w2, total_area_w2, CactiModel, RegFileOrg,
+};
+
+fn describe(org: &RegFileOrg, model: &CactiModel) {
+    let t = model.org_access_time_ns(org);
+    let p = pipeline_cycles(t, 10.0);
+    println!(
+        "{:<8} regs {:>4}  ({:>2}R,{:>2}W)x{}  {:>7.2} nJ/cy  {:>5.2} ns  {} stages  {:>3} bypass  {:>5} w^2/bit",
+        org.name,
+        org.total_regs,
+        org.reads,
+        org.writes,
+        org.copies,
+        model.org_energy_nj(org),
+        t,
+        p,
+        bypass_sources(p, org.bypass_buses),
+        reg_bit_area_w2(org),
+    );
+}
+
+fn main() {
+    let model = CactiModel::paper();
+
+    println!("## The paper's five organizations (Table 1)\n");
+    for org in RegFileOrg::paper_set() {
+        describe(&org, &model);
+    }
+
+    println!("\n## WSRS scales gently with register count\n");
+    for regs in [256usize, 384, 512, 768, 1024] {
+        describe(&RegFileOrg::wsrs(regs), &model);
+    }
+
+    println!("\n## The quadratic port wall on a conventional monolithic file\n");
+    println!("(16-wide issue would need ~32R/24W ports; area in w^2 per bit)");
+    for (r, w) in [(8, 6), (16, 12), (24, 18), (32, 24)] {
+        let area = (r + w) * (r + 2 * w);
+        let t = model.access_time_ns(256, r, w);
+        println!(
+            "  ({r:>2}R,{w:>2}W): area {area:>5} w^2/bit, access {t:.2} ns, {} stages at 10 GHz",
+            pipeline_cycles(t, 10.0)
+        );
+    }
+
+    println!("\n## Headline (Section 4.2.2)\n");
+    let conv = RegFileOrg::nows_distributed(256);
+    let spec = RegFileOrg::wsrs(512);
+    println!(
+        "WSRS vs conventional 4-cluster: area /{:.1}, power /{:.1}, access x{:.2} — \
+         with twice the physical registers.",
+        total_area_w2(&conv, 64) as f64 / total_area_w2(&spec, 64) as f64,
+        model.org_energy_nj(&conv) / model.org_energy_nj(&spec),
+        model.org_access_time_ns(&spec) / model.org_access_time_ns(&conv),
+    );
+}
