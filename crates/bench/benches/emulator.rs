@@ -9,7 +9,12 @@ const UOPS: usize = 200_000;
 fn emulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("emulator");
     g.throughput(Throughput::Elements(UOPS as u64));
-    for w in [Workload::Gzip, Workload::Crafty, Workload::Swim, Workload::Mcf] {
+    for w in [
+        Workload::Gzip,
+        Workload::Crafty,
+        Workload::Swim,
+        Workload::Mcf,
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, w| {
             b.iter(|| w.trace().take(UOPS).map(|d| d.pc).sum::<u64>())
         });

@@ -20,8 +20,7 @@ fn rename_throughput(c: &mut Criterion) {
             &strategy,
             |b, &strategy| {
                 b.iter(|| {
-                    let mut r =
-                        Renamer::new(RenamerConfig::write_specialized(512, 256, strategy));
+                    let mut r = Renamer::new(RenamerConfig::write_specialized(512, 256, strategy));
                     let mut pending: Vec<Mapping> = Vec::with_capacity(64);
                     let mut allocs = 0u64;
                     for cycle in 0..UOPS {

@@ -23,22 +23,18 @@ fn sim_throughput(c: &mut Criterion) {
         ),
         (
             "wsrs_rc",
-            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ),
         ),
     ];
     for (name, cfg) in configs {
         for w in [Workload::Gzip, Workload::Swim] {
-            g.bench_with_input(
-                BenchmarkId::new(name, w.name()),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        Simulator::new(*cfg)
-                            .run_measured(w.trace(), 0, UOPS)
-                            .cycles
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, w.name()), &cfg, |b, cfg| {
+                b.iter(|| Simulator::new(*cfg).run_measured(w.trace(), 0, UOPS).cycles)
+            });
         }
     }
     g.finish();

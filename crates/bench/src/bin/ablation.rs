@@ -56,7 +56,11 @@ fn main() {
             ),
             (
                 "RC",
-                SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+                SimConfig::wsrs(
+                    512,
+                    AllocPolicy::RandomCommutative,
+                    RenameStrategy::ExactCount,
+                ),
             ),
             (
                 "LB",
@@ -71,14 +75,16 @@ fn main() {
         .map(|&regs| {
             (
                 format!("{regs}"),
-                SimConfig::wsrs(regs, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+                SimConfig::wsrs(
+                    regs,
+                    AllocPolicy::RandomCommutative,
+                    RenameStrategy::ExactCount,
+                ),
             )
         })
         .collect();
-    let reg_refs: Vec<(&str, SimConfig)> = reg_sweep
-        .iter()
-        .map(|(n, c)| (n.as_str(), *c))
-        .collect();
+    let reg_refs: Vec<(&str, SimConfig)> =
+        reg_sweep.iter().map(|(n, c)| (n.as_str(), *c)).collect();
     sweep(
         "Ablation 2 — WSRS-RC physical register count (IPC)",
         &reg_refs,
@@ -98,18 +104,30 @@ fn main() {
             ),
             (
                 "WSRS strat1",
-                SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::Recycling),
+                SimConfig::wsrs(
+                    512,
+                    AllocPolicy::RandomCommutative,
+                    RenameStrategy::Recycling,
+                ),
             ),
             (
                 "WSRS strat2",
-                SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+                SimConfig::wsrs(
+                    512,
+                    AllocPolicy::RandomCommutative,
+                    RenameStrategy::ExactCount,
+                ),
             ),
         ],
         params,
     );
 
     let ff = |scope| {
-        let mut c = SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount);
+        let mut c = SimConfig::wsrs(
+            512,
+            AllocPolicy::RandomCommutative,
+            RenameStrategy::ExactCount,
+        );
         c.fast_forward = scope;
         c
     };
@@ -132,7 +150,11 @@ fn main() {
 
     use wsrs_frontend::PredictorKind;
     let pred = |kind| {
-        let mut c = SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount);
+        let mut c = SimConfig::wsrs(
+            512,
+            AllocPolicy::RandomCommutative,
+            RenameStrategy::ExactCount,
+        );
         c.predictor = kind;
         c
     };
@@ -189,7 +211,11 @@ fn main() {
             ),
             (
                 "WSRS RC 512",
-                SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+                SimConfig::wsrs(
+                    512,
+                    AllocPolicy::RandomCommutative,
+                    RenameStrategy::ExactCount,
+                ),
             ),
         ],
         params,

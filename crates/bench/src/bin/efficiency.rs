@@ -40,7 +40,11 @@ fn main() {
         ),
         (
             "WSRS RC 512",
-            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ),
             RegFileOrg::wsrs(512),
         ),
     ];

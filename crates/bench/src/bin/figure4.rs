@@ -66,7 +66,10 @@ fn main() {
         .chain(&fp_rows)
         .flat_map(|(_, v)| v.iter().copied())
         .fold(0.1f64, f64::max);
-    println!("{}", render_bars("Figure 4 (bars), integer", &names, &int_rows, max));
+    println!(
+        "{}",
+        render_bars("Figure 4 (bars), integer", &names, &int_rows, max)
+    );
     println!(
         "{}",
         render_bars("Figure 4 (bars), floating point", &names, &fp_rows, max)

@@ -13,7 +13,11 @@ fn main() {
     let configs = [
         (
             "WSRS RC",
-            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ),
         ),
         (
             "WSRS RM",

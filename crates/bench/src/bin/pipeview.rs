@@ -24,11 +24,18 @@ fn main() {
         ("conventional RR 256", SimConfig::conventional_rr(256)),
         (
             "WSRS RC 512",
-            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ),
         ),
     ] {
         let (report, timeline) = Simulator::new(cfg).run_timeline(w.trace().take(count * 4), count);
-        println!("== {label} — {name} (IPC {:.3} over the slice) ==", report.ipc());
+        println!(
+            "== {label} — {name} (IPC {:.3} over the slice) ==",
+            report.ipc()
+        );
         println!("{}", pipeview::render(&timeline, 96));
     }
     println!("legend: f fetch, d dispatch, i issue, c complete, r retire");

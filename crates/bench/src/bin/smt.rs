@@ -31,7 +31,10 @@ fn main() {
     println!(
         "static §2.3 rule (2 threads x 80 logical vs {} regs/subset): {}\n",
         smt_cfg.renamer.per_subset(wsrs_isa::RegClass::Int),
-        if smt_cfg.renamer.statically_deadlock_free(wsrs_isa::RegClass::Int) {
+        if smt_cfg
+            .renamer
+            .statically_deadlock_free(wsrs_isa::RegClass::Int)
+        {
             "satisfied"
         } else {
             "VIOLATED — recovery exception armed"
@@ -39,10 +42,10 @@ fn main() {
     );
 
     let pairs = [
-        (Workload::Gzip, Workload::Swim),    // int + FP
-        (Workload::Crafty, Workload::Mcf),   // high-IPC + memory-bound
-        (Workload::Vpr, Workload::Galgel),   // branchy + FP
-        (Workload::Gzip, Workload::Gzip),    // homogeneous
+        (Workload::Gzip, Workload::Swim),  // int + FP
+        (Workload::Crafty, Workload::Mcf), // high-IPC + memory-bound
+        (Workload::Vpr, Workload::Galgel), // branchy + FP
+        (Workload::Gzip, Workload::Gzip),  // homogeneous
     ];
 
     println!(
@@ -50,20 +53,17 @@ fn main() {
         "pair", "ipc(A)", "ipc(B)", "smt thrpt", "speedup", "recov.", "retention"
     );
     for (a, b) in pairs {
-        let single = |w: Workload| {
-            Simulator::new(base()).run(w.trace().take(PER_THREAD))
-        };
+        let single = |w: Workload| Simulator::new(base()).run(w.trace().take(PER_THREAD));
         let ra = single(a);
         let rb = single(b);
-        let smt = Simulator::new(smt_cfg)
-            .run_smt_bounded(vec![a.trace(), b.trace()], PER_THREAD);
+        let smt = Simulator::new(smt_cfg).run_smt_bounded(vec![a.trace(), b.trace()], PER_THREAD);
         // Speedup over running the two threads back to back.
         let serial_cycles = ra.cycles + rb.cycles;
         let speedup = serial_cycles as f64 / smt.cycles as f64;
         // Mean per-thread throughput retention vs running alone (the
         // usual SMT fairness view: 1.0 = no interference).
-        let retention = 0.5
-            * (ra.cycles as f64 / smt.cycles as f64 + rb.cycles as f64 / smt.cycles as f64);
+        let retention =
+            0.5 * (ra.cycles as f64 / smt.cycles as f64 + rb.cycles as f64 / smt.cycles as f64);
         println!(
             "{:<18}{:>10.3}{:>10.3}{:>12.3}{:>11.2}x{:>10}{:>12.2}",
             format!("{}+{}", a.name(), b.name()),

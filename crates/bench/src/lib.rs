@@ -81,11 +81,19 @@ pub fn figure4_configs() -> Vec<(&'static str, SimConfig)> {
         ),
         (
             "WSRS RC S 384",
-            SimConfig::wsrs(384, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            SimConfig::wsrs(
+                384,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ),
         ),
         (
             "WSRS RC S 512",
-            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ),
         ),
         (
             "WSRS RM S 512",
@@ -158,7 +166,9 @@ pub fn render_bars(
     for (name, vals) in rows {
         out.push_str(&format!("{name}\n"));
         for (c, v) in col_names.iter().zip(vals) {
-            let n = ((v / max_value) * WIDTH as f64).round().clamp(0.0, WIDTH as f64) as usize;
+            let n = ((v / max_value) * WIDTH as f64)
+                .round()
+                .clamp(0.0, WIDTH as f64) as usize;
             out.push_str(&format!(
                 "  {c:<label_w$}  {:<WIDTH$}  {v:.3}\n",
                 "#".repeat(n)
@@ -227,12 +237,7 @@ mod tests {
 
     #[test]
     fn grid_renders() {
-        let g = render_grid(
-            "IPC",
-            &["a", "b"],
-            &[("gzip".into(), vec![1.0, 2.0])],
-            2,
-        );
+        let g = render_grid("IPC", &["a", "b"], &[("gzip".into(), vec![1.0, 2.0])], 2);
         assert!(g.contains("gzip"));
         assert!(g.contains("2.00"));
     }

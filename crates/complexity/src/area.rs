@@ -41,7 +41,10 @@ mod tests {
     #[test]
     fn table1_bit_areas() {
         // Paper Table 1 "Reg. bit area (×w²)" row: 1120, 1792, 280, 140, 320.
-        let areas: Vec<usize> = RegFileOrg::paper_set().iter().map(reg_bit_area_w2).collect();
+        let areas: Vec<usize> = RegFileOrg::paper_set()
+            .iter()
+            .map(reg_bit_area_w2)
+            .collect();
         assert_eq!(areas, vec![1120, 1792, 280, 140, 320]);
     }
 
@@ -50,7 +53,10 @@ mod tests {
         // Paper Table 1 ratios vs noWS-2: 7, 11.2, 3.5, 1.75, 1.
         let set = RegFileOrg::paper_set();
         let base = total_area_w2(&set[4], 64) as f64;
-        let ratios: Vec<f64> = set.iter().map(|o| total_area_w2(o, 64) as f64 / base).collect();
+        let ratios: Vec<f64> = set
+            .iter()
+            .map(|o| total_area_w2(o, 64) as f64 / base)
+            .collect();
         let expect = [7.0, 11.2, 3.5, 1.75, 1.0];
         for (r, e) in ratios.iter().zip(expect) {
             assert!((r - e).abs() < 1e-9, "{r} vs {e}");
@@ -70,6 +76,9 @@ mod tests {
         let d = RegFileOrg::nows_distributed(256);
         let w = RegFileOrg::wsrs(512);
         let ratio = total_area_w2(&d, 64) as f64 / total_area_w2(&w, 64) as f64;
-        assert!(ratio > 6.0, "paper: area divided by more than six, got {ratio}");
+        assert!(
+            ratio > 6.0,
+            "paper: area divided by more than six, got {ratio}"
+        );
     }
 }

@@ -74,9 +74,7 @@ impl CactiModel {
     #[must_use]
     pub fn org_energy_nj(&self, org: &RegFileOrg) -> f64 {
         let (e, rw, r2w) = dims(org.entries_per_array, org.reads, org.writes);
-        self.tech_scale
-            * org.arrays as f64
-            * (E_LNK + E_E * e + E_RW * rw + E_R2W * r2w).exp()
+        self.tech_scale * org.arrays as f64 * (E_LNK + E_E * e + E_RW * rw + E_R2W * r2w).exp()
     }
 }
 

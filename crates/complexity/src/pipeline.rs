@@ -69,6 +69,10 @@ mod tests {
         // comparators as a conventional 4-way machine's.
         assert_eq!(wakeup_comparators(6), wakeup_comparators(6));
         assert_eq!(wakeup_comparators(6), 12);
-        assert_eq!(wakeup_comparators(12), 24, "conventional 8-way needs double");
+        assert_eq!(
+            wakeup_comparators(12),
+            24,
+            "conventional 8-way needs double"
+        );
     }
 }

@@ -296,7 +296,7 @@ impl Allocator {
             }
             AllocPolicy::RoundRobin | AllocPolicy::ByKind => {
                 unreachable!("rejected in Allocator::new")
-            },
+            }
         }
     }
 
@@ -341,7 +341,7 @@ impl Allocator {
             }
             AllocPolicy::RoundRobin | AllocPolicy::ByKind => {
                 unreachable!("rejected in Allocator::new")
-            },
+            }
         }
     }
 

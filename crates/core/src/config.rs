@@ -493,18 +493,25 @@ mod tests {
     fn paper_penalties() {
         assert_eq!(SimConfig::conventional_rr(256).min_mispredict_penalty, 17);
         assert_eq!(
-            SimConfig::write_specialized_rr(384, RenameStrategy::ExactCount)
-                .min_mispredict_penalty,
+            SimConfig::write_specialized_rr(384, RenameStrategy::ExactCount).min_mispredict_penalty,
             16
         );
         assert_eq!(
-            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::Recycling)
-                .min_mispredict_penalty,
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::Recycling
+            )
+            .min_mispredict_penalty,
             16
         );
         assert_eq!(
-            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount)
-                .min_mispredict_penalty,
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount
+            )
+            .min_mispredict_penalty,
             18
         );
     }

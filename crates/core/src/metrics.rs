@@ -51,11 +51,7 @@ impl UnbalanceTracker {
         self.in_group += 1;
         if self.in_group == self.group_size {
             self.groups += 1;
-            if self
-                .counts
-                .iter()
-                .any(|&c| c < self.low || c > self.high)
-            {
+            if self.counts.iter().any(|&c| c < self.low || c > self.high) {
                 self.unbalanced += 1;
             }
             self.counts.iter_mut().for_each(|c| *c = 0);

@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the harness subset its benches use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], `b.iter(...)`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is calibrated to a
+//! per-sample budget, timed for `sample_size` samples, and reported as the
+//! median ns/iter (with min/max spread and, when a throughput is set,
+//! elements/second). There is no statistical regression analysis, HTML
+//! report, or baseline comparison — numbers print to stdout.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per sample; keeps full bench suites in seconds, not
+/// minutes, while still amortizing timer overhead.
+const SAMPLE_BUDGET_NS: u128 = 5_000_000;
+
+/// Units-of-work declaration used to report a rate alongside the time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function`-style calls: plain strings or
+/// [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The display name of the benchmark.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    /// Median per-iteration time of the collected samples, in ns.
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: calibrates an iteration count to the sample
+    /// budget, then records `sample_size` samples of the mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration: double the batch until one batch exceeds ~1/5 of
+        // the sample budget, starting from a single (timed) call.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed().as_nanos();
+            if elapsed * 5 >= SAMPLE_BUDGET_NS || iters >= 1 << 30 {
+                let per_iter = elapsed.max(1) as f64 / iters as f64;
+                iters = ((SAMPLE_BUDGET_NS as f64 / per_iter).ceil() as u64).max(1);
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+        self.min_ns = samples[0];
+        self.max_ns = samples[samples.len() - 1];
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(
+    full_name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        median_ns: 0.0,
+        min_ns: 0.0,
+        max_ns: 0.0,
+        sample_size,
+    };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if b.median_ns > 0.0 => {
+            format!("  thrpt: {:.3} Melem/s", n as f64 * 1e3 / b.median_ns)
+        }
+        Some(Throughput::Bytes(n)) if b.median_ns > 0.0 => {
+            format!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 * 1e9 / b.median_ns / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{full_name:<40} time: [{} {} {}]{rate}",
+        fmt_ns(b.min_ns),
+        fmt_ns(b.median_ns),
+        fmt_ns(b.max_ns),
+    );
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark-harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, 20, None, |b| f(b));
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            median_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+            sample_size: 3,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        assert!(b.median_ns > 0.0);
+        assert!(b.min_ns <= b.median_ns && b.median_ns <= b.max_ns);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("rename", "ev6").into_id(), "rename/ev6");
+        assert_eq!(BenchmarkId::from_parameter(42).into_id(), "42");
+    }
+}

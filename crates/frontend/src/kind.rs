@@ -81,14 +81,20 @@ mod tests {
     #[test]
     fn storage_budgets() {
         assert_eq!(
-            PredictorKind::TwoBcGskew512K.build().unwrap().storage_bits(),
+            PredictorKind::TwoBcGskew512K
+                .build()
+                .unwrap()
+                .storage_bits(),
             512 * 1024
         );
         assert_eq!(
             PredictorKind::Gshare64K.build().unwrap().storage_bits(),
             128 * 1024
         );
-        assert_eq!(PredictorKind::AlwaysTaken.build().unwrap().storage_bits(), 0);
+        assert_eq!(
+            PredictorKind::AlwaysTaken.build().unwrap().storage_bits(),
+            0
+        );
     }
 
     #[test]

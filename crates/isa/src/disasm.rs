@@ -65,10 +65,7 @@ pub fn fmt_inst(i: &Inst, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 first = false;
             }
             // Immediate forms carry the constant last.
-            if matches!(
-                i.op,
-                Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti
-            ) {
+            if matches!(i.op, Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti) {
                 write!(f, ", {}", i.imm)?;
             }
             Ok(())
@@ -173,7 +170,11 @@ mod tests {
             .collect();
         assert!(trace[0].contains("li r1"));
         assert!(trace[1].contains("@0x108"), "{}", trace[1]);
-        assert!(trace[2].contains("N→3") || trace[2].contains("T→"), "{}", trace[2]);
+        assert!(
+            trace[2].contains("N→3") || trace[2].contains("T→"),
+            "{}",
+            trace[2]
+        );
     }
 
     #[test]

@@ -183,20 +183,28 @@ impl Emulator {
             Min => self.alu2(&inst, &mut d, i64::min),
             Max => self.alu2(&inst, &mut d, i64::max),
             Mul => self.alu2(&inst, &mut d, i64::wrapping_mul),
-            Div => self.alu2(&inst, &mut d, |a, b| {
-                if b == 0 {
-                    0
-                } else {
-                    a.wrapping_div(b)
-                }
-            }),
-            Rem => self.alu2(&inst, &mut d, |a, b| {
-                if b == 0 {
-                    0
-                } else {
-                    a.wrapping_rem(b)
-                }
-            }),
+            Div => self.alu2(
+                &inst,
+                &mut d,
+                |a, b| {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.wrapping_div(b)
+                    }
+                },
+            ),
+            Rem => self.alu2(
+                &inst,
+                &mut d,
+                |a, b| {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.wrapping_rem(b)
+                    }
+                },
+            ),
             Addi => self.alu1(&inst, &mut d, |a, i| a.wrapping_add(i)),
             Andi => self.alu1(&inst, &mut d, |a, i| a & i),
             Ori => self.alu1(&inst, &mut d, |a, i| a | i),
@@ -229,9 +237,7 @@ impl Emulator {
                 self.write_dst(inst.rd, raw as i64, f64::from_bits(raw));
             }
             LwIdx | LfIdx => {
-                let addr = self
-                    .int_val(inst.ra)
-                    .wrapping_add(self.int_val(inst.rb)) as u64;
+                let addr = self.int_val(inst.ra).wrapping_add(self.int_val(inst.rb)) as u64;
                 d.eff_addr = Some(addr);
                 let raw = self.mem.read(addr);
                 self.write_dst(inst.rd, raw as i64, f64::from_bits(raw));
@@ -250,9 +256,7 @@ impl Emulator {
             SwIdx => {
                 // Crack: µop0 computes the address into the scratch register,
                 // µop1 performs the store through it.
-                let addr = self
-                    .int_val(inst.ra)
-                    .wrapping_add(self.int_val(inst.rb)) as u64;
+                let addr = self.int_val(inst.ra).wrapping_add(self.int_val(inst.rb)) as u64;
                 self.int_regs[SCRATCH_REG.index() as usize] = addr as i64;
                 self.mem.write(addr, self.int_val(inst.rc) as u64);
 

@@ -203,16 +203,13 @@ fn has_target(op: Opcode) -> bool {
 pub fn encode_inst(i: &Inst, index: usize) -> Result<Word, EncodeError> {
     let low: u32 = if has_target(i.op) {
         match i.target {
-            Some(t) => {
-                u32::try_from(t).map_err(|_| EncodeError::TargetOverflow { index })?
-            }
+            Some(t) => u32::try_from(t).map_err(|_| EncodeError::TargetOverflow { index })?,
             None => 0,
         }
     } else if i.op == Opcode::SwIdx {
         u32::from(encode_reg(i.rc))
     } else {
-        i32::try_from(i.imm)
-            .map_err(|_| EncodeError::ImmediateOverflow { index })? as u32
+        i32::try_from(i.imm).map_err(|_| EncodeError::ImmediateOverflow { index })? as u32
     };
     Ok((u64::from(opcode_index(i.op)) << 56)
         | (u64::from(encode_reg(i.rd)) << 48)

@@ -254,8 +254,8 @@ impl Opcode {
     pub fn class(self) -> OpClass {
         use Opcode::*;
         match self {
-            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Min | Max | Addi
-            | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Li | Mov | Not | Neg | Popc => {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Min | Max | Addi | Andi
+            | Ori | Xori | Slli | Srli | Srai | Slti | Li | Mov | Not | Neg | Popc => {
                 OpClass::IntAlu
             }
             Mul | Div | Rem => OpClass::IntMulDiv,

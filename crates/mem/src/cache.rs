@@ -44,7 +44,10 @@ impl CacheConfig {
     /// `associativity` ways of power-of-two lines).
     #[must_use]
     pub fn num_sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size not a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size not a power of two"
+        );
         assert!(self.associativity > 0, "associativity must be positive");
         let lines = self.size_bytes / self.line_bytes;
         assert_eq!(

@@ -505,7 +505,10 @@ mod tests {
         }
         assert!(!r.can_alloc(RegClass::Int, Subset(2)));
         assert!(r.alloc(RegClass::Int, Subset(2)).is_none());
-        assert!(r.can_alloc(RegClass::Int, Subset(3)), "other subsets unaffected");
+        assert!(
+            r.can_alloc(RegClass::Int, Subset(3)),
+            "other subsets unaffected"
+        );
         assert_eq!(r.stats().alloc_refusals, 1);
     }
 

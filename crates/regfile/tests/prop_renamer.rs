@@ -41,11 +41,7 @@ fn run_actions(strategy: RenameStrategy, actions: &[Action]) -> Result<(), TestC
                 r.begin_cycle(cycle, 8);
                 if let Some(m) = r.alloc(RegClass::Int, Subset(subset)) {
                     // Never hand out a register that is still live.
-                    prop_assert!(
-                        live.insert(m.phys.0),
-                        "double allocation of {:?}",
-                        m.phys
-                    );
+                    prop_assert!(live.insert(m.phys.0), "double allocation of {:?}", m.phys);
                     prop_assert_eq!(m.subset, Subset(subset));
                     let old = r.rename_dest(RegRef::int(Reg::new(logical)), m);
                     pending.push(old);

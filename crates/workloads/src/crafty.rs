@@ -38,7 +38,7 @@ pub fn build(outer: i64) -> Program {
     a.beqz(b, done);
     a.neg(lsb, b);
     a.and(lsb, lsb, b); // isolate LSB
-    // attack mask: a cloud of shifts around the piece
+                        // attack mask: a cloud of shifts around the piece
     a.slli(att, lsb, 17);
     a.srli(tmp, lsb, 17);
     a.or(att, att, tmp);

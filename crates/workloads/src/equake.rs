@@ -7,8 +7,8 @@
 //! pattern of the original.
 
 use crate::common::emit_fp_fill;
-use wsrs_isa::{Assembler, Program, Reg};
 use wsrs_isa::Freg;
+use wsrs_isa::{Assembler, Program, Reg};
 
 /// Column-index array (word per nonzero).
 const COLS: i64 = 0x10_0000;
@@ -105,9 +105,7 @@ mod tests {
 
     #[test]
     fn gather_heavy() {
-        let s = TraceStats::measure(
-            Emulator::new(build(2), 32 << 20).skip(700_000).take(30_000),
-        );
+        let s = TraceStats::measure(Emulator::new(build(2), 32 << 20).skip(700_000).take(30_000));
         assert!(s.memory_fraction() > 0.18, "got {}", s.memory_fraction());
         assert!(s.fp_fraction() > 0.1, "got {}", s.fp_fraction());
     }

@@ -103,9 +103,7 @@ mod tests {
 
     #[test]
     fn dominated_by_dyadic_fp_with_invariant_operand() {
-        let s = TraceStats::measure(
-            Emulator::new(build(2), 32 << 20).skip(200_000).take(30_000),
-        );
+        let s = TraceStats::measure(Emulator::new(build(2), 32 << 20).skip(200_000).take(30_000));
         assert!(s.fp_fraction() > 0.4, "got {}", s.fp_fraction());
         assert!(s.dyadic_fraction() > 0.3, "got {}", s.dyadic_fraction());
     }

@@ -135,9 +135,7 @@ mod tests {
     #[test]
     fn branchier_than_most() {
         // Skip the fill loops; measure the interpreter itself.
-        let s = TraceStats::measure(
-            Emulator::new(build(10), 1 << 20).skip(40_000).take(30_000),
-        );
+        let s = TraceStats::measure(Emulator::new(build(10), 1 << 20).skip(40_000).take(30_000));
         assert!(s.branch_fraction() > 0.15, "got {}", s.branch_fraction());
     }
 

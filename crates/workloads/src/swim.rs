@@ -113,9 +113,7 @@ mod tests {
 
     #[test]
     fn heavy_fp_and_memory() {
-        let s = TraceStats::measure(
-            Emulator::new(build(2), 32 << 20).skip(400_000).take(30_000),
-        );
+        let s = TraceStats::measure(Emulator::new(build(2), 32 << 20).skip(400_000).take(30_000));
         assert!(s.fp_fraction() > 0.3, "fp {}", s.fp_fraction());
         assert!(s.memory_fraction() > 0.2, "mem {}", s.memory_fraction());
     }

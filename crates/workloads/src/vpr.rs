@@ -63,7 +63,7 @@ pub fn build(outer: i64) -> Program {
     a.andi(thresh, thresh, 0xffff);
     let reject = a.label();
     a.bge(delta, thresh, reject); // ~50% data-dependent
-    // accept: swap positions
+                                  // accept: swap positions
     a.li(base, POS);
     a.sw_idx(base, i_idx, pj);
     a.sw_idx(base, j_idx, pi);
@@ -102,9 +102,13 @@ mod tests {
     #[test]
     fn swaps_modify_memory() {
         let mut before = Emulator::new(build(1), 1 << 20);
-        let init: Vec<u64> = (0..32).map(|i| before.memory().read(POS as u64 + i * 8)).collect();
+        let init: Vec<u64> = (0..32)
+            .map(|i| before.memory().read(POS as u64 + i * 8))
+            .collect();
         for _ in before.by_ref() {}
-        let after: Vec<u64> = (0..32).map(|i| before.memory().read(POS as u64 + i * 8)).collect();
+        let after: Vec<u64> = (0..32)
+            .map(|i| before.memory().read(POS as u64 + i * 8))
+            .collect();
         assert_ne!(init, after);
     }
 }

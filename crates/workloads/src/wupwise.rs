@@ -119,9 +119,7 @@ mod tests {
 
     #[test]
     fn fp_dense_with_dyadic_ops() {
-        let s = TraceStats::measure(
-            Emulator::new(build(10), 1 << 20).skip(10_000).take(30_000),
-        );
+        let s = TraceStats::measure(Emulator::new(build(10), 1 << 20).skip(10_000).take(30_000));
         assert!(s.fp_fraction() > 0.3, "got {}", s.fp_fraction());
     }
 }

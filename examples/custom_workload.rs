@@ -23,17 +23,8 @@ const TABLE_MASK: i64 = 8191;
 fn hash_join() -> Program {
     let mut a = Assembler::new();
     let r = Reg::new;
-    let (i, n, key, slot, tmp, base, hits, misses, rng) = (
-        r(1),
-        r(2),
-        r(3),
-        r(4),
-        r(5),
-        r(6),
-        r(7),
-        r(8),
-        r(9),
-    );
+    let (i, n, key, slot, tmp, base, hits, misses, rng) =
+        (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8), r(9));
 
     // Build phase: insert keys k*2654435761 mod m.
     a.li(rng, 0x9e37_79b9);
@@ -103,7 +94,11 @@ fn main() {
         ),
         (
             "WSRS RC 512",
-            SimConfig::wsrs(512, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount),
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ),
         ),
     ] {
         let r = Simulator::new(cfg).run(Emulator::new(program.clone(), 1 << 22));

@@ -30,7 +30,11 @@ fn main() {
     for regs in [320usize, 384, 448, 512, 576, 640] {
         print!("{regs:>10}");
         for w in workloads {
-            let cfg = SimConfig::wsrs(regs, AllocPolicy::RandomCommutative, RenameStrategy::ExactCount);
+            let cfg = SimConfig::wsrs(
+                regs,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            );
             let r = Simulator::new(cfg).run_measured(w.trace(), WARMUP, MEASURE);
             print!("{:>12.3}", r.ipc());
         }

@@ -31,8 +31,8 @@ fn main() {
     println!("functional result: sum = {}", emu.int_reg(sum));
 
     // 3. Timing simulation: conventional round-robin vs full WSRS.
-    let conventional = Simulator::new(SimConfig::conventional_rr(256))
-        .run(Emulator::new(program.clone(), 4096));
+    let conventional =
+        Simulator::new(SimConfig::conventional_rr(256)).run(Emulator::new(program.clone(), 4096));
     let wsrs = Simulator::new(SimConfig::wsrs(
         512,
         AllocPolicy::RandomCommutative,

@@ -107,7 +107,12 @@ fn rm_has_fewer_degrees_of_freedom_than_rc() {
     // unbalancing degree is at least RC's on average.
     let mut rm_total = 0.0;
     let mut rc_total = 0.0;
-    for w in [Workload::Vpr, Workload::Crafty, Workload::Applu, Workload::Galgel] {
+    for w in [
+        Workload::Vpr,
+        Workload::Crafty,
+        Workload::Applu,
+        Workload::Galgel,
+    ] {
         rc_total += run(w, rc512()).unbalance_percent;
         rm_total += run(
             w,
@@ -136,7 +141,11 @@ fn mcf_is_the_slowest_crafty_the_fastest_integer_code() {
 #[test]
 fn memory_hierarchy_engages_on_memory_bound_codes() {
     let r = run(Workload::Mcf, SimConfig::conventional_rr(256));
-    assert!(r.memory.l1.misses > 1_000, "mcf should miss: {:?}", r.memory.l1);
+    assert!(
+        r.memory.l1.misses > 1_000,
+        "mcf should miss: {:?}",
+        r.memory.l1
+    );
     assert!(r.memory.l2.misses > 100);
     let c = run(Workload::Crafty, SimConfig::conventional_rr(256));
     assert!(c.memory.l1.accesses < r.memory.l1.accesses / 4);

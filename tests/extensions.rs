@@ -100,7 +100,10 @@ fn smt_pairs_real_workloads() {
         per_thread,
     );
     assert!(!r.deadlocked);
-    assert_eq!(r.per_thread_uops, vec![per_thread as u64, per_thread as u64]);
+    assert_eq!(
+        r.per_thread_uops,
+        vec![per_thread as u64, per_thread as u64]
+    );
     let gzip_alone = Simulator::new(SimConfig::wsrs(
         512,
         AllocPolicy::RandomCommutative,
@@ -117,11 +120,7 @@ fn smt_pairs_real_workloads() {
 
 #[test]
 fn timeline_collection_matches_report() {
-    let cfg = SimConfig::wsrs(
-        512,
-        AllocPolicy::RandomMonadic,
-        RenameStrategy::ExactCount,
-    );
+    let cfg = SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount);
     let (report, timeline) =
         Simulator::new(cfg).run_timeline(Workload::Vpr.trace().take(5_000), 256);
     assert_eq!(report.uops, 5_000);
