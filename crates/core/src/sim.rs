@@ -21,7 +21,7 @@
 //! Because only the correct path is fetched, mispredictions are pure
 //! timing events and no squash machinery exists anywhere in the engine.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::alloc::Allocator;
 use crate::cluster::ClusterState;
@@ -35,6 +35,15 @@ use wsrs_regfile::{DeadlockMonitor, Mapping, Renamer, Subset};
 
 /// Sentinel for "value not yet produced".
 const IN_FLIGHT: u64 = u64::MAX;
+
+/// Index of a register class in class-indexed pairs
+/// (`reg_info`, `wakeup`).
+fn class_index(class: RegClass) -> usize {
+    match class {
+        RegClass::Int => 0,
+        RegClass::Fp => 1,
+    }
+}
 
 /// Cycles of continuous blocked-and-empty rename before declaring
 /// deadlock. With an empty window nothing can commit, so the only registers
@@ -76,6 +85,8 @@ struct Slot {
     is_load: bool,
     is_store: bool,
     mispredicted: bool,
+    /// Source operands still in flight (event scheduler bookkeeping).
+    pending_srcs: u8,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -182,8 +193,7 @@ impl Simulator {
         let boxed: Vec<Box<dyn Iterator<Item = DynInst>>> = traces
             .into_iter()
             .map(|t| {
-                Box::new(t.into_iter().take(per_thread_uops))
-                    as Box<dyn Iterator<Item = DynInst>>
+                Box::new(t.into_iter().take(per_thread_uops)) as Box<dyn Iterator<Item = DynInst>>
             })
             .collect();
         Engine::new(&self.config).run_inner(boxed, 0, None)
@@ -263,6 +273,25 @@ struct Engine<'a> {
     vp: Option<VpState>,
     /// (head seq, cycles the ROB head has been VP-capacity-blocked).
     vp_blocked: (u64, u64),
+    /// Event scheduler: per-physical-register consumer lists
+    /// (`wakeup[class][phys]` holds seqs of waiting µops), indexed like
+    /// `reg_info`.
+    wakeup: [Vec<Vec<u64>>; 2],
+    /// Event scheduler: µops whose operands become usable at a known
+    /// future cycle, keyed by that cycle.
+    calendar: BTreeMap<u64, Vec<u64>>,
+    /// Event scheduler: operand-ready µops awaiting an issue slot, sorted
+    /// ascending by seq (the scan's oldest-first order).
+    ready: Vec<u64>,
+    /// Sum of all clusters' issue widths: once this many µops issue in a
+    /// cycle, no selection can succeed anywhere.
+    issue_width_total: u32,
+    /// Forces the legacy O(window) scan even without virtual-physical
+    /// registers (test oracle for the event scheduler).
+    force_scan: bool,
+    /// Dispatch scratch buffers, reused every cycle.
+    occ_buf: Vec<usize>,
+    free_buf: Vec<usize>,
     // metrics
     retired: u64,
     branches: u64,
@@ -319,6 +348,18 @@ impl<'a> Engine<'a> {
             timeline: None,
             vp,
             vp_blocked: (u64::MAX, 0),
+            wakeup: [
+                vec![Vec::new(); cfg.renamer.int_regs],
+                vec![Vec::new(); cfg.renamer.fp_regs],
+            ],
+            calendar: BTreeMap::new(),
+            ready: Vec::new(),
+            issue_width_total: (0..cfg.clusters)
+                .map(|i| cfg.resources[i.min(3)].issue_width)
+                .sum(),
+            force_scan: false,
+            occ_buf: Vec::with_capacity(cfg.clusters),
+            free_buf: Vec::with_capacity(cfg.renamer.subsets),
             retired: 0,
             branches: 0,
             mispredicts: 0,
@@ -592,160 +633,185 @@ impl<'a> Engine<'a> {
 
         'threads: for offset in 0..threads {
             let tid = (self.cycle as usize + offset) % threads;
-        while budget > 0 {
-            let Some(front) = self.fetch_bufs[tid].front() else {
-                continue 'threads;
-            };
-            if front.fetch_cycle > self.cycle {
-                continue 'threads;
-            }
-            if self.rob.len() >= self.cfg.rob_size() {
-                self.stalls.window += 1;
-                break 'threads;
-            }
-            let d = front.d;
-
-            // Source operands: current mappings (younger µops renamed this
-            // same cycle already updated the map — in-group dependency
-            // propagation).
-            let mut srcs: [Option<SrcOperand>; 2] = [None, None];
-            let mut src_subsets: [Option<Subset>; 2] = [None, None];
-            for (i, s) in d.srcs.iter().enumerate() {
-                if let Some(r) = s {
-                    let m = self.renamer.map_source_for(tid, *r);
-                    srcs[i] = Some(SrcOperand {
-                        class: r.class(),
-                        phys: m.phys.0,
-                    });
-                    src_subsets[i] = Some(m.subset);
-                }
-            }
-
-            let choice = match front.choice {
-                Some(c) => c,
-                None => {
-                    let loads: Vec<usize> =
-                        self.clusters.iter().map(|c| c.window_occupancy).collect();
-                    // §2.3 workaround (a): steer placement freedom away from
-                    // exhausted register subsets (WSRS only).
-                    let free: Option<Vec<usize>> = if self.cfg.avoid_exhaustion
-                        && self.cfg.mode == RegFileMode::Wsrs
-                    {
-                        d.dst.map(|dreg| {
-                            (0..self.cfg.renamer.subsets)
-                                .map(|s| {
-                                    self.renamer
-                                        .allocatable_now(dreg.class(), Subset(s as u8))
-                                })
-                                .collect()
-                        })
-                    } else {
-                        None
-                    };
-                    let c = self.allocator.choose_avoiding(
-                        &d,
-                        src_subsets,
-                        &loads,
-                        free.as_deref(),
-                    );
-                    self.fetch_bufs[tid]
-                        .front_mut()
-                        .expect("front exists")
-                        .choice = Some(c);
-                    c
-                }
-            };
-            let cl = choice.cluster.0 as usize;
-
-            if self.clusters[cl].window_occupancy >= self.cfg.window_per_cluster {
-                self.stalls.window += 1;
-                break 'threads;
-            }
-
-            // Destination rename, into the executing cluster's subset.
-            let mut dst = None;
-            let mut old_mapping = None;
-            if let Some(dreg) = d.dst {
-                let subset = match self.cfg.mode {
-                    RegFileMode::Conventional => Subset(0),
-                    _ => choice.cluster.subset(),
+            while budget > 0 {
+                let Some(front) = self.fetch_bufs[tid].front() else {
+                    continue 'threads;
                 };
-                if !self.renamer.can_alloc(dreg.class(), subset) {
-                    self.stalls.rename += 1;
-                    rename_blocked = true;
-                    self.blocked_subset = Some((dreg.class(), subset));
+                if front.fetch_cycle > self.cycle {
+                    continue 'threads;
+                }
+                if self.rob.len() >= self.cfg.rob_size() {
+                    self.stalls.window += 1;
                     break 'threads;
                 }
-                let m = self
-                    .renamer
-                    .alloc(dreg.class(), subset)
-                    .expect("can_alloc checked");
-                let old = self.renamer.rename_dest_for(tid, dreg, m);
-                self.reg_class_mut(dreg.class())[m.phys.0 as usize] = RegInfo {
-                    avail: IN_FLIGHT,
-                    cluster: choice.cluster.0,
+                let d = front.d;
+
+                // Source operands: current mappings (younger µops renamed this
+                // same cycle already updated the map — in-group dependency
+                // propagation).
+                let mut srcs: [Option<SrcOperand>; 2] = [None, None];
+                let mut src_subsets: [Option<Subset>; 2] = [None, None];
+                for (i, s) in d.srcs.iter().enumerate() {
+                    if let Some(r) = s {
+                        let m = self.renamer.map_source_for(tid, *r);
+                        srcs[i] = Some(SrcOperand {
+                            class: r.class(),
+                            phys: m.phys.0,
+                        });
+                        src_subsets[i] = Some(m.subset);
+                    }
+                }
+
+                let choice = match front.choice {
+                    Some(c) => c,
+                    None => {
+                        self.occ_buf.clear();
+                        self.occ_buf
+                            .extend(self.clusters.iter().map(|c| c.window_occupancy));
+                        // §2.3 workaround (a): steer placement freedom away from
+                        // exhausted register subsets (WSRS only).
+                        let free: Option<&[usize]> = match d.dst {
+                            Some(dreg)
+                                if self.cfg.avoid_exhaustion
+                                    && self.cfg.mode == RegFileMode::Wsrs =>
+                            {
+                                self.free_buf.clear();
+                                for s in 0..self.cfg.renamer.subsets {
+                                    self.free_buf.push(
+                                        self.renamer.allocatable_now(dreg.class(), Subset(s as u8)),
+                                    );
+                                }
+                                Some(&self.free_buf)
+                            }
+                            _ => None,
+                        };
+                        let c =
+                            self.allocator
+                                .choose_avoiding(&d, src_subsets, &self.occ_buf, free);
+                        self.fetch_bufs[tid]
+                            .front_mut()
+                            .expect("front exists")
+                            .choice = Some(c);
+                        c
+                    }
                 };
-                dst = Some((dreg.class(), m.phys.0));
-                old_mapping = Some((dreg.class(), old));
-            }
+                let cl = choice.cluster.0 as usize;
 
-            let fetched = self.fetch_bufs[tid].pop_front().expect("front exists");
-            let seq = self.seq_next;
-            self.seq_next += 1;
-            budget -= 1;
-
-            let mem_seq = if d.is_load() || d.is_store() {
-                let ms = self.mem_next_assign[tid];
-                self.mem_next_assign[tid] += 1;
-                if d.is_store() {
-                    self.store_queues[tid]
-                        .insert(seq, d.eff_addr.expect("store has address"));
+                if self.clusters[cl].window_occupancy >= self.cfg.window_per_cluster {
+                    self.stalls.window += 1;
+                    break 'threads;
                 }
-                Some(ms)
-            } else {
-                None
-            };
 
-            self.clusters[cl].window_occupancy += 1;
-            self.clusters[cl].dispatched += 1;
-            self.unbalance.record(cl);
-
-            if let Some((entries, limit)) = self.timeline.as_mut() {
-                if (seq as usize) < *limit {
-                    debug_assert_eq!(entries.len() as u64, seq);
-                    entries.push(UopTiming {
-                        seq,
-                        pc: d.pc,
-                        op: d.op,
+                // Destination rename, into the executing cluster's subset.
+                let mut dst = None;
+                let mut old_mapping = None;
+                if let Some(dreg) = d.dst {
+                    let subset = match self.cfg.mode {
+                        RegFileMode::Conventional => Subset(0),
+                        _ => choice.cluster.subset(),
+                    };
+                    if !self.renamer.can_alloc(dreg.class(), subset) {
+                        self.stalls.rename += 1;
+                        rename_blocked = true;
+                        self.blocked_subset = Some((dreg.class(), subset));
+                        break 'threads;
+                    }
+                    let m = self
+                        .renamer
+                        .alloc(dreg.class(), subset)
+                        .expect("can_alloc checked");
+                    let old = self.renamer.rename_dest_for(tid, dreg, m);
+                    self.reg_class_mut(dreg.class())[m.phys.0 as usize] = RegInfo {
+                        avail: IN_FLIGHT,
                         cluster: choice.cluster.0,
-                        fetch: fetched.fetch_cycle,
-                        dispatch: self.cycle,
-                        issue: 0,
-                        complete: 0,
-                        commit: 0,
-                    });
+                    };
+                    dst = Some((dreg.class(), m.phys.0));
+                    old_mapping = Some((dreg.class(), old));
                 }
+
+                let fetched = self.fetch_bufs[tid].pop_front().expect("front exists");
+                let seq = self.seq_next;
+                self.seq_next += 1;
+                budget -= 1;
+
+                let mem_seq = if d.is_load() || d.is_store() {
+                    let ms = self.mem_next_assign[tid];
+                    self.mem_next_assign[tid] += 1;
+                    if d.is_store() {
+                        self.store_queues[tid].insert(seq, d.eff_addr.expect("store has address"));
+                    }
+                    Some(ms)
+                } else {
+                    None
+                };
+
+                // Event-scheduler registration: in-flight producers get a
+                // wakeup entry for this consumer; operands already produced
+                // pin down the operand-ready cycle right now.
+                let mut pending_srcs = 0u8;
+                if self.event_scheduler() {
+                    let mut ready_at = self.cycle + 1;
+                    for s in srcs.iter().flatten() {
+                        let info = self.reg_class(s.class)[s.phys as usize];
+                        if info.avail == IN_FLIGHT {
+                            self.wakeup[class_index(s.class)][s.phys as usize].push(seq);
+                            pending_srcs += 1;
+                        } else {
+                            ready_at = ready_at.max(
+                                info.avail
+                                    + self
+                                        .cfg
+                                        .fast_forward
+                                        .penalty(info.cluster, choice.cluster.0),
+                            );
+                        }
+                    }
+                    if pending_srcs == 0 {
+                        self.calendar.entry(ready_at).or_default().push(seq);
+                    }
+                }
+
+                self.clusters[cl].window_occupancy += 1;
+                self.clusters[cl].dispatched += 1;
+                self.unbalance.record(cl);
+
+                if let Some((entries, limit)) = self.timeline.as_mut() {
+                    if (seq as usize) < *limit {
+                        debug_assert_eq!(entries.len() as u64, seq);
+                        entries.push(UopTiming {
+                            seq,
+                            pc: d.pc,
+                            op: d.op,
+                            cluster: choice.cluster.0,
+                            fetch: fetched.fetch_cycle,
+                            dispatch: self.cycle,
+                            issue: 0,
+                            complete: 0,
+                            commit: 0,
+                        });
+                    }
+                }
+                self.rob.push_back(Slot {
+                    seq,
+                    thread: tid as u8,
+                    fetch_id: fetched.fetch_id,
+                    class: d.class,
+                    srcs,
+                    dst,
+                    old_mapping,
+                    cluster: choice.cluster.0,
+                    state: SlotState::Waiting,
+                    done_cycle: 0,
+                    dispatch_cycle: self.cycle,
+                    fetch_cycle: fetched.fetch_cycle,
+                    mem_seq,
+                    eff_addr: d.eff_addr,
+                    is_load: d.is_load(),
+                    is_store: d.is_store(),
+                    mispredicted: fetched.mispredicted,
+                    pending_srcs,
+                });
             }
-            self.rob.push_back(Slot {
-                seq,
-                thread: tid as u8,
-                fetch_id: fetched.fetch_id,
-                class: d.class,
-                srcs,
-                dst,
-                old_mapping,
-                cluster: choice.cluster.0,
-                state: SlotState::Waiting,
-                done_cycle: 0,
-                dispatch_cycle: self.cycle,
-                fetch_cycle: fetched.fetch_cycle,
-                mem_seq,
-                eff_addr: d.eff_addr,
-                is_load: d.is_load(),
-                is_store: d.is_store(),
-                mispredicted: fetched.mispredicted,
-            });
-        }
         }
         self.renamer.end_cycle(self.cycle);
         self.note_deadlock(rename_blocked);
@@ -849,11 +915,7 @@ impl<'a> Engine<'a> {
             let info = self.reg_class(s.class)[s.phys as usize];
             info.avail != IN_FLIGHT
                 && self.cycle
-                    >= info.avail
-                        + self
-                            .cfg
-                            .fast_forward
-                            .penalty(info.cluster, slot.cluster)
+                    >= info.avail + self.cfg.fast_forward.penalty(info.cluster, slot.cluster)
         })
     }
 
@@ -877,10 +939,149 @@ impl<'a> Engine<'a> {
         vp.used[ci][subset.index()] + reserved[ci][subset.index()] < vp.capacity
     }
 
+    /// Whether this run uses the event-driven scheduler. Virtual-physical
+    /// configurations stay on the scan: VP subset reservations depend on
+    /// observing every older waiting µop each cycle, which the event
+    /// structures deliberately avoid.
+    fn event_scheduler(&self) -> bool {
+        self.vp.is_none() && !self.force_scan
+    }
+
     fn issue(&mut self) {
         for c in &mut self.clusters {
             c.new_cycle();
         }
+        if self.event_scheduler() {
+            self.issue_event();
+        } else {
+            self.issue_scan();
+        }
+    }
+
+    /// Event-driven selection: only µops whose operands are known-usable
+    /// (tracked through wakeup lists and the completion calendar) are
+    /// examined, in ascending seq order — the same oldest-first order the
+    /// scan produces, so all issue-time side effects (FU reservation,
+    /// memory-order advancement, cache accesses) happen identically.
+    fn issue_event(&mut self) {
+        while let Some(entry) = self.calendar.first_entry() {
+            if *entry.key() > self.cycle {
+                break;
+            }
+            for seq in entry.remove() {
+                let pos = self.ready.partition_point(|&s| s < seq);
+                self.ready.insert(pos, seq);
+            }
+        }
+        if self.ready.is_empty() {
+            return;
+        }
+        let front_seq = self.rob.front().expect("ready µops live in the ROB").seq;
+        let mut redirects = Vec::new();
+        let mut dest_updates: Vec<(RegClass, u32, u64)> = Vec::new();
+        let mut issued_total = 0u32;
+        let mut kept = 0usize;
+        let mut i = 0usize;
+        while i < self.ready.len() {
+            if issued_total == self.issue_width_total {
+                // Every issue slot in the machine is spent; the rest of the
+                // pool stays ready for next cycle.
+                let len = self.ready.len();
+                self.ready.copy_within(i..len, kept);
+                kept += len - i;
+                break;
+            }
+            let seq = self.ready[i];
+            let idx = (seq - front_seq) as usize;
+            let (cluster, class, gates_ok) = {
+                let slot = &self.rob[idx];
+                debug_assert_eq!(slot.seq, seq);
+                debug_assert_eq!(slot.state, SlotState::Waiting);
+                debug_assert!(slot.dispatch_cycle < self.cycle);
+                debug_assert!(self.srcs_ready(slot));
+                (
+                    slot.cluster as usize,
+                    slot.class,
+                    slot.mem_seq
+                        .is_none_or(|ms| ms == self.mem_next_issue[slot.thread as usize]),
+                )
+            };
+            if !gates_ok || !self.clusters[cluster].try_issue(class, self.cycle) {
+                self.ready[kept] = seq;
+                kept += 1;
+                i += 1;
+                continue;
+            }
+            issued_total += 1;
+            let (lat, forwarded) = self.exec_latency(idx);
+            if forwarded {
+                self.store_forwards += 1;
+            }
+            let slot = &mut self.rob[idx];
+            slot.done_cycle = self.cycle + u64::from(lat);
+            if let Some((entries, _)) = self.timeline.as_mut() {
+                if let Some(e) = entries.get_mut(slot.seq as usize) {
+                    e.issue = self.cycle;
+                    e.complete = slot.done_cycle;
+                }
+            }
+            if slot.mem_seq.is_some() {
+                self.mem_next_issue[slot.thread as usize] += 1;
+            }
+            if let Some((class, phys)) = slot.dst {
+                dest_updates.push((class, phys, slot.done_cycle));
+            }
+            if slot.mispredicted {
+                let resume =
+                    (slot.done_cycle + 1).max(slot.fetch_cycle + self.cfg.min_mispredict_penalty);
+                redirects.push((slot.thread as usize, slot.fetch_id, resume));
+            }
+            slot.state = SlotState::Done;
+            i += 1;
+        }
+        self.ready.truncate(kept);
+
+        // Deferred writeback (as in the scan: results issued this cycle are
+        // not usable this cycle), then wake each completed register's
+        // consumers. A consumer whose last in-flight operand just completed
+        // now has a fully known operand-ready cycle.
+        for (class, phys, done) in dest_updates {
+            self.reg_class_mut(class)[phys as usize].avail = done;
+            let consumers = std::mem::take(&mut self.wakeup[class_index(class)][phys as usize]);
+            for cseq in consumers {
+                let cidx = (cseq - front_seq) as usize;
+                let pending = {
+                    let slot = &mut self.rob[cidx];
+                    slot.pending_srcs -= 1;
+                    slot.pending_srcs
+                };
+                if pending > 0 {
+                    continue;
+                }
+                let (csrcs, ccluster) = {
+                    let slot = &self.rob[cidx];
+                    (slot.srcs, slot.cluster)
+                };
+                let mut ready_at = self.cycle + 1;
+                for s in csrcs.iter().flatten() {
+                    let info = self.reg_class(s.class)[s.phys as usize];
+                    debug_assert_ne!(info.avail, IN_FLIGHT);
+                    ready_at = ready_at
+                        .max(info.avail + self.cfg.fast_forward.penalty(info.cluster, ccluster));
+                }
+                self.calendar.entry(ready_at).or_default().push(cseq);
+            }
+        }
+        for (tid, fetch_id, resume) in redirects {
+            if self.redirects[tid] == Redirect::WaitingResolve(fetch_id) {
+                self.redirects[tid] = Redirect::WaitingCycle(resume);
+            }
+        }
+    }
+
+    /// Legacy O(window) selection scan, retained for virtual-physical
+    /// configurations (and as the event scheduler's test oracle).
+    fn issue_scan(&mut self) {
         // Virtual-physical reservations, accumulated oldest-first during
         // the scan below: once a waiting µop passes without issuing, its
         // destination subset keeps one slot reserved against all younger
@@ -906,7 +1107,10 @@ impl<'a> Engine<'a> {
             // A waiting µop that does not issue this iteration keeps a
             // reservation on its destination subset for the rest of the
             // scan (VP only).
-            let reserve = |rob: &VecDeque<Slot>, vp_reserved: &mut [Vec<usize>; 2], i: usize, cfg: &SimConfig| {
+            let reserve = |rob: &VecDeque<Slot>,
+                           vp_reserved: &mut [Vec<usize>; 2],
+                           i: usize,
+                           cfg: &SimConfig| {
                 if self.vp.is_none() {
                     return;
                 }
@@ -964,8 +1168,8 @@ impl<'a> Engine<'a> {
                 }
             }
             if slot.mispredicted {
-                let resume = (slot.done_cycle + 1)
-                    .max(slot.fetch_cycle + self.cfg.min_mispredict_penalty);
+                let resume =
+                    (slot.done_cycle + 1).max(slot.fetch_cycle + self.cfg.min_mispredict_penalty);
                 redirects.push((slot.thread as usize, slot.fetch_id, resume));
             }
             slot.state = SlotState::Done; // completion is timestamped
@@ -1055,9 +1259,7 @@ impl<'a> Engine<'a> {
                     .map_table_for(tid, class)
                     .iter()
                     .filter(|(_, m)| m.subset == stuck && !pinned.contains(&m.phys.0))
-                    .filter(|(_, m)| {
-                        self.reg_class(class)[m.phys.0 as usize].avail != IN_FLIGHT
-                    })
+                    .filter(|(_, m)| self.reg_class(class)[m.phys.0 as usize].avail != IN_FLIGHT)
                     .map(|(l, _)| (tid, l))
                     .collect::<Vec<_>>()
             })
@@ -1519,7 +1721,10 @@ mod tests {
             a
         };
         let plain = run_cfg(
-            perfect(SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount)),
+            perfect(SimConfig::write_specialized_rr(
+                512,
+                RenameStrategy::ExactCount,
+            )),
             kernel(),
         );
         let vp_cfg = crate::config::SimConfigBuilder::from(perfect(
@@ -1595,7 +1800,9 @@ mod tests {
         // integer registers; 512/4 = 128 per subset violates the static
         // rule, so the recovery exception must be available.
         let cfg = smt_cfg(512);
-        assert!(!cfg.renamer.statically_deadlock_free(wsrs_isa::RegClass::Int));
+        assert!(!cfg
+            .renamer
+            .statically_deadlock_free(wsrs_isa::RegClass::Int));
         let t0 = int_loop(500, 1..6);
         let t1 = int_loop(400, 10..20);
         let expect0 = 2 + 500 * 7;
@@ -1916,5 +2123,67 @@ mod tests {
         assert!(!with.deadlocked, "recovery should unwedge it");
         assert_eq!(with.uops, uops, "every µop retires after recovery");
         assert!(with.deadlock_recoveries > 0);
+    }
+
+    /// The event-driven scheduler must replay the legacy selection scan
+    /// cycle for cycle: same issue order, same cache-state evolution, same
+    /// counters — the whole report, bit for bit.
+    #[test]
+    fn event_scheduler_matches_scan_bit_for_bit() {
+        let configs = vec![
+            perfect(SimConfig::conventional_rr(256)),
+            SimConfig::conventional_rr(256), // real memory hierarchy
+            SimConfig::monolithic(256),
+            SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::Recycling,
+            ),
+            SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount),
+            perfect(SimConfig::pooled_write_specialized(
+                512,
+                RenameStrategy::ExactCount,
+            )),
+        ];
+        for (ci, cfg) in configs.into_iter().enumerate() {
+            let event = Engine::new(&cfg).run(Emulator::new(mixed_kernel().assemble(), 1 << 20), 0);
+            let mut oracle = Engine::new(&cfg);
+            oracle.force_scan = true;
+            let scan = oracle.run(Emulator::new(mixed_kernel().assemble(), 1 << 20), 0);
+            assert_eq!(
+                format!("{event:?}"),
+                format!("{scan:?}"),
+                "schedulers diverge on config {ci}"
+            );
+        }
+    }
+
+    /// Scheduler equivalence through the warmup-snapshot path and under
+    /// SMT (shared window, per-thread memory order).
+    #[test]
+    fn event_scheduler_matches_scan_warmup_and_smt() {
+        let cfg = SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount);
+        let warm = |force_scan: bool| {
+            let mut e = Engine::new(&cfg);
+            e.force_scan = force_scan;
+            e.run(
+                Emulator::new(mixed_kernel().assemble(), 1 << 20).take(3000),
+                1000,
+            )
+        };
+        assert_eq!(format!("{:?}", warm(false)), format!("{:?}", warm(true)));
+
+        let smt = smt_cfg(512);
+        let run = |force_scan: bool| {
+            let traces: Vec<Box<dyn Iterator<Item = DynInst>>> = vec![
+                Box::new(Emulator::new(int_loop(500, 1..6).assemble(), 1 << 16)),
+                Box::new(Emulator::new(int_loop(400, 10..20).assemble(), 1 << 16)),
+            ];
+            let mut e = Engine::new(&smt);
+            e.force_scan = force_scan;
+            e.run_inner(traces, 0, None)
+        };
+        assert_eq!(format!("{:?}", run(false)), format!("{:?}", run(true)));
     }
 }
