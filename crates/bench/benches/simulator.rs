@@ -40,5 +40,34 @@ fn sim_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, sim_throughput);
+/// The issue stage in isolation, as far as the harness can isolate it: the
+/// same (workload, configuration) cell driven from a pre-emulated trace, so
+/// emulation cost is out of the loop and the event-driven wakeup/select
+/// logic dominates. `crafty` (high-ILP integer) stresses the ready pool;
+/// `mcf` (pointer chasing) stresses the producer→consumer wakeup path,
+/// since almost every slot waits in the calendar for a load.
+fn simulator_issue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_issue");
+    g.throughput(Throughput::Elements(UOPS));
+    g.sample_size(10);
+
+    let cfg = SimConfig::wsrs(
+        512,
+        AllocPolicy::RandomCommutative,
+        RenameStrategy::ExactCount,
+    );
+    for w in [Workload::Crafty, Workload::Mcf] {
+        let trace: Vec<_> = w.trace().take(UOPS as usize).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &trace, |b, trace| {
+            b.iter(|| {
+                Simulator::new(cfg)
+                    .run_measured(trace.iter().copied(), 0, UOPS)
+                    .cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sim_throughput, simulator_issue);
 criterion_main!(benches);

@@ -18,7 +18,7 @@
 //!
 //! A representative subset of benchmarks keeps runtime moderate.
 
-use wsrs_bench::{render_grid, run_cell, RunParams};
+use wsrs_bench::{render_grid, run_grid, RunParams};
 use wsrs_core::{AllocPolicy, FastForward, SimConfig};
 use wsrs_regfile::RenameStrategy;
 use wsrs_workloads::Workload;
@@ -33,14 +33,17 @@ const SUBSET: [Workload; 5] = [
 
 fn sweep(title: &str, configs: &[(&str, SimConfig)], params: RunParams) {
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
-    let mut rows = Vec::new();
-    for w in SUBSET {
-        let vals: Vec<f64> = configs
-            .iter()
-            .map(|(_, cfg)| run_cell(w, cfg, params).ipc())
-            .collect();
-        rows.push((w.name().to_string(), vals));
-    }
+    let grid = run_grid(&SUBSET, configs, params, &|_, _, _, _| {});
+    let rows: Vec<(String, Vec<f64>)> = SUBSET
+        .iter()
+        .zip(&grid)
+        .map(|(w, reports)| {
+            (
+                w.name().to_string(),
+                reports.iter().map(wsrs_core::Report::ipc).collect(),
+            )
+        })
+        .collect();
     println!("{}", render_grid(title, &names, &rows, 3));
 }
 

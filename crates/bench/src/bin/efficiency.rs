@@ -8,19 +8,11 @@
 //! little or no IPC while dividing register-file power by ~2.3 and area by
 //! more than 6 — so IPC-per-nJ and IPC-per-area jump accordingly.
 
-use wsrs_bench::{run_cell, RunParams};
+use wsrs_bench::{run_grid, RunParams};
 use wsrs_complexity::{total_area_w2, CactiModel, RegFileOrg};
 use wsrs_core::{AllocPolicy, SimConfig};
 use wsrs_regfile::RenameStrategy;
 use wsrs_workloads::Workload;
-
-fn geomean_ipc(cfg: &SimConfig, params: RunParams) -> f64 {
-    let mut log_sum = 0.0;
-    for w in Workload::all() {
-        log_sum += run_cell(w, cfg, params).ipc().ln();
-    }
-    (log_sum / 12.0).exp()
-}
 
 fn main() {
     let params = RunParams::from_env();
@@ -49,13 +41,24 @@ fn main() {
         ),
     ];
 
+    // One grid over all machines: each workload's trace is emulated once
+    // and shared, and the geometric mean is taken down each column.
+    let configs: Vec<(&str, SimConfig)> = machines.iter().map(|(n, c, _)| (*n, *c)).collect();
+    let grid = run_grid(&Workload::all(), &configs, params, &|w, name, r, _| {
+        eprintln!("  {:<8} {:<24} ipc {:>6.3}", w.name(), name, r.ipc());
+    });
+    let geomean = |col: usize| {
+        let log_sum: f64 = grid.iter().map(|row| row[col].ipc().ln()).sum();
+        (log_sum / grid.len() as f64).exp()
+    };
+
     println!(
         "{:<26}{:>10}{:>12}{:>12}{:>14}{:>14}",
         "machine", "gm IPC", "nJ/cycle", "rel. area", "IPC/nJ", "IPC/area"
     );
     let base_area = total_area_w2(&machines[0].2, 64) as f64;
-    for (name, cfg, org) in &machines {
-        let ipc = geomean_ipc(cfg, params);
+    for (col, (name, _, org)) in machines.iter().enumerate() {
+        let ipc = geomean(col);
         let energy = model.org_energy_nj(org);
         let area = total_area_w2(org, 64) as f64 / base_area;
         println!(

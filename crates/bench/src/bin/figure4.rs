@@ -3,10 +3,13 @@
 //! benchmarks.
 //!
 //! Window sizes come from `WSRS_WARMUP` / `WSRS_MEASURE` (defaults: 1 M +
-//! 2 M µops — the paper used 20 M + 10 M; see `EXPERIMENTS.md`).
+//! 2 M µops — the paper used 20 M + 10 M; see `EXPERIMENTS.md`). Cells are
+//! fanned across `WSRS_THREADS` workers (default: all cores), each
+//! workload's trace emulated once and shared across configurations.
 
 use wsrs_bench::{
-    figure4_configs, maybe_write_csv, render_bars, render_csv, render_grid, run_cell, RunParams,
+    figure4_configs, grid_threads, maybe_write_csv, render_bars, render_csv, render_grid, run_grid,
+    RunParams,
 };
 use wsrs_workloads::Workload;
 
@@ -14,31 +17,30 @@ fn main() {
     let params = RunParams::from_env();
     let configs = figure4_configs();
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    let workloads = Workload::all();
     eprintln!(
-        "figure4: warmup {} µops, measure {} µops per cell ({} cells)",
+        "figure4: warmup {} µops, measure {} µops per cell ({} cells, {} threads)",
         params.warmup,
         params.measure,
-        12 * configs.len()
+        workloads.len() * configs.len(),
+        grid_threads()
     );
+
+    let grid = run_grid(&workloads, &configs, params, &|w, name, r, elapsed| {
+        eprintln!(
+            "  {:<8} {:<14} ipc {:>6.3}  mr {:>5.3}  unbal {:>5.1}%  ({elapsed:.1?})",
+            w.name(),
+            name,
+            r.ipc(),
+            r.mispredict_rate(),
+            r.unbalance_percent,
+        );
+    });
 
     let mut int_rows = Vec::new();
     let mut fp_rows = Vec::new();
-    for w in Workload::all() {
-        let mut vals = Vec::new();
-        for (name, cfg) in &configs {
-            let t0 = std::time::Instant::now();
-            let r = run_cell(w, cfg, params);
-            eprintln!(
-                "  {:<8} {:<14} ipc {:>6.3}  mr {:>5.3}  unbal {:>5.1}%  ({:.1?})",
-                w.name(),
-                name,
-                r.ipc(),
-                r.mispredict_rate(),
-                r.unbalance_percent,
-                t0.elapsed()
-            );
-            vals.push(r.ipc());
-        }
+    for (w, reports) in workloads.iter().zip(&grid) {
+        let vals: Vec<f64> = reports.iter().map(wsrs_core::Report::ipc).collect();
         if w.is_fp() {
             fp_rows.push((w.name().to_string(), vals));
         } else {

@@ -3,7 +3,7 @@
 //! 128 µops; a group is unbalanced when any cluster receives fewer than 24
 //! or more than 40 of them).
 
-use wsrs_bench::{maybe_write_csv, render_csv, render_grid, run_cell, RunParams};
+use wsrs_bench::{maybe_write_csv, render_csv, render_grid, run_grid, RunParams};
 use wsrs_core::{AllocPolicy, SimConfig};
 use wsrs_regfile::RenameStrategy;
 use wsrs_workloads::Workload;
@@ -25,21 +25,21 @@ fn main() {
         ),
     ];
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    let workloads = Workload::all();
+
+    let grid = run_grid(&workloads, &configs, params, &|w, name, r, _| {
+        eprintln!(
+            "  {:<8} {:<8} unbalancing {:>5.1}%",
+            w.name(),
+            name,
+            r.unbalance_percent
+        );
+    });
 
     let mut int_rows = Vec::new();
     let mut fp_rows = Vec::new();
-    for w in Workload::all() {
-        let mut vals = Vec::new();
-        for (name, cfg) in &configs {
-            let r = run_cell(w, cfg, params);
-            eprintln!(
-                "  {:<8} {:<8} unbalancing {:>5.1}%",
-                w.name(),
-                name,
-                r.unbalance_percent
-            );
-            vals.push(r.unbalance_percent);
-        }
+    for (w, reports) in workloads.iter().zip(&grid) {
+        let vals: Vec<f64> = reports.iter().map(|r| r.unbalance_percent).collect();
         if w.is_fp() {
             fp_rows.push((w.name().to_string(), vals));
         } else {

@@ -7,7 +7,7 @@
 //! with a static (opcode-determined, predecoded) allocation does not impair
 //! performance, while each register keeps only one pool's write ports.
 
-use wsrs_bench::{render_grid, run_cell, RunParams};
+use wsrs_bench::{render_grid, run_grid, RunParams};
 use wsrs_core::SimConfig;
 use wsrs_regfile::RenameStrategy;
 use wsrs_workloads::Workload;
@@ -26,23 +26,28 @@ fn main() {
         ),
     ];
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    let workloads = Workload::all();
 
-    let mut rows = Vec::new();
-    for w in Workload::all() {
-        let mut vals = Vec::new();
-        for (name, cfg) in &configs {
-            let r = run_cell(w, cfg, params);
-            eprintln!(
-                "  {:<8} {:<12} ipc {:>6.3}  rename stalls {}",
-                w.name(),
-                name,
-                r.ipc(),
-                r.rename.alloc_refusals
-            );
-            vals.push(r.ipc());
-        }
-        rows.push((w.name().to_string(), vals));
-    }
+    let grid = run_grid(&workloads, &configs, params, &|w, name, r, _| {
+        eprintln!(
+            "  {:<8} {:<12} ipc {:>6.3}  rename stalls {}",
+            w.name(),
+            name,
+            r.ipc(),
+            r.rename.alloc_refusals
+        );
+    });
+
+    let rows: Vec<(String, Vec<f64>)> = workloads
+        .iter()
+        .zip(&grid)
+        .map(|(w, reports)| {
+            (
+                w.name().to_string(),
+                reports.iter().map(wsrs_core::Report::ipc).collect(),
+            )
+        })
+        .collect();
     println!(
         "{}",
         render_grid(

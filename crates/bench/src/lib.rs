@@ -23,7 +23,12 @@
 //! Figure 4 grid runs in about a minute. Override with the environment
 //! variables `WSRS_WARMUP` and `WSRS_MEASURE` for paper-scale runs.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use wsrs_core::{AllocPolicy, Report, SimConfig, Simulator};
+use wsrs_isa::DynInst;
 use wsrs_regfile::RenameStrategy;
 use wsrs_workloads::Workload;
 
@@ -102,10 +107,248 @@ pub fn figure4_configs() -> Vec<(&'static str, SimConfig)> {
     ]
 }
 
-/// Runs one (workload, configuration) cell.
+/// Runs one (workload, configuration) cell, emulating the workload's trace
+/// from scratch. Grid experiments should prefer [`run_grid`], which
+/// emulates each workload once and shares the trace across configurations.
 #[must_use]
 pub fn run_cell(w: Workload, cfg: &SimConfig, p: RunParams) -> Report {
     Simulator::new(*cfg).run_measured(w.trace(), p.warmup, p.measure)
+}
+
+/// Runs one (workload, configuration) cell from an already-emulated trace.
+#[must_use]
+pub fn run_cell_cached(trace: &[DynInst], cfg: &SimConfig, p: RunParams) -> Report {
+    Simulator::new(*cfg).run_measured(trace.iter().copied(), p.warmup, p.measure)
+}
+
+/// One cached trace entry: either still being emulated by some thread, or
+/// finished with a count of outstanding uses.
+enum TraceEntry {
+    /// A thread is emulating this workload; wait on the cache's condvar.
+    Building,
+    /// The bounded trace, plus how many more checkouts may still arrive
+    /// (`None` when the cache retains entries forever).
+    Ready {
+        trace: Arc<[DynInst]>,
+        remaining: Option<usize>,
+    },
+}
+
+/// Shared store of dynamic µop traces: each workload is emulated **once**
+/// (bounded to `warmup + measure` µops) and the resulting `Arc<[DynInst]>`
+/// is handed to every cell that needs it, instead of re-running the
+/// functional emulator per (workload, configuration) cell.
+///
+/// Construct with [`TraceCache::new`] to retain entries for the cache's
+/// lifetime, or [`TraceCache::evicting`] to drop each workload's trace as
+/// soon as its last expected [`checkout`](TraceCache::checkout) has been
+/// [`release`](TraceCache::release)d — with a trace costing ~80 bytes/µop,
+/// eviction keeps a grid's peak memory proportional to the workloads in
+/// flight rather than to the whole grid.
+pub struct TraceCache {
+    params: RunParams,
+    /// Checkouts expected per workload before its entry can be evicted.
+    uses_per_workload: Option<usize>,
+    entries: Mutex<HashMap<Workload, TraceEntry>>,
+    built: Condvar,
+}
+
+impl TraceCache {
+    /// A cache that retains every generated trace until dropped.
+    #[must_use]
+    pub fn new(params: RunParams) -> Self {
+        TraceCache {
+            params,
+            uses_per_workload: None,
+            entries: Mutex::new(HashMap::new()),
+            built: Condvar::new(),
+        }
+    }
+
+    /// A cache that evicts each workload's trace after `uses_per_workload`
+    /// checkout/release pairs (one per grid cell of that workload).
+    #[must_use]
+    pub fn evicting(params: RunParams, uses_per_workload: usize) -> Self {
+        TraceCache {
+            uses_per_workload: Some(uses_per_workload),
+            ..TraceCache::new(params)
+        }
+    }
+
+    /// µops per cached trace: the measurement window, warm-up included.
+    fn bound(&self) -> usize {
+        (self.params.warmup + self.params.measure) as usize
+    }
+
+    /// The bounded trace of `w`: emulated on the calling thread if this is
+    /// the first request, otherwise shared (blocking until the emulating
+    /// thread finishes, if one is mid-build).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned, or on more checkouts than an
+    /// evicting cache was constructed for.
+    #[must_use]
+    pub fn checkout(&self, w: Workload) -> Arc<[DynInst]> {
+        let mut entries = self.entries.lock().unwrap();
+        loop {
+            match entries.get_mut(&w) {
+                None => {
+                    entries.insert(w, TraceEntry::Building);
+                    drop(entries);
+                    // The emulator's iterator has no usable size hint, so
+                    // collect through an exactly-sized Vec — repeated
+                    // doubling on a multi-hundred-MB trace costs more than
+                    // the emulation itself.
+                    let mut buf = Vec::with_capacity(self.bound());
+                    buf.extend(w.trace().take(self.bound()));
+                    let trace: Arc<[DynInst]> = buf.into();
+                    let mut entries = self.entries.lock().unwrap();
+                    entries.insert(
+                        w,
+                        TraceEntry::Ready {
+                            trace: Arc::clone(&trace),
+                            remaining: self.uses_per_workload.map(|n| n - 1),
+                        },
+                    );
+                    self.built.notify_all();
+                    return trace;
+                }
+                Some(TraceEntry::Building) => {
+                    entries = self.built.wait(entries).unwrap();
+                }
+                Some(TraceEntry::Ready { trace, remaining }) => {
+                    if let Some(n) = remaining {
+                        assert!(*n > 0, "more checkouts of {w} than the cache expects");
+                        *n -= 1;
+                    }
+                    return Arc::clone(trace);
+                }
+            }
+        }
+    }
+
+    /// Releases one checkout of `w`. On an evicting cache, the entry is
+    /// dropped once all expected checkouts have been taken and released;
+    /// on a retaining cache this is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    pub fn release(&self, w: Workload) {
+        if self.uses_per_workload.is_none() {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(TraceEntry::Ready {
+            remaining: Some(0), ..
+        }) = entries.get(&w)
+        {
+            // Last checkout taken; this release may not be the last one
+            // chronologically, but every other user already holds its own
+            // `Arc`, so dropping the cache's copy is safe.
+            entries.remove(&w);
+        }
+    }
+}
+
+/// Per-cell completion hook for [`run_grid`]: workload, configuration
+/// label, the finished report, and the cell's wall time. Under more than
+/// one worker the hook is called from worker threads in completion order,
+/// which is not deterministic — keep result collection in the returned
+/// grid, and use the hook only for progress output.
+pub type CellHook<'a> = &'a (dyn Fn(Workload, &str, &Report, Duration) + Sync);
+
+/// Worker count for [`run_grid`]: `WSRS_THREADS` if set, else
+/// `RAYON_NUM_THREADS` (honoured for familiarity), else the machine's
+/// available parallelism.
+#[must_use]
+pub fn grid_threads() -> usize {
+    for key in ["WSRS_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(key).ok().and_then(|v| v.parse().ok()) {
+            return 1.max(n);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs every (workload, configuration) cell of an experiment grid and
+/// returns the reports indexed `[workload][configuration]`.
+///
+/// Each workload's µop trace is emulated once, shared across its cells
+/// through a [`TraceCache`], and evicted when its last cell completes.
+/// Cells are fanned across [`grid_threads`] worker threads; because every
+/// cell simulates an identical (trace, configuration) pair in isolation,
+/// the returned grid is byte-identical for any worker count, including
+/// the serial single-thread case.
+#[must_use]
+pub fn run_grid(
+    workloads: &[Workload],
+    configs: &[(&str, SimConfig)],
+    params: RunParams,
+    on_cell: CellHook<'_>,
+) -> Vec<Vec<Report>> {
+    run_grid_with_threads(workloads, configs, params, grid_threads(), on_cell)
+}
+
+/// [`run_grid`] with an explicit worker count (`threads == 1` runs every
+/// cell inline on the calling thread).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics, propagating the cell's panic.
+#[must_use]
+pub fn run_grid_with_threads(
+    workloads: &[Workload],
+    configs: &[(&str, SimConfig)],
+    params: RunParams,
+    threads: usize,
+    on_cell: CellHook<'_>,
+) -> Vec<Vec<Report>> {
+    let n_cells = workloads.len() * configs.len();
+    let cache = TraceCache::evicting(params, configs.len());
+    let next = AtomicUsize::new(0);
+    let cells: Vec<Mutex<Option<Report>>> = (0..n_cells).map(|_| Mutex::new(None)).collect();
+
+    // Workers claim flat cell indices (workload-major, matching the
+    // serial iteration order) until none remain.
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n_cells {
+            break;
+        }
+        let w = workloads[i / configs.len()];
+        let (name, cfg) = &configs[i % configs.len()];
+        let trace = cache.checkout(w);
+        let t0 = Instant::now();
+        let report = run_cell_cached(&trace, cfg, params);
+        drop(trace);
+        cache.release(w);
+        on_cell(w, name, &report, t0.elapsed());
+        *cells[i].lock().unwrap() = Some(report);
+    };
+    if threads <= 1 || n_cells <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            // The calling thread is worker 0.
+            for _ in 1..threads.min(n_cells) {
+                s.spawn(worker);
+            }
+            worker();
+        });
+    }
+
+    let mut flat = cells.into_iter();
+    workloads
+        .iter()
+        .map(|_| {
+            flat.by_ref()
+                .take(configs.len())
+                .map(|c| c.into_inner().unwrap().expect("cell completed"))
+                .collect()
+        })
+        .collect()
 }
 
 /// Renders a labelled numeric grid (benchmarks × configurations) as text.

@@ -47,6 +47,61 @@ fn emulator_traces_are_identical() {
     assert_eq!(t1, t2);
 }
 
+/// The parallel experiment harness must be a pure performance feature:
+/// fanning cells across workers (with the shared trace cache underneath)
+/// must leave every report byte-identical to the serial run.
+#[test]
+fn parallel_grid_matches_serial_byte_for_byte() {
+    use wsrs_bench::{run_grid_with_threads, RunParams};
+
+    let workloads = [Workload::Gzip, Workload::Wupwise];
+    let configs = [
+        ("conv", SimConfig::conventional_rr(256)),
+        (
+            "wsrs-rc",
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ),
+        ),
+        (
+            "wsrs-rm",
+            SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
+        ),
+    ];
+    let params = RunParams {
+        warmup: 20_000,
+        measure: 40_000,
+    };
+    let serial = run_grid_with_threads(&workloads, &configs, params, 1, &|_, _, _, _| {});
+    let parallel = run_grid_with_threads(&workloads, &configs, params, 4, &|_, _, _, _| {});
+    assert_eq!(serial.len(), 2);
+    assert_eq!(parallel[0].len(), 3);
+    // A Report's Debug rendering covers every field, so string equality is
+    // byte-for-byte equality of the results.
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+/// The shared trace cache must feed the simulator the same µop stream the
+/// per-cell emulator did.
+#[test]
+fn cached_trace_matches_fresh_emulation() {
+    use wsrs_bench::{run_cell, run_cell_cached, RunParams, TraceCache};
+
+    let params = RunParams {
+        warmup: 10_000,
+        measure: 20_000,
+    };
+    let cfg = SimConfig::conventional_rr(256);
+    let cache = TraceCache::new(params);
+    let trace = cache.checkout(Workload::Mcf);
+    assert_eq!(trace.len(), 30_000);
+    let cached = run_cell_cached(&trace, &cfg, params);
+    let fresh = run_cell(Workload::Mcf, &cfg, params);
+    assert_eq!(format!("{cached:?}"), format!("{fresh:?}"));
+}
+
 #[test]
 fn round_robin_is_seed_independent() {
     let mut cfg = SimConfig::conventional_rr(256);
