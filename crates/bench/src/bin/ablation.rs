@@ -18,9 +18,12 @@
 //!
 //! A representative subset of benchmarks keeps runtime moderate.
 
-use wsrs_bench::{render_grid, run_grid, RunParams};
+use wsrs_bench::manifest::{artifacts_dir, cell_record, repo_root, telemetry_on, write_manifest};
+use wsrs_bench::{grid_threads, render_grid, run_grid, RunParams};
 use wsrs_core::{AllocPolicy, FastForward, SimConfig};
 use wsrs_regfile::RenameStrategy;
+use wsrs_telemetry::manifest::{git_revision, SCHEMA_VERSION};
+use wsrs_telemetry::{CellRecord, RunManifest};
 use wsrs_workloads::Workload;
 
 const SUBSET: [Workload; 5] = [
@@ -31,9 +34,31 @@ const SUBSET: [Workload; 5] = [
     Workload::Facerec,
 ];
 
-fn sweep(title: &str, configs: &[(&str, SimConfig)], params: RunParams) {
-    let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
-    let grid = run_grid(&SUBSET, configs, params, &|_, _, _, _| {});
+/// Runs one sweep; prints its IPC table and appends its cells (config
+/// names prefixed with `tag` so sweeps can reuse short labels) to the
+/// combined ablation manifest.
+fn sweep(
+    tag: &str,
+    title: &str,
+    configs: &[(&str, SimConfig)],
+    params: RunParams,
+    cells: &mut Vec<CellRecord>,
+) {
+    let configs: Vec<(String, SimConfig)> = configs
+        .iter()
+        .map(|(n, c)| (format!("{tag}/{n}"), telemetry_on(c)))
+        .collect();
+    let refs: Vec<(&str, SimConfig)> = configs.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+    let names: Vec<&str> = configs
+        .iter()
+        .map(|(n, _)| n.split('/').nth(1).unwrap_or(n))
+        .collect();
+    let grid = run_grid(&SUBSET, &refs, params, &|_, _, _, _| {});
+    for (w, reports) in SUBSET.iter().zip(&grid) {
+        for ((name, cfg), r) in refs.iter().zip(reports) {
+            cells.push(cell_record(*w, name, cfg, r));
+        }
+    }
     let rows: Vec<(String, Vec<f64>)> = SUBSET
         .iter()
         .zip(&grid)
@@ -49,8 +74,12 @@ fn sweep(title: &str, configs: &[(&str, SimConfig)], params: RunParams) {
 
 fn main() {
     let params = RunParams::from_env();
+    let t0 = std::time::Instant::now();
+    let mut cells = Vec::new();
+    let cells = &mut cells;
 
     sweep(
+        "a1",
         "Ablation 1 — WSRS allocation policy (IPC)",
         &[
             (
@@ -71,6 +100,7 @@ fn main() {
             ),
         ],
         params,
+        cells,
     );
 
     let reg_sweep: Vec<(String, SimConfig)> = [320usize, 384, 448, 512, 640]
@@ -89,12 +119,15 @@ fn main() {
     let reg_refs: Vec<(&str, SimConfig)> =
         reg_sweep.iter().map(|(n, c)| (n.as_str(), *c)).collect();
     sweep(
+        "a2",
         "Ablation 2 — WSRS-RC physical register count (IPC)",
         &reg_refs,
         params,
+        cells,
     );
 
     sweep(
+        "a3",
         "Ablation 3 — renaming strategy (IPC)",
         &[
             (
@@ -123,6 +156,7 @@ fn main() {
             ),
         ],
         params,
+        cells,
     );
 
     let ff = |scope| {
@@ -140,6 +174,7 @@ fn main() {
         c
     };
     sweep(
+        "a4",
         "Ablation 4 — fast-forwarding scope (IPC)",
         &[
             ("conv intra", ff_conv(FastForward::IntraCluster)),
@@ -149,6 +184,7 @@ fn main() {
             ("wsrs full", ff(FastForward::Complete)),
         ],
         params,
+        cells,
     );
 
     use wsrs_frontend::PredictorKind;
@@ -162,6 +198,7 @@ fn main() {
         c
     };
     sweep(
+        "a5",
         "Ablation 5 — branch predictor on WSRS-RC (IPC)",
         &[
             ("2bcgskew", pred(PredictorKind::TwoBcGskew512K)),
@@ -171,6 +208,7 @@ fn main() {
             ("perfect", pred(PredictorKind::Perfect)),
         ],
         params,
+        cells,
     );
 
     use wsrs_core::SimConfigBuilder;
@@ -184,6 +222,7 @@ fn main() {
         .build()
     };
     sweep(
+        "a6",
         "Ablation 6 — in-flight window size on WSRS-RC (IPC)",
         &[
             ("28/112", win(28, 112)),
@@ -191,10 +230,12 @@ fn main() {
             ("112/448", win(112, 448)),
         ],
         params,
+        cells,
     );
 
     use wsrs_core::RegCache;
     sweep(
+        "a7",
         "Ablation 7 — related work: register-file cache [4] vs specialization (IPC)",
         &[
             ("conv", SimConfig::conventional_rr(256)),
@@ -222,5 +263,21 @@ fn main() {
             ),
         ],
         params,
+        cells,
     );
+
+    let manifest = RunManifest {
+        schema: SCHEMA_VERSION,
+        experiment: "ablation".to_string(),
+        git_rev: git_revision(&repo_root()),
+        warmup: params.warmup,
+        measure: params.measure,
+        workers: grid_threads() as u64,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        cells: std::mem::take(cells),
+    };
+    match write_manifest(&manifest, &artifacts_dir()) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("manifest not written: {e}"),
+    }
 }

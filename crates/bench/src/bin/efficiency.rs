@@ -8,7 +8,8 @@
 //! little or no IPC while dividing register-file power by ~2.3 and area by
 //! more than 6 — so IPC-per-nJ and IPC-per-area jump accordingly.
 
-use wsrs_bench::{run_grid, RunParams};
+use wsrs_bench::manifest::{artifacts_dir, grid_manifest, telemetry_on, write_manifest};
+use wsrs_bench::{grid_threads, run_grid, RunParams};
 use wsrs_complexity::{total_area_w2, CactiModel, RegFileOrg};
 use wsrs_core::{AllocPolicy, SimConfig};
 use wsrs_regfile::RenameStrategy;
@@ -43,8 +44,13 @@ fn main() {
 
     // One grid over all machines: each workload's trace is emulated once
     // and shared, and the geometric mean is taken down each column.
-    let configs: Vec<(&str, SimConfig)> = machines.iter().map(|(n, c, _)| (*n, *c)).collect();
-    let grid = run_grid(&Workload::all(), &configs, params, &|w, name, r, _| {
+    let configs: Vec<(&str, SimConfig)> = machines
+        .iter()
+        .map(|(n, c, _)| (*n, telemetry_on(c)))
+        .collect();
+    let workloads = Workload::all();
+    let t0 = std::time::Instant::now();
+    let grid = run_grid(&workloads, &configs, params, &|w, name, r, _| {
         eprintln!("  {:<8} {:<24} ipc {:>6.3}", w.name(), name, r.ipc());
     });
     let geomean = |col: usize| {
@@ -71,4 +77,18 @@ fn main() {
         "\n(gm IPC = geometric mean over the 12 kernels; area relative to the\n\
          conventional distributed file; energy/area from the Table 1 models)"
     );
+
+    let m = grid_manifest(
+        "efficiency",
+        &workloads,
+        &configs,
+        params,
+        grid_threads(),
+        t0.elapsed().as_secs_f64(),
+        &grid,
+    );
+    match write_manifest(&m, &artifacts_dir()) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("manifest not written: {e}"),
+    }
 }

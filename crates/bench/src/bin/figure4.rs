@@ -7,6 +7,7 @@
 //! fanned across `WSRS_THREADS` workers (default: all cores), each
 //! workload's trace emulated once and shared across configurations.
 
+use wsrs_bench::manifest::{artifacts_dir, grid_manifest, telemetry_on, write_manifest};
 use wsrs_bench::{
     figure4_configs, grid_threads, maybe_write_csv, render_bars, render_csv, render_grid, run_grid,
     RunParams,
@@ -15,7 +16,10 @@ use wsrs_workloads::Workload;
 
 fn main() {
     let params = RunParams::from_env();
-    let configs = figure4_configs();
+    let configs: Vec<(&str, _)> = figure4_configs()
+        .into_iter()
+        .map(|(n, c)| (n, telemetry_on(&c)))
+        .collect();
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
     let workloads = Workload::all();
     eprintln!(
@@ -26,6 +30,7 @@ fn main() {
         grid_threads()
     );
 
+    let t0 = std::time::Instant::now();
     let grid = run_grid(&workloads, &configs, params, &|w, name, r, elapsed| {
         eprintln!(
             "  {:<8} {:<14} ipc {:>6.3}  mr {:>5.3}  unbal {:>5.1}%  ({elapsed:.1?})",
@@ -81,5 +86,19 @@ fn main() {
     all_rows.extend(fp_rows);
     if let Some(path) = maybe_write_csv("figure4", &render_csv(&names, &all_rows)) {
         eprintln!("wrote {}", path.display());
+    }
+
+    let m = grid_manifest(
+        "figure4",
+        &workloads,
+        &configs,
+        params,
+        grid_threads(),
+        t0.elapsed().as_secs_f64(),
+        &grid,
+    );
+    match write_manifest(&m, &artifacts_dir()) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("manifest not written: {e}"),
     }
 }

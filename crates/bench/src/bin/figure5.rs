@@ -3,7 +3,8 @@
 //! 128 µops; a group is unbalanced when any cluster receives fewer than 24
 //! or more than 40 of them).
 
-use wsrs_bench::{maybe_write_csv, render_csv, render_grid, run_grid, RunParams};
+use wsrs_bench::manifest::{artifacts_dir, grid_manifest, telemetry_on, write_manifest};
+use wsrs_bench::{grid_threads, maybe_write_csv, render_csv, render_grid, run_grid, RunParams};
 use wsrs_core::{AllocPolicy, SimConfig};
 use wsrs_regfile::RenameStrategy;
 use wsrs_workloads::Workload;
@@ -13,20 +14,25 @@ fn main() {
     let configs = [
         (
             "WSRS RC",
-            SimConfig::wsrs(
+            telemetry_on(&SimConfig::wsrs(
                 512,
                 AllocPolicy::RandomCommutative,
                 RenameStrategy::ExactCount,
-            ),
+            )),
         ),
         (
             "WSRS RM",
-            SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
+            telemetry_on(&SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomMonadic,
+                RenameStrategy::ExactCount,
+            )),
         ),
     ];
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
     let workloads = Workload::all();
 
+    let t0 = std::time::Instant::now();
     let grid = run_grid(&workloads, &configs, params, &|w, name, r, _| {
         eprintln!(
             "  {:<8} {:<8} unbalancing {:>5.1}%",
@@ -71,5 +77,19 @@ fn main() {
     all_rows.extend(fp_rows);
     if let Some(path) = maybe_write_csv("figure5", &render_csv(&names, &all_rows)) {
         eprintln!("wrote {}", path.display());
+    }
+
+    let m = grid_manifest(
+        "figure5",
+        &workloads,
+        &configs,
+        params,
+        grid_threads(),
+        t0.elapsed().as_secs_f64(),
+        &grid,
+    );
+    match write_manifest(&m, &artifacts_dir()) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("manifest not written: {e}"),
     }
 }

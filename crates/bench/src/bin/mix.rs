@@ -4,21 +4,37 @@
 //! FP densities.
 //!
 //! The paper asserts "a large fraction of the instructions are either
-//! monadic or noadic"; this binary measures it for our kernels.
+//! monadic or noadic"; this binary measures it for our kernels, drawing
+//! each workload's µop stream from the shared [`TraceCache`] (one bounded
+//! emulation per workload, same harness as the grid experiments).
 
+use wsrs_bench::{RunParams, TraceCache};
 use wsrs_workloads::stats::TraceStats;
 use wsrs_workloads::Workload;
 
 fn main() {
-    const SKIP: usize = 1_000_000; // clear in-trace initialization
-    const TAKE: usize = 500_000;
+    // Skip 1 M µops to clear in-trace initialization, measure 500 k.
+    let params = RunParams {
+        warmup: 1_000_000,
+        measure: 500_000,
+    };
+    let cache = TraceCache::evicting(params, 1);
 
     println!(
         "{:<10}{:>9}{:>9}{:>9}{:>11}{:>9}{:>9}{:>7}",
         "kernel", "noadic%", "monadic%", "dyadic%", "commut.d%", "branch%", "memory%", "fp%"
     );
     for w in Workload::all() {
-        let s = TraceStats::measure(w.trace().skip(SKIP).take(TAKE));
+        let trace = cache.checkout(w);
+        let s = TraceStats::measure(
+            trace
+                .iter()
+                .copied()
+                .skip(params.warmup as usize)
+                .take(params.measure as usize),
+        );
+        drop(trace);
+        cache.release(w);
         let pct = |n: u64| 100.0 * n as f64 / s.total as f64;
         println!(
             "{:<10}{:>9.1}{:>9.1}{:>9.1}{:>11.1}{:>9.1}{:>9.1}{:>7.1}",

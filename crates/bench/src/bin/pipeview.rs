@@ -5,15 +5,24 @@
 //!
 //! ```sh
 //! cargo run --release -p wsrs-bench --bin pipeview -- gzip 48
+//! # machine-readable JSON lines (one object per µop, `machine` tagged):
+//! cargo run --release -p wsrs-bench --bin pipeview -- gzip 48 --json
 //! ```
 
 use wsrs_core::{pipeview, AllocPolicy, SimConfig, Simulator};
 use wsrs_regfile::RenameStrategy;
+use wsrs_telemetry::Json;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let name = args.get(1).map_or("gzip", |s| s.as_str());
-    let count: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let (flags, positional): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    let json = flags.iter().any(|f| f == "--json");
+    if let Some(unknown) = flags.iter().find(|f| *f != "--json") {
+        eprintln!("unknown flag '{unknown}' (supported: --json)");
+        std::process::exit(2);
+    }
+    let name = positional.first().map_or("gzip", |s| s.as_str());
+    let count: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
 
     let Ok(w) = name.parse::<wsrs_workloads::Workload>() else {
         eprintln!("unknown workload '{name}'");
@@ -32,12 +41,25 @@ fn main() {
         ),
     ] {
         let (report, timeline) = Simulator::new(cfg).run_timeline(w.trace().take(count * 4), count);
-        println!(
-            "== {label} — {name} (IPC {:.3} over the slice) ==",
-            report.ipc()
-        );
-        println!("{}", pipeview::render(&timeline, 96));
+        if json {
+            // JSON lines: each record is one µop, tagged with its machine.
+            for t in &timeline {
+                let Json::Obj(mut fields) = t.to_json() else {
+                    unreachable!("UopTiming::to_json returns an object");
+                };
+                fields.insert(0, ("machine".into(), Json::Str(label.to_string())));
+                println!("{}", Json::Obj(fields).to_string_compact());
+            }
+        } else {
+            println!(
+                "== {label} — {name} (IPC {:.3} over the slice) ==",
+                report.ipc()
+            );
+            println!("{}", pipeview::render(&timeline, 96));
+        }
     }
-    println!("legend: f fetch, d dispatch, i issue, c complete, r retire");
-    println!("(marks landing on the same cycle overwrite: d over f, etc.)");
+    if !json {
+        println!("legend: f fetch, d dispatch, i issue, c complete, r retire");
+        println!("(marks landing on the same cycle overwrite: d over f, etc.)");
+    }
 }

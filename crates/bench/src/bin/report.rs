@@ -1,0 +1,230 @@
+//! Run manifests and the regression gate.
+//!
+//! ```sh
+//! # refresh the committed baselines (BENCH_<experiment>.json at the root)
+//! cargo run --release -p wsrs-bench --bin report
+//!
+//! # compare a fresh run against the committed baselines; exit 1 on
+//! # IPC regression (>2%), conservation violation or determinism drift
+//! cargo run --release -p wsrs-bench --bin report -- gate
+//! ```
+//!
+//! Both modes run the same reduced fixed grids (250 k warm-up + 500 k
+//! measured µops per cell — override with `WSRS_GATE_WARMUP` /
+//! `WSRS_GATE_MEASURE`, but note the gate refuses to compare manifests
+//! with mismatched windows), with cycle-attribution telemetry enabled so
+//! every manifest carries a full stall breakdown. The gate additionally
+//! re-runs a small sub-grid serially and with three workers and demands
+//! byte-identical normalized manifests — the determinism contract of the
+//! parallel harness.
+
+use std::time::Instant;
+use wsrs_bench::manifest::{
+    artifacts_dir, baseline_path, grid_manifest, load_baseline, repo_root, telemetry_on,
+    write_manifest,
+};
+use wsrs_bench::{figure4_configs, grid_threads, run_grid_with_threads, RunParams};
+use wsrs_core::{AllocPolicy, SimConfig};
+use wsrs_regfile::RenameStrategy;
+use wsrs_telemetry::{GateOutcome, RunManifest, Tolerances};
+use wsrs_workloads::Workload;
+
+/// Fixed gate window: small enough for CI, large enough that IPC is
+/// stable to well under the 2% failure tolerance.
+fn gate_params() -> RunParams {
+    let get = |k: &str, d: u64| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d)
+    };
+    RunParams {
+        warmup: get("WSRS_GATE_WARMUP", 250_000),
+        measure: get("WSRS_GATE_MEASURE", 500_000),
+    }
+}
+
+/// One gated experiment: name, configurations, workloads.
+type Experiment = (&'static str, Vec<(&'static str, SimConfig)>, Vec<Workload>);
+
+/// The gated experiments: Figure 4's six configurations and Figure 5's
+/// two allocation policies, every config with telemetry switched on.
+fn experiments() -> Vec<Experiment> {
+    let figure4 = figure4_configs()
+        .into_iter()
+        .map(|(n, c)| (n, telemetry_on(&c)))
+        .collect();
+    let figure5 = vec![
+        (
+            "WSRS RC",
+            telemetry_on(&SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            )),
+        ),
+        (
+            "WSRS RM",
+            telemetry_on(&SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomMonadic,
+                RenameStrategy::ExactCount,
+            )),
+        ),
+    ];
+    vec![
+        ("figure4", figure4, Workload::all().to_vec()),
+        ("figure5", figure5, Workload::all().to_vec()),
+    ]
+}
+
+/// Runs one experiment grid and assembles its manifest.
+fn run_experiment(
+    experiment: &str,
+    workloads: &[Workload],
+    configs: &[(&str, SimConfig)],
+    params: RunParams,
+    threads: usize,
+) -> RunManifest {
+    eprintln!(
+        "{experiment}: {} cells, {}+{} µops, {threads} worker(s)",
+        workloads.len() * configs.len(),
+        params.warmup,
+        params.measure,
+    );
+    let t0 = Instant::now();
+    let grid = run_grid_with_threads(workloads, configs, params, threads, &|w, name, r, _| {
+        eprintln!("  {:<8} {:<14} ipc {:>6.3}", w.name(), name, r.ipc());
+    });
+    grid_manifest(
+        experiment,
+        workloads,
+        configs,
+        params,
+        threads,
+        t0.elapsed().as_secs_f64(),
+        &grid,
+    )
+}
+
+/// Writes fresh baselines for every experiment at the repo root.
+fn write_baselines(params: RunParams) {
+    let threads = grid_threads();
+    for (experiment, configs, workloads) in experiments() {
+        let m = run_experiment(experiment, &workloads, &configs, params, threads);
+        let path = write_manifest(&m, &repo_root()).expect("write baseline");
+        println!("wrote {}", path.display());
+    }
+}
+
+/// The gate's determinism probe: a 2×2 sub-grid run serially and with
+/// three workers must yield byte-identical normalized manifests.
+fn determinism_drift(params: RunParams) -> Option<String> {
+    let workloads = [Workload::Gzip, Workload::Mcf];
+    let configs: Vec<(&str, SimConfig)> = figure4_configs()
+        .into_iter()
+        .take(2)
+        .map(|(n, c)| (n, telemetry_on(&c)))
+        .collect();
+    let probe = RunParams {
+        warmup: params.warmup.min(50_000),
+        measure: params.measure.min(100_000),
+    };
+    let run = |threads: usize| {
+        let grid = run_grid_with_threads(&workloads, &configs, probe, threads, &|_, _, _, _| {});
+        grid_manifest(
+            "determinism",
+            &workloads,
+            &configs,
+            probe,
+            threads,
+            0.0,
+            &grid,
+        )
+        .normalized_json_string()
+    };
+    let serial = run(1);
+    let parallel = run(3);
+    (serial != parallel).then(|| {
+        "determinism drift: normalized manifests differ between 1 and 3 workers".to_string()
+    })
+}
+
+/// Compares fresh runs against the committed baselines; returns the exit
+/// code.
+fn gate(params: RunParams) -> i32 {
+    let threads = grid_threads();
+    let fresh_dir = artifacts_dir();
+    let mut outcome = GateOutcome::default();
+
+    for (experiment, configs, workloads) in experiments() {
+        let fresh = run_experiment(experiment, &workloads, &configs, params, threads);
+        let path = write_manifest(&fresh, &fresh_dir).expect("write fresh manifest");
+        eprintln!("wrote {}", path.display());
+        match load_baseline(experiment) {
+            Some(baseline) => outcome.absorb(baseline.compare(&fresh, &Tolerances::default())),
+            None => outcome.failures.push(format!(
+                "no committed baseline at {} — run `report` and commit it",
+                baseline_path(experiment).display()
+            )),
+        }
+    }
+
+    eprintln!("determinism: re-running a 2x2 sub-grid with 1 and 3 workers");
+    if let Some(drift) = determinism_drift(params) {
+        outcome.failures.push(drift);
+    }
+
+    for w in &outcome.warnings {
+        println!("warning: {w}");
+    }
+    for f in &outcome.failures {
+        println!("FAIL: {f}");
+    }
+    if outcome.passed() {
+        println!("gate passed ({} warning(s))", outcome.warnings.len());
+        0
+    } else {
+        println!(
+            "gate FAILED: {} failure(s), {} warning(s)",
+            outcome.failures.len(),
+            outcome.warnings.len()
+        );
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let params = gate_params();
+    match args.get(1).map(String::as_str) {
+        None | Some("baseline") => write_baselines(params),
+        Some("gate") => std::process::exit(gate(params)),
+        Some("check") => {
+            // Parse-only sanity check of the committed baselines.
+            let mut ok = true;
+            for (experiment, _, _) in experiments() {
+                let path = baseline_path(experiment);
+                match load_baseline(experiment) {
+                    Some(m) => println!(
+                        "{}: schema {}, {} cells",
+                        path.display(),
+                        m.schema,
+                        m.cells.len()
+                    ),
+                    None => {
+                        println!("{}: missing or malformed", path.display());
+                        ok = false;
+                    }
+                }
+            }
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        Some(other) => {
+            eprintln!("usage: report [baseline|gate|check]  (got '{other}')");
+            std::process::exit(2);
+        }
+    }
+}

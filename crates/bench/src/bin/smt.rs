@@ -7,8 +7,16 @@
 //! For each workload pair this binary reports single-thread IPC, 2-thread
 //! combined throughput, the SMT speedup over running the threads serially,
 //! and how many deadlock-recovery exceptions fired.
+//!
+//! Traces come from the shared [`TraceCache`] harness: each pair's
+//! workloads are emulated once and the bounded traces feed both the
+//! single-thread baselines (memoized across pairs) and the SMT run,
+//! instead of re-emulating per measurement. The cache is scoped per pair
+//! so peak memory stays at two traces.
 
-use wsrs_core::{AllocPolicy, SimConfig, SimConfigBuilder, Simulator};
+use std::collections::HashMap;
+use wsrs_bench::{RunParams, TraceCache};
+use wsrs_core::{AllocPolicy, Report, SimConfig, SimConfigBuilder, Simulator};
 use wsrs_regfile::RenameStrategy;
 use wsrs_workloads::Workload;
 
@@ -47,16 +55,29 @@ fn main() {
         (Workload::Vpr, Workload::Galgel), // branchy + FP
         (Workload::Gzip, Workload::Gzip),  // homogeneous
     ];
+    let params = RunParams {
+        warmup: 0,
+        measure: PER_THREAD as u64,
+    };
+    let mut singles: HashMap<Workload, Report> = HashMap::new();
 
     println!(
         "{:<18}{:>10}{:>10}{:>12}{:>12}{:>10}{:>12}",
         "pair", "ipc(A)", "ipc(B)", "smt thrpt", "speedup", "recov.", "retention"
     );
     for (a, b) in pairs {
-        let single = |w: Workload| Simulator::new(base()).run(w.trace().take(PER_THREAD));
-        let ra = single(a);
-        let rb = single(b);
-        let smt = Simulator::new(smt_cfg).run_smt_bounded(vec![a.trace(), b.trace()], PER_THREAD);
+        let cache = TraceCache::new(params);
+        let (ta, tb) = (cache.checkout(a), cache.checkout(b));
+        let mut single = |w: Workload, t: &[wsrs_isa::DynInst]| {
+            singles
+                .entry(w)
+                .or_insert_with(|| Simulator::new(base()).run(t.iter().copied()))
+                .clone()
+        };
+        let ra = single(a, &ta);
+        let rb = single(b, &tb);
+        let smt = Simulator::new(smt_cfg)
+            .run_smt_bounded(vec![ta.iter().copied(), tb.iter().copied()], PER_THREAD);
         // Speedup over running the two threads back to back.
         let serial_cycles = ra.cycles + rb.cycles;
         let speedup = serial_cycles as f64 / smt.cycles as f64;

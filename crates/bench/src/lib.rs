@@ -14,6 +14,7 @@
 //! | `efficiency`       | IPC per nJ / per area synthesis (the paper's thesis) |
 //! | `seven_cluster`    | the §7 seven-cluster complexity extension          |
 //! | `virtual_physical` | §6 \[13\] virtual-physical registers over WS     |
+//! | `report`           | `BENCH_*.json` run manifests + the regression gate |
 //! | `trace_dump`       | µop-stream inspector (debugging)                   |
 //! | `pipeview`         | per-µop pipeline timelines (debugging)             |
 //!
@@ -22,6 +23,8 @@
 //! every kernel's in-trace initialization loops) + 2 M measured so the full
 //! Figure 4 grid runs in about a minute. Override with the environment
 //! variables `WSRS_WARMUP` and `WSRS_MEASURE` for paper-scale runs.
+
+pub mod manifest;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -112,6 +112,11 @@ pub struct SimConfig {
     /// shorter register-read pipeline that the paper compares itself
     /// against.
     pub reg_cache: Option<RegCache>,
+    /// Enable full-pipeline cycle attribution (`wsrs-telemetry`): every
+    /// commit-width slot of every cycle is charged to one bucket and the
+    /// breakdown is attached to the [`crate::Report`]. Off by default —
+    /// the hot loop then pays a single branch per cycle.
+    pub telemetry: bool,
 }
 
 /// Register-file-cache timing parameters (§6 \[4\]).
@@ -157,6 +162,7 @@ impl SimConfig {
             vp_phys_per_subset: None,
             avoid_exhaustion: false,
             reg_cache: None,
+            telemetry: false,
         }
     }
 
@@ -438,6 +444,12 @@ impl SimConfigBuilder {
     /// Enables the §2.3 workaround (a): exhaustion-avoiding allocation.
     pub fn avoid_exhaustion(&mut self, on: bool) -> &mut Self {
         self.cfg.avoid_exhaustion = on;
+        self
+    }
+
+    /// Enables full-pipeline cycle attribution (see `wsrs-telemetry`).
+    pub fn telemetry(&mut self, on: bool) -> &mut Self {
+        self.cfg.telemetry = on;
         self
     }
 

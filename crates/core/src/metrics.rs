@@ -3,6 +3,7 @@
 
 use wsrs_mem::HierarchyStats;
 use wsrs_regfile::RenameStats;
+use wsrs_telemetry::CycleAttribution;
 
 /// The paper's workload-balance metric (§5.4): split the dynamic stream
 /// into groups of 128 µops; a group is *unbalanced* when any of the four
@@ -127,6 +128,10 @@ pub struct Report {
     /// µops retired per hardware thread over the **whole** run (length =
     /// `SimConfig::threads`; a single entry on non-SMT machines).
     pub per_thread_uops: Vec<u64>,
+    /// Full-pipeline cycle attribution (`Some` iff `SimConfig::telemetry`
+    /// was set): every commit-width slot of every measured cycle charged
+    /// to exactly one bucket, `sum(buckets) == cycles × width`.
+    pub attribution: Option<CycleAttribution>,
 }
 
 impl Report {
@@ -198,6 +203,7 @@ mod tests {
             deadlocked: true,
             deadlock_recoveries: 2,
             per_thread_uops: vec![250],
+            attribution: None,
         };
         let s = r.to_string();
         assert!(s.contains("IPC 2.500"), "{s}");

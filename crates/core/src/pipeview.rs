@@ -4,6 +4,7 @@
 //! shadows) rather than inferring them from aggregate counters.
 
 use wsrs_isa::Opcode;
+use wsrs_telemetry::Json;
 
 /// Lifecycle timestamps of one µop.
 #[derive(Clone, Copy, Debug)]
@@ -26,6 +27,28 @@ pub struct UopTiming {
     pub complete: u64,
     /// Cycle retired.
     pub commit: u64,
+}
+
+impl UopTiming {
+    /// One compact JSON object — a JSON-lines record for scripted
+    /// timeline analysis (`wsrs-bench --bin pipeview --json`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("seq".into(), Json::UInt(self.seq)),
+            ("pc".into(), Json::UInt(self.pc)),
+            (
+                "op".into(),
+                Json::Str(format!("{:?}", self.op).to_lowercase()),
+            ),
+            ("cluster".into(), Json::UInt(u64::from(self.cluster))),
+            ("fetch".into(), Json::UInt(self.fetch)),
+            ("dispatch".into(), Json::UInt(self.dispatch)),
+            ("issue".into(), Json::UInt(self.issue)),
+            ("complete".into(), Json::UInt(self.complete)),
+            ("commit".into(), Json::UInt(self.commit)),
+        ])
+    }
 }
 
 /// Renders timelines as an ASCII chart: one row per µop, one column per
@@ -113,5 +136,15 @@ mod tests {
     #[test]
     fn empty_timeline() {
         assert_eq!(render(&[], 10), "(empty timeline)\n");
+    }
+
+    #[test]
+    fn json_record_is_single_line_and_parses() {
+        let line = t(3, 5, 9).to_json().to_string_compact();
+        assert!(!line.contains('\n'));
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("seq").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("add"));
+        assert_eq!(v.get("commit").and_then(Json::as_u64), Some(9));
     }
 }

@@ -32,6 +32,7 @@ use wsrs_frontend::DirectionPredictor;
 use wsrs_isa::{latency, DynInst, OpClass, RegClass};
 use wsrs_mem::{MemoryHierarchy, StoreQueue, StoreQueueQuery};
 use wsrs_regfile::{DeadlockMonitor, Mapping, Renamer, Subset};
+use wsrs_telemetry::{CycleAttribution, SlotBucket};
 
 /// Sentinel for "value not yet produced".
 const IN_FLIGHT: u64 = u64::MAX;
@@ -96,6 +97,27 @@ struct RegInfo {
     avail: u64,
     /// Producing cluster (drives the inter-cluster forwarding penalty).
     cluster: u8,
+    /// Whether the producer is a load — lets cycle attribution charge a
+    /// dependent's wait to the memory hierarchy rather than ALU latency.
+    from_load: bool,
+}
+
+/// Why dispatch made no progress this cycle (cycle-attribution input;
+/// records only the *last* observed blocker, which is the binding one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+enum DispatchBlock {
+    /// Dispatch ran (or had nothing it was obliged to do).
+    #[default]
+    None,
+    /// Fetch buffers empty.
+    Frontend,
+    /// Register allocation refused (subset/free-list exhausted); the
+    /// subset is in `Engine::blocked_subset`.
+    Rename,
+    /// ROB or per-cluster window full.
+    Window,
+    /// Frozen by a deadlock-recovery exception.
+    Frozen,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -236,6 +258,7 @@ struct Snapshot {
     store_forwards: u64,
     unbalance_groups: u64,
     unbalance_flagged: u64,
+    attr: Option<CycleAttribution>,
 }
 
 struct Engine<'a> {
@@ -299,6 +322,13 @@ struct Engine<'a> {
     stalls: StallBreakdown,
     unbalance: UnbalanceTracker,
     store_forwards: u64,
+    /// Full-pipeline cycle attribution (`Some` iff `cfg.telemetry`); the
+    /// disabled path costs one branch per cycle.
+    attr: Option<CycleAttribution>,
+    /// µops retired by the current cycle's `commit()` pass.
+    committed_this_cycle: u64,
+    /// Why this cycle's `dispatch()` made no progress.
+    dispatch_block: DispatchBlock,
 }
 
 impl<'a> Engine<'a> {
@@ -366,6 +396,11 @@ impl<'a> Engine<'a> {
             stalls: StallBreakdown::default(),
             unbalance: UnbalanceTracker::paper(cfg.clusters),
             store_forwards: 0,
+            attr: cfg
+                .telemetry
+                .then(|| CycleAttribution::new(cfg.fetch_width)),
+            committed_this_cycle: 0,
+            dispatch_block: DispatchBlock::None,
         }
     }
 
@@ -377,7 +412,8 @@ impl<'a> Engine<'a> {
         let mut v = vec![
             RegInfo {
                 avail: 0,
-                cluster: 0
+                cluster: 0,
+                from_load: false,
             };
             total
         ];
@@ -429,11 +465,15 @@ impl<'a> Engine<'a> {
                     store_forwards: self.store_forwards,
                     unbalance_groups: self.unbalance.groups(),
                     unbalance_flagged: self.unbalance.unbalanced(),
+                    attr: self.attr.clone(),
                 });
             }
             self.fetch(&mut traces, &mut trace_done, fetch_buf_cap);
             self.dispatch();
             self.issue();
+            if self.attr.is_some() {
+                self.attribute_cycle();
+            }
 
             if trace_done.iter().all(|&d| d)
                 && self.fetch_bufs.iter().all(VecDeque::is_empty)
@@ -489,12 +529,112 @@ impl<'a> Engine<'a> {
             deadlocked: self.deadlocked,
             deadlock_recoveries: self.recoveries,
             per_thread_uops: self.thread_retired.clone(),
+            attribution: self.attr.take().map(|a| match &base.attr {
+                Some(b) => a.since(b),
+                None => a,
+            }),
         }
+    }
+
+    /// Charges this cycle's `fetch_width` commit slots: the retired µops
+    /// to `Committed`, the slack to one stall bucket chosen by
+    /// [`Self::stall_bucket`]. Runs after `issue()`, so a head that found
+    /// an issue slot this cycle is never misattributed as contention.
+    fn attribute_cycle(&mut self) {
+        let committed = self.committed_this_cycle;
+        let bucket = if committed >= self.cfg.fetch_width as u64 {
+            SlotBucket::Committed
+        } else {
+            self.stall_bucket()
+        };
+        let attr = self.attr.as_mut().expect("caller checked");
+        attr.charge_cycle(committed, bucket);
+        if bucket == SlotBucket::RenameStall && committed < self.cfg.fetch_width as u64 {
+            if let Some((class, subset)) = self.blocked_subset {
+                attr.note_rename_refusal(class_index(class), subset.index());
+            }
+        }
+    }
+
+    /// Picks the stall bucket for a cycle that retired fewer than
+    /// `fetch_width` µops. Retirement-centric: the oldest in-flight µop
+    /// explains the machine's inability to commit; the dispatch stage is
+    /// consulted only when the window is empty (or its head is too young
+    /// to have had an issue opportunity).
+    fn stall_bucket(&self) -> SlotBucket {
+        if let Some(head) = self.rob.front() {
+            if head.dispatch_cycle < self.cycle {
+                return self.head_bucket(head);
+            }
+            // Head dispatched this very cycle: the window is filling.
+            return SlotBucket::Fill;
+        }
+        match self.dispatch_block {
+            DispatchBlock::Rename | DispatchBlock::Frozen => SlotBucket::RenameStall,
+            DispatchBlock::Window => SlotBucket::WindowStall,
+            DispatchBlock::Frontend | DispatchBlock::None => {
+                if self.redirects.iter().any(|r| !matches!(r, Redirect::None)) {
+                    SlotBucket::Redirect
+                } else if self.fetch_bufs.iter().any(|b| !b.is_empty()) {
+                    SlotBucket::Fill
+                } else {
+                    SlotBucket::EmptyWindow
+                }
+            }
+        }
+    }
+
+    /// Why the (old-enough) ROB head did not retire this cycle.
+    fn head_bucket(&self, head: &Slot) -> SlotBucket {
+        if head.state == SlotState::Done {
+            // Issued, executing. Loads (and stores in their cache access)
+            // are memory-bound; everything else is execution latency.
+            return if head.is_load || head.is_store {
+                SlotBucket::Memory
+            } else {
+                SlotBucket::ExecLatency
+            };
+        }
+        // Waiting. Operand not yet usable?
+        for s in head.srcs.iter().flatten() {
+            let info = self.reg_class(s.class)[s.phys as usize];
+            if info.avail == IN_FLIGHT || self.cycle < info.avail {
+                // Producer unissued or still executing.
+                return if info.from_load {
+                    SlotBucket::Memory
+                } else {
+                    SlotBucket::ExecLatency
+                };
+            }
+            if self.cycle < info.avail + self.cfg.fast_forward.penalty(info.cluster, head.cluster) {
+                // Produced, but still crossing clusters.
+                return SlotBucket::ForwardBubble;
+            }
+        }
+        // Operands usable; what else gates issue?
+        if head
+            .mem_seq
+            .is_some_and(|ms| ms != self.mem_next_issue[head.thread as usize])
+        {
+            return SlotBucket::Memory; // memory-order serialization
+        }
+        if self.vp.is_some() {
+            let no_reservations: [Vec<usize>; 2] = [
+                vec![0; self.cfg.renamer.subsets],
+                vec![0; self.cfg.renamer.subsets],
+            ];
+            if !self.vp_can_alloc(head, &no_reservations) {
+                // Issue-time register allocation blocked (VP file full).
+                return SlotBucket::RenameStall;
+            }
+        }
+        SlotBucket::FuContention
     }
 
     // ---- commit ----
 
     fn commit(&mut self) {
+        self.committed_this_cycle = 0;
         for _ in 0..self.cfg.fetch_width {
             let Some(head) = self.rob.front() else { break };
             if head.state != SlotState::Done || head.done_cycle > self.cycle {
@@ -524,6 +664,7 @@ impl<'a> Engine<'a> {
             }
             self.clusters[slot.cluster as usize].window_occupancy -= 1;
             self.retired += 1;
+            self.committed_this_cycle += 1;
             self.thread_retired[slot.thread as usize] += 1;
         }
     }
@@ -617,11 +758,14 @@ impl<'a> Engine<'a> {
     // ---- dispatch / rename ----
 
     fn dispatch(&mut self) {
+        self.dispatch_block = DispatchBlock::None;
         if self.cycle < self.dispatch_frozen_until {
+            self.dispatch_block = DispatchBlock::Frozen;
             return;
         }
         if self.fetch_bufs.iter().all(VecDeque::is_empty) {
             self.stalls.frontend += self.cfg.fetch_width as u64;
+            self.dispatch_block = DispatchBlock::Frontend;
             let blocked = false;
             self.note_deadlock(blocked);
             return;
@@ -642,6 +786,7 @@ impl<'a> Engine<'a> {
                 }
                 if self.rob.len() >= self.cfg.rob_size() {
                     self.stalls.window += 1;
+                    self.dispatch_block = DispatchBlock::Window;
                     break 'threads;
                 }
                 let d = front.d;
@@ -699,6 +844,7 @@ impl<'a> Engine<'a> {
 
                 if self.clusters[cl].window_occupancy >= self.cfg.window_per_cluster {
                     self.stalls.window += 1;
+                    self.dispatch_block = DispatchBlock::Window;
                     break 'threads;
                 }
 
@@ -714,6 +860,7 @@ impl<'a> Engine<'a> {
                         self.stalls.rename += 1;
                         rename_blocked = true;
                         self.blocked_subset = Some((dreg.class(), subset));
+                        self.dispatch_block = DispatchBlock::Rename;
                         break 'threads;
                     }
                     let m = self
@@ -724,6 +871,7 @@ impl<'a> Engine<'a> {
                     self.reg_class_mut(dreg.class())[m.phys.0 as usize] = RegInfo {
                         avail: IN_FLIGHT,
                         cluster: choice.cluster.0,
+                        from_load: d.is_load(),
                     };
                     dst = Some((dreg.class(), m.phys.0));
                     old_mapping = Some((dreg.class(), old));
@@ -877,6 +1025,7 @@ impl<'a> Engine<'a> {
                 self.reg_class_mut(class)[new.phys.0 as usize] = RegInfo {
                     avail: done_at,
                     cluster: new.subset.0 % self.cfg.clusters as u8,
+                    from_load: false,
                 };
                 moved += 1;
             } else {
@@ -1288,6 +1437,7 @@ impl<'a> Engine<'a> {
                 self.reg_class_mut(class)[new.phys.0 as usize] = RegInfo {
                     avail: done_at,
                     cluster: new.subset.0 % self.cfg.clusters as u8,
+                    from_load: false,
                 };
                 moved += 1;
             } else {
@@ -2185,5 +2335,100 @@ mod tests {
             e.run_inner(traces, 0, None)
         };
         assert_eq!(format!("{:?}", run(false)), format!("{:?}", run(true)));
+    }
+
+    /// Telemetry must observe, never perturb: the same run with and
+    /// without attribution produces identical timing, and the attributed
+    /// slots conserve (`sum == cycles × width`) with the committed bucket
+    /// equal to the retired µop count.
+    #[test]
+    fn telemetry_conserves_and_does_not_perturb() {
+        let configs = vec![
+            SimConfig::conventional_rr(256),
+            perfect(SimConfig::wsrs(
+                384,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::Recycling,
+            )),
+        ];
+        for cfg in configs {
+            let plain = run_cfg(cfg, mixed_kernel());
+            let mut tcfg = cfg;
+            tcfg.telemetry = true;
+            let traced = run_cfg(tcfg, mixed_kernel());
+            assert_eq!(plain.cycles, traced.cycles, "telemetry perturbed timing");
+            assert_eq!(plain.uops, traced.uops);
+            assert!(plain.attribution.is_none());
+            let attr = traced.attribution.expect("telemetry enabled");
+            assert!(attr.conserved());
+            assert_eq!(attr.width(), cfg.fetch_width as u64);
+            assert_eq!(
+                attr.slots(SlotBucket::Committed),
+                traced.uops,
+                "every retired µop fills exactly one committed slot"
+            );
+            // The attribution's own cycle counter covers every loop
+            // iteration; the report's cycle count stops at the last
+            // increment — they agree to within one cycle.
+            assert!(attr.cycles() - traced.cycles <= 1);
+        }
+    }
+
+    /// A subset-starved WSRS machine must show rename-stall slots with
+    /// the exhausted (class, subset) identified.
+    #[test]
+    fn telemetry_attributes_rename_stalls() {
+        let mut cfg = perfect(SimConfig::wsrs(
+            96,
+            AllocPolicy::RandomCommutative,
+            RenameStrategy::ExactCount,
+        ));
+        cfg.telemetry = true;
+        cfg.deadlock_recovery = true;
+        let mut a = Assembler::new();
+        let (i, n) = (Reg::new(50), Reg::new(51));
+        a.li(i, 0);
+        a.li(n, 800);
+        let top = a.bind_label();
+        for k in 1..20 {
+            a.addi(Reg::new(k), Reg::new(k), 1);
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let r = run_cfg(cfg, a);
+        let attr = r.attribution.expect("telemetry enabled");
+        assert!(attr.conserved());
+        if r.rename.alloc_refusals > 0 {
+            assert!(
+                attr.slots(SlotBucket::RenameStall) > 0,
+                "refusals observed but no rename-stall slots charged"
+            );
+        }
+    }
+
+    /// A cache-thrashing loop must be dominated by memory-bucket slots.
+    #[test]
+    fn telemetry_attributes_memory_bound_cycles() {
+        let mut cfg = SimConfig::conventional_rr(256);
+        cfg.telemetry = true;
+        let mut a = Assembler::new();
+        let (b, o, i, n) = (Reg::new(1), Reg::new(3), Reg::new(4), Reg::new(5));
+        a.li(b, 0);
+        a.li(i, 0);
+        a.li(n, 300);
+        let top = a.bind_label();
+        a.lw(o, b, 0);
+        a.add(Reg::new(6), Reg::new(6), o);
+        a.addi(b, b, 8192);
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        let r = run_cfg(cfg, a);
+        let attr = r.attribution.expect("telemetry enabled");
+        assert!(attr.conserved());
+        assert!(
+            attr.fraction(SlotBucket::Memory) > 0.3,
+            "memory fraction {:.3} too small for a thrashing loop",
+            attr.fraction(SlotBucket::Memory)
+        );
     }
 }

@@ -2,6 +2,7 @@
 //! (paper Table 3).
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
+use wsrs_telemetry::Histogram;
 
 /// Full hierarchy configuration.
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +68,10 @@ pub struct HierarchyStats {
     pub l1_port_stalls: u64,
     /// Cycles of L2 bus occupancy accumulated by refills.
     pub l2_bus_busy_cycles: u64,
+    /// Distribution of per-load total latencies (power-of-two buckets):
+    /// separates "all hits" from "occasionally memory-bound" workloads
+    /// that average the same.
+    pub load_latency: Histogram,
 }
 
 /// The two-level data-memory timing model.
@@ -84,6 +89,7 @@ pub struct MemoryHierarchy {
     /// Next cycle at which the L2 bus is free.
     l2_bus_free: u64,
     stats_extra: (u64, u64),
+    load_latency: Histogram,
 }
 
 impl MemoryHierarchy {
@@ -102,6 +108,7 @@ impl MemoryHierarchy {
             port_used: 0,
             l2_bus_free: 0,
             stats_extra: (0, 0),
+            load_latency: Histogram::new(),
         }
     }
 
@@ -119,6 +126,7 @@ impl MemoryHierarchy {
             l2: self.l2.stats(),
             l1_port_stalls: self.stats_extra.0,
             l2_bus_busy_cycles: self.stats_extra.1,
+            load_latency: self.load_latency,
         }
     }
 
@@ -165,7 +173,9 @@ impl MemoryHierarchy {
     /// Timing for a load issued at `cycle` to `addr`; returns total latency
     /// in cycles.
     pub fn load(&mut self, addr: u64, cycle: u64) -> u32 {
-        self.access(addr, cycle, false)
+        let latency = self.access(addr, cycle, false);
+        self.load_latency.record(u64::from(latency));
+        latency
     }
 
     /// Timing for a store performing its cache write at `cycle` (stores
@@ -241,5 +251,7 @@ mod tests {
         assert_eq!(s.l1.accesses, 3);
         assert_eq!(s.l1.misses, 1);
         assert_eq!(s.l2.accesses, 1);
+        assert_eq!(s.load_latency.samples(), 2, "stores are not loads");
+        assert_eq!(s.load_latency.sum(), 94 + 2);
     }
 }

@@ -45,5 +45,5 @@ pub mod types;
 pub use deadlock::DeadlockMonitor;
 pub use freelist::FreeList;
 pub use map::MapTable;
-pub use renamer::{RenameStats, Renamer, RenamerConfig};
+pub use renamer::{RenameStats, Renamer, RenamerConfig, STATS_MAX_SUBSETS};
 pub use types::{Mapping, PhysReg, RenameStrategy, Subset};

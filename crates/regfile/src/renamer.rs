@@ -114,6 +114,11 @@ impl RenamerConfig {
     }
 }
 
+/// Upper bound on subsets tracked by [`RenameStats::refusals_by_subset`].
+/// WSRS uses at most 4 write subsets; 8 leaves headroom while keeping the
+/// stats struct `Copy`.
+pub const STATS_MAX_SUBSETS: usize = 8;
+
 /// Counters accumulated by the renamer.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RenameStats {
@@ -124,6 +129,10 @@ pub struct RenameStats {
     /// `can_alloc` refusals (renaming stalled on an empty free list /
     /// exhausted staging).
     pub alloc_refusals: u64,
+    /// Refusals refined by `[class][subset]` (class 0 = int, 1 = fp) —
+    /// which pool actually ran dry. Row sums equal `alloc_refusals`;
+    /// subsets past `STATS_MAX_SUBSETS - 1` fold into the last slot.
+    pub refusals_by_subset: [[u64; STATS_MAX_SUBSETS]; 2],
     /// Registers that traversed the recycling pipeline unused (strategy 1
     /// waste).
     pub recycled_unused: u64,
@@ -268,6 +277,8 @@ impl Renamer {
         };
         if !ok {
             self.stats.alloc_refusals += 1;
+            self.stats.refusals_by_subset[class_idx(class)]
+                [subset.index().min(STATS_MAX_SUBSETS - 1)] += 1;
         }
         ok
     }

@@ -1,0 +1,500 @@
+//! Run manifests and the regression-gate comparison.
+//!
+//! A [`RunManifest`] is the self-describing record of one experiment run:
+//! which git revision and configs produced it, how many µops were warmed
+//! and measured, and per grid cell the IPC, stall breakdown, cache/branch
+//! stats and (optionally) the full cycle attribution. Manifests are
+//! written as pretty JSON with insertion-ordered fields, so two runs of
+//! the same code differ only in the `wall_secs`/`workers` environment
+//! fields — [`RunManifest::normalized_json_string`] zeroes those, giving
+//! the byte-identical form the determinism checks compare.
+//!
+//! [`RunManifest::compare`] is the logic behind `wsrs-bench --bin report
+//! gate`: per-metric relative tolerances, hard failure on IPC regression,
+//! warnings on secondary drift.
+
+use crate::attr::CycleAttribution;
+use crate::json::Json;
+use std::path::Path;
+
+/// Manifest schema version; bump on breaking field changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// 64-bit FNV-1a over a byte string. Stable, dependency-free, and good
+/// enough to fingerprint a `Debug`-rendered `SimConfig`.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint of a configuration's `Debug` rendering, as fixed-width hex.
+#[must_use]
+pub fn config_hash(debug_repr: &str) -> String {
+    format!("{:016x}", fnv1a_64(debug_repr.as_bytes()))
+}
+
+/// The current git revision, read straight from `.git` (no subprocess):
+/// follows `HEAD` through one level of `ref:` indirection, falling back
+/// to `packed-refs`, then `"unknown"`.
+#[must_use]
+pub fn git_revision(repo_root: &Path) -> String {
+    let git = repo_root.join(".git");
+    let head = match std::fs::read_to_string(git.join("HEAD")) {
+        Ok(h) => h,
+        Err(_) => return "unknown".to_string(),
+    };
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+            return hash.trim().to_string();
+        }
+        if let Ok(packed) = std::fs::read_to_string(git.join("packed-refs")) {
+            for line in packed.lines() {
+                if let Some(hash) = line.strip_suffix(refname) {
+                    return hash.trim().to_string();
+                }
+            }
+        }
+        return "unknown".to_string();
+    }
+    head.to_string()
+}
+
+/// One grid cell: a (workload, config) pair's measured results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellRecord {
+    /// Workload name (e.g. `"gcc-like"`).
+    pub workload: String,
+    /// Configuration name (e.g. `"wsrs_rc"`).
+    pub config: String,
+    /// [`config_hash`] of the configuration — detects silent config drift
+    /// between a baseline and a fresh run.
+    pub config_hash: String,
+    pub ipc: f64,
+    pub cycles: u64,
+    pub uops: u64,
+    pub branches: u64,
+    pub mispredicts: u64,
+    pub mispredict_rate: f64,
+    /// Paper §5.3 unbalance degree, percent.
+    pub unbalance_percent: f64,
+    /// µops committed per cluster, cluster order.
+    pub per_cluster_uops: Vec<u64>,
+    pub frontend_stalls: u64,
+    pub rename_stalls: u64,
+    pub window_stalls: u64,
+    pub l1_miss_rate: f64,
+    pub l2_miss_rate: f64,
+    pub store_forwards: u64,
+    /// Full cycle attribution when telemetry was enabled for the run.
+    pub attribution: Option<CycleAttribution>,
+}
+
+impl CellRecord {
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("config".into(), Json::Str(self.config.clone())),
+            ("config_hash".into(), Json::Str(self.config_hash.clone())),
+            ("ipc".into(), Json::Float(self.ipc)),
+            ("cycles".into(), Json::UInt(self.cycles)),
+            ("uops".into(), Json::UInt(self.uops)),
+            ("branches".into(), Json::UInt(self.branches)),
+            ("mispredicts".into(), Json::UInt(self.mispredicts)),
+            ("mispredict_rate".into(), Json::Float(self.mispredict_rate)),
+            (
+                "unbalance_percent".into(),
+                Json::Float(self.unbalance_percent),
+            ),
+            (
+                "per_cluster_uops".into(),
+                Json::Arr(
+                    self.per_cluster_uops
+                        .iter()
+                        .map(|&u| Json::UInt(u))
+                        .collect(),
+                ),
+            ),
+            ("frontend_stalls".into(), Json::UInt(self.frontend_stalls)),
+            ("rename_stalls".into(), Json::UInt(self.rename_stalls)),
+            ("window_stalls".into(), Json::UInt(self.window_stalls)),
+            ("l1_miss_rate".into(), Json::Float(self.l1_miss_rate)),
+            ("l2_miss_rate".into(), Json::Float(self.l2_miss_rate)),
+            ("store_forwards".into(), Json::UInt(self.store_forwards)),
+        ];
+        if let Some(attr) = &self.attribution {
+            fields.push(("attribution".into(), attr.to_json()));
+        }
+        Json::Obj(fields)
+    }
+
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<CellRecord> {
+        Some(CellRecord {
+            workload: v.get("workload")?.as_str()?.to_string(),
+            config: v.get("config")?.as_str()?.to_string(),
+            config_hash: v.get("config_hash")?.as_str()?.to_string(),
+            ipc: v.get("ipc")?.as_f64()?,
+            cycles: v.get("cycles")?.as_u64()?,
+            uops: v.get("uops")?.as_u64()?,
+            branches: v.get("branches")?.as_u64()?,
+            mispredicts: v.get("mispredicts")?.as_u64()?,
+            mispredict_rate: v.get("mispredict_rate")?.as_f64()?,
+            unbalance_percent: v.get("unbalance_percent")?.as_f64()?,
+            per_cluster_uops: v
+                .get("per_cluster_uops")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<Vec<_>>>()?,
+            frontend_stalls: v.get("frontend_stalls")?.as_u64()?,
+            rename_stalls: v.get("rename_stalls")?.as_u64()?,
+            window_stalls: v.get("window_stalls")?.as_u64()?,
+            l1_miss_rate: v.get("l1_miss_rate")?.as_f64()?,
+            l2_miss_rate: v.get("l2_miss_rate")?.as_f64()?,
+            store_forwards: v.get("store_forwards")?.as_u64()?,
+            attribution: v.get("attribution").and_then(CycleAttribution::from_json),
+        })
+    }
+
+    /// Key identifying the cell within a grid.
+    #[must_use]
+    pub fn key(&self) -> (&str, &str) {
+        (&self.workload, &self.config)
+    }
+}
+
+/// A complete experiment run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunManifest {
+    pub schema: u64,
+    /// Experiment name (`"figure4"`, `"gate"`, …) — names the
+    /// `BENCH_<experiment>.json` file.
+    pub experiment: String,
+    pub git_rev: String,
+    /// Warmup µops per cell.
+    pub warmup: u64,
+    /// Measured µops per cell.
+    pub measure: u64,
+    /// Worker threads the grid ran with (environment, not result —
+    /// zeroed by [`Self::normalized_json_string`]).
+    pub workers: u64,
+    /// Wall-clock seconds for the run (environment, not result).
+    pub wall_secs: f64,
+    pub cells: Vec<CellRecord>,
+}
+
+impl RunManifest {
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::UInt(self.schema)),
+            ("experiment".into(), Json::Str(self.experiment.clone())),
+            ("git_rev".into(), Json::Str(self.git_rev.clone())),
+            ("warmup".into(), Json::UInt(self.warmup)),
+            ("measure".into(), Json::UInt(self.measure)),
+            ("workers".into(), Json::UInt(self.workers)),
+            ("wall_secs".into(), Json::Float(self.wall_secs)),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(CellRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<RunManifest> {
+        Some(RunManifest {
+            schema: v.get("schema")?.as_u64()?,
+            experiment: v.get("experiment")?.as_str()?.to_string(),
+            git_rev: v.get("git_rev")?.as_str()?.to_string(),
+            warmup: v.get("warmup")?.as_u64()?,
+            measure: v.get("measure")?.as_u64()?,
+            workers: v.get("workers")?.as_u64()?,
+            wall_secs: v.get("wall_secs")?.as_f64()?,
+            cells: v
+                .get("cells")?
+                .as_arr()?
+                .iter()
+                .map(CellRecord::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+
+    /// Parses a manifest document, `None` on malformed JSON or schema.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<RunManifest> {
+        Self::from_json(&Json::parse(text).ok()?)
+    }
+
+    /// Pretty JSON with a trailing newline — the on-disk format.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// The on-disk form with the environment fields (`workers`,
+    /// `wall_secs`, `git_rev`) neutralized. Two runs of the same code on
+    /// the same inputs must produce byte-identical normalized strings for
+    /// any `WSRS_THREADS` — this is what the determinism checks compare.
+    #[must_use]
+    pub fn normalized_json_string(&self) -> String {
+        let mut m = self.clone();
+        m.workers = 0;
+        m.wall_secs = 0.0;
+        m.git_rev = String::new();
+        m.to_json_string()
+    }
+
+    /// Lookup a cell by (workload, config).
+    #[must_use]
+    pub fn cell(&self, workload: &str, config: &str) -> Option<&CellRecord> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.config == config)
+    }
+
+    /// Compares `fresh` (a new run) against `self` (the committed
+    /// baseline) under `tol`.
+    #[must_use]
+    pub fn compare(&self, fresh: &RunManifest, tol: &Tolerances) -> GateOutcome {
+        let mut out = GateOutcome::default();
+        if self.schema != fresh.schema {
+            out.failures.push(format!(
+                "schema mismatch: baseline {} vs fresh {}",
+                self.schema, fresh.schema
+            ));
+            return out;
+        }
+        if (self.warmup, self.measure) != (fresh.warmup, fresh.measure) {
+            out.failures.push(format!(
+                "run parameters mismatch: baseline {}+{} uops vs fresh {}+{} \
+                 (results are not comparable; refresh the baseline)",
+                self.warmup, self.measure, fresh.warmup, fresh.measure
+            ));
+            return out;
+        }
+        for base in &self.cells {
+            let (w, c) = base.key();
+            let Some(new) = fresh.cell(w, c) else {
+                out.failures
+                    .push(format!("cell {w}/{c} missing from fresh run"));
+                continue;
+            };
+            if base.config_hash != new.config_hash {
+                out.warnings.push(format!(
+                    "{w}/{c}: config changed ({} -> {}); IPC deltas reflect \
+                     the new configuration",
+                    base.config_hash, new.config_hash
+                ));
+            }
+            let rel = (new.ipc - base.ipc) / base.ipc.max(f64::MIN_POSITIVE);
+            if rel < -tol.ipc_fail {
+                out.failures.push(format!(
+                    "{w}/{c}: IPC regression {:.2}% (baseline {:.4}, fresh {:.4})",
+                    -100.0 * rel,
+                    base.ipc,
+                    new.ipc
+                ));
+            } else if rel.abs() > tol.secondary_warn {
+                out.warnings.push(format!(
+                    "{w}/{c}: IPC moved {:+.2}% (baseline {:.4}, fresh {:.4})",
+                    100.0 * rel,
+                    base.ipc,
+                    new.ipc
+                ));
+            }
+            for (name, b, f) in [
+                ("mispredict_rate", base.mispredict_rate, new.mispredict_rate),
+                ("l1_miss_rate", base.l1_miss_rate, new.l1_miss_rate),
+                ("l2_miss_rate", base.l2_miss_rate, new.l2_miss_rate),
+                (
+                    "unbalance_percent",
+                    base.unbalance_percent,
+                    new.unbalance_percent,
+                ),
+            ] {
+                // Secondary metrics warn on absolute drift: they sit near
+                // zero, where relative tolerances are meaningless.
+                if (f - b).abs() > tol.secondary_abs_warn {
+                    out.warnings
+                        .push(format!("{w}/{c}: {name} drifted {b:.4} -> {f:.4}"));
+                }
+            }
+            if let Some(attr) = &new.attribution {
+                if !attr.conserved() {
+                    out.failures.push(format!(
+                        "{w}/{c}: cycle attribution violates slot conservation"
+                    ));
+                }
+            }
+        }
+        for new in &fresh.cells {
+            let (w, c) = new.key();
+            if self.cell(w, c).is_none() {
+                out.warnings.push(format!(
+                    "cell {w}/{c} is new (not in baseline); refresh to track it"
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Per-metric comparison tolerances.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Relative IPC drop that fails the gate (0.02 = 2%).
+    pub ipc_fail: f64,
+    /// Relative IPC movement (either direction) that warns.
+    pub secondary_warn: f64,
+    /// Absolute drift in rate-like secondary metrics that warns.
+    pub secondary_abs_warn: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            ipc_fail: 0.02,
+            secondary_warn: 0.005,
+            secondary_abs_warn: 0.002,
+        }
+    }
+}
+
+/// The result of a gate comparison.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GateOutcome {
+    /// Hard failures — the gate exits nonzero if any are present.
+    pub failures: Vec<String>,
+    /// Drift worth a look but not a failure.
+    pub warnings: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes (no failures; warnings allowed).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Merges another outcome into this one.
+    pub fn absorb(&mut self, other: GateOutcome) {
+        self.failures.extend(other.failures);
+        self.warnings.extend(other.warnings);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::SlotBucket;
+
+    fn cell(workload: &str, config: &str, ipc: f64) -> CellRecord {
+        CellRecord {
+            workload: workload.to_string(),
+            config: config.to_string(),
+            config_hash: config_hash("cfg-v1"),
+            ipc,
+            cycles: 1000,
+            uops: (ipc * 1000.0) as u64,
+            branches: 100,
+            mispredicts: 5,
+            mispredict_rate: 0.05,
+            unbalance_percent: 3.0,
+            per_cluster_uops: vec![250, 250, 250, 250],
+            frontend_stalls: 10,
+            rename_stalls: 20,
+            window_stalls: 30,
+            l1_miss_rate: 0.04,
+            l2_miss_rate: 0.01,
+            store_forwards: 7,
+            attribution: None,
+        }
+    }
+
+    fn manifest(cells: Vec<CellRecord>) -> RunManifest {
+        RunManifest {
+            schema: SCHEMA_VERSION,
+            experiment: "test".to_string(),
+            git_rev: "deadbeef".to_string(),
+            warmup: 100,
+            measure: 200,
+            workers: 3,
+            wall_secs: 1.5,
+            cells,
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let mut c = cell("gcc", "wsrs_rc", 2.5);
+        let mut attr = CycleAttribution::new(8);
+        attr.charge_cycle(5, SlotBucket::Memory);
+        c.attribution = Some(attr);
+        let m = manifest(vec![c]);
+        let text = m.to_json_string();
+        assert_eq!(RunManifest::parse(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn normalization_hides_environment() {
+        let mut a = manifest(vec![cell("gcc", "rr", 2.0)]);
+        let mut b = a.clone();
+        b.workers = 16;
+        b.wall_secs = 99.0;
+        b.git_rev = "other".to_string();
+        assert_ne!(a.to_json_string(), b.to_json_string());
+        assert_eq!(a.normalized_json_string(), b.normalized_json_string());
+        a.cells[0].ipc = 2.1;
+        assert_ne!(a.normalized_json_string(), b.normalized_json_string());
+    }
+
+    #[test]
+    fn gate_fails_on_ipc_regression() {
+        let base = manifest(vec![cell("gcc", "rr", 2.0), cell("perl", "rr", 3.0)]);
+        let fresh = manifest(vec![cell("gcc", "rr", 1.9), cell("perl", "rr", 3.0)]);
+        let out = base.compare(&fresh, &Tolerances::default());
+        assert!(!out.passed());
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].contains("gcc/rr"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_on_gains() {
+        let base = manifest(vec![cell("gcc", "rr", 2.0)]);
+        let fresh = manifest(vec![cell("gcc", "rr", 2.0 * 0.99)]);
+        assert!(base.compare(&fresh, &Tolerances::default()).passed());
+        let faster = manifest(vec![cell("gcc", "rr", 2.4)]);
+        let out = base.compare(&faster, &Tolerances::default());
+        assert!(out.passed());
+        assert!(!out.warnings.is_empty(), "large gain should warn");
+    }
+
+    #[test]
+    fn gate_fails_on_missing_cell_and_param_mismatch() {
+        let base = manifest(vec![cell("gcc", "rr", 2.0)]);
+        let fresh = manifest(vec![]);
+        assert!(!base.compare(&fresh, &Tolerances::default()).passed());
+
+        let mut other_params = manifest(vec![cell("gcc", "rr", 2.0)]);
+        other_params.measure = 999;
+        assert!(!base.compare(&other_params, &Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(config_hash("x"), config_hash("x"));
+        assert_ne!(config_hash("x"), config_hash("y"));
+    }
+}

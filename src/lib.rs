@@ -16,6 +16,8 @@
 //!   cluster-allocation policies (RR / RM / RC);
 //! * [`complexity`] — the register-file area/energy/access-time models that
 //!   regenerate the paper's Table 1;
+//! * [`telemetry`] — cycle attribution, counters/histograms and the JSON
+//!   run-manifest format behind the `report`/`gate` regression tooling;
 //! * [`workloads`] — the twelve benchmark kernels standing in for the
 //!   paper's SPEC CPU2000 selection.
 //!
@@ -37,4 +39,5 @@ pub use wsrs_frontend as frontend;
 pub use wsrs_isa as isa;
 pub use wsrs_mem as mem;
 pub use wsrs_regfile as regfile;
+pub use wsrs_telemetry as telemetry;
 pub use wsrs_workloads as workloads;
