@@ -1,0 +1,84 @@
+//! Criterion benches for the `wsrs-trace` codec: µops/s through the
+//! delta/varint encoder and decoder, plus a full file round-trip
+//! (encode + checksum + parse + decode) at trace-store block sizes.
+//!
+//! The codec sits on the warm path of every grid run — a disk hit
+//! replays through `decode_block` — so its throughput bounds how much
+//! the two-tier cache can beat re-emulation by.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wsrs_trace::{encode_block, TraceFile, TraceHeader, DEFAULT_BLOCK_UOPS};
+use wsrs_workloads::Workload;
+
+const UOPS: usize = 200_000;
+
+fn trace(n: usize) -> Vec<wsrs_isa::DynInst> {
+    Workload::Gzip.trace().take(n).collect()
+}
+
+/// Raw block encode: µops → delta/varint bytes.
+fn encode(c: &mut Criterion) {
+    let uops = trace(UOPS);
+    let mut g = c.benchmark_group("trace_codec/encode");
+    g.throughput(Throughput::Elements(UOPS as u64));
+    g.sample_size(20);
+    g.bench_function("block", |b| {
+        let mut out = Vec::with_capacity(UOPS * 8);
+        b.iter(|| {
+            out.clear();
+            encode_block(&uops, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
+}
+
+/// Raw block decode: bytes → µops (the disk-replay hot path).
+fn decode(c: &mut Criterion) {
+    let uops = trace(UOPS);
+    let mut bytes = Vec::new();
+    encode_block(&uops, &mut bytes);
+    let mut g = c.benchmark_group("trace_codec/decode");
+    g.throughput(Throughput::Elements(UOPS as u64));
+    g.sample_size(20);
+    g.bench_function("block", |b| {
+        let mut out = Vec::with_capacity(UOPS);
+        b.iter(|| {
+            out.clear();
+            wsrs_trace::decode_block(&bytes, UOPS, &mut out).expect("decodes");
+            out.len()
+        })
+    });
+    g.finish();
+}
+
+/// Whole-file round trip at the store's default block size: encode with
+/// header + index + checksum, then verify and decode every block.
+fn file_round_trip(c: &mut Criterion) {
+    let uops = trace(UOPS);
+    let header = TraceHeader {
+        rev: 0x5eed,
+        warmup: 0,
+        measure: UOPS as u64,
+        uop_count: UOPS as u64,
+        block_uops: DEFAULT_BLOCK_UOPS,
+        workload: "gzip".to_string(),
+    };
+    let bytes = wsrs_trace::encode(&header, &uops);
+    let mut g = c.benchmark_group("trace_codec/file");
+    g.throughput(Throughput::Elements(UOPS as u64));
+    g.sample_size(20);
+    g.bench_function("encode", |b| {
+        b.iter(|| wsrs_trace::encode(&header, &uops).len())
+    });
+    g.bench_function("verify_decode", |b| {
+        b.iter(|| {
+            let f = TraceFile::from_bytes(bytes.clone()).expect("parses");
+            f.read_all().expect("decodes").len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, encode, decode, file_round_trip);
+criterion_main!(benches);

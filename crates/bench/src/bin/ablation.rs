@@ -18,8 +18,10 @@
 //!
 //! A representative subset of benchmarks keeps runtime moderate.
 
-use wsrs_bench::manifest::{artifacts_dir, cell_record, repo_root, telemetry_on, write_manifest};
-use wsrs_bench::{grid_threads, render_grid, run_grid, RunParams};
+use wsrs_bench::manifest::{
+    artifacts_dir, cell_record, repo_root, telemetry_on, trace_records, trace_stats, write_manifest,
+};
+use wsrs_bench::{grid_threads, render_grid, run_grid, RunParams, TraceProvenance};
 use wsrs_core::{AllocPolicy, FastForward, SimConfig};
 use wsrs_regfile::RenameStrategy;
 use wsrs_telemetry::manifest::{git_revision, SCHEMA_VERSION};
@@ -43,6 +45,7 @@ fn sweep(
     configs: &[(&str, SimConfig)],
     params: RunParams,
     cells: &mut Vec<CellRecord>,
+    provenance: &mut TraceProvenance,
 ) {
     let configs: Vec<(String, SimConfig)> = configs
         .iter()
@@ -53,15 +56,16 @@ fn sweep(
         .iter()
         .map(|(n, _)| n.split('/').nth(1).unwrap_or(n))
         .collect();
-    let grid = run_grid(&SUBSET, &refs, params, &|_, _, _, _| {});
-    for (w, reports) in SUBSET.iter().zip(&grid) {
+    let run = run_grid(&SUBSET, &refs, params, &|_, _, _, _| {});
+    provenance.absorb(run.provenance);
+    for (w, reports) in SUBSET.iter().zip(&run.reports) {
         for ((name, cfg), r) in refs.iter().zip(reports) {
             cells.push(cell_record(*w, name, cfg, r));
         }
     }
     let rows: Vec<(String, Vec<f64>)> = SUBSET
         .iter()
-        .zip(&grid)
+        .zip(&run.reports)
         .map(|(w, reports)| {
             (
                 w.name().to_string(),
@@ -77,6 +81,8 @@ fn main() {
     let t0 = std::time::Instant::now();
     let mut cells = Vec::new();
     let cells = &mut cells;
+    let mut provenance = TraceProvenance::default();
+    let prov = &mut provenance;
 
     sweep(
         "a1",
@@ -101,6 +107,7 @@ fn main() {
         ],
         params,
         cells,
+        prov,
     );
 
     let reg_sweep: Vec<(String, SimConfig)> = [320usize, 384, 448, 512, 640]
@@ -124,6 +131,7 @@ fn main() {
         &reg_refs,
         params,
         cells,
+        prov,
     );
 
     sweep(
@@ -157,6 +165,7 @@ fn main() {
         ],
         params,
         cells,
+        prov,
     );
 
     let ff = |scope| {
@@ -185,6 +194,7 @@ fn main() {
         ],
         params,
         cells,
+        prov,
     );
 
     use wsrs_frontend::PredictorKind;
@@ -209,6 +219,7 @@ fn main() {
         ],
         params,
         cells,
+        prov,
     );
 
     use wsrs_core::SimConfigBuilder;
@@ -231,6 +242,7 @@ fn main() {
         ],
         params,
         cells,
+        prov,
     );
 
     use wsrs_core::RegCache;
@@ -264,6 +276,7 @@ fn main() {
         ],
         params,
         cells,
+        prov,
     );
 
     let manifest = RunManifest {
@@ -275,6 +288,8 @@ fn main() {
         workers: grid_threads() as u64,
         wall_secs: t0.elapsed().as_secs_f64(),
         cells: std::mem::take(cells),
+        traces: trace_records(&provenance),
+        trace_cache: Some(trace_stats(&provenance)),
     };
     match write_manifest(&manifest, &artifacts_dir()) {
         Ok(path) => eprintln!("wrote {}", path.display()),

@@ -50,9 +50,10 @@ fn main() {
         .collect();
     let workloads = Workload::all();
     let t0 = std::time::Instant::now();
-    let grid = run_grid(&workloads, &configs, params, &|w, name, r, _| {
+    let run = run_grid(&workloads, &configs, params, &|w, name, r, _| {
         eprintln!("  {:<8} {:<24} ipc {:>6.3}", w.name(), name, r.ipc());
     });
+    let grid = &run.reports;
     let geomean = |col: usize| {
         let log_sum: f64 = grid.iter().map(|row| row[col].ipc().ln()).sum();
         (log_sum / grid.len() as f64).exp()
@@ -85,7 +86,8 @@ fn main() {
         params,
         grid_threads(),
         t0.elapsed().as_secs_f64(),
-        &grid,
+        grid,
+        Some(&run.provenance),
     );
     match write_manifest(&m, &artifacts_dir()) {
         Ok(path) => eprintln!("wrote {}", path.display()),

@@ -31,7 +31,7 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let grid = run_grid(&workloads, &configs, params, &|w, name, r, elapsed| {
+    let run = run_grid(&workloads, &configs, params, &|w, name, r, elapsed| {
         eprintln!(
             "  {:<8} {:<14} ipc {:>6.3}  mr {:>5.3}  unbal {:>5.1}%  ({elapsed:.1?})",
             w.name(),
@@ -41,10 +41,11 @@ fn main() {
             r.unbalance_percent,
         );
     });
+    let grid = &run.reports;
 
     let mut int_rows = Vec::new();
     let mut fp_rows = Vec::new();
-    for (w, reports) in workloads.iter().zip(&grid) {
+    for (w, reports) in workloads.iter().zip(grid) {
         let vals: Vec<f64> = reports.iter().map(wsrs_core::Report::ipc).collect();
         if w.is_fp() {
             fp_rows.push((w.name().to_string(), vals));
@@ -95,7 +96,8 @@ fn main() {
         params,
         grid_threads(),
         t0.elapsed().as_secs_f64(),
-        &grid,
+        grid,
+        Some(&run.provenance),
     );
     match write_manifest(&m, &artifacts_dir()) {
         Ok(path) => eprintln!("wrote {}", path.display()),

@@ -8,16 +8,14 @@
 //! each workload's µop stream from the shared [`TraceCache`] (one bounded
 //! emulation per workload, same harness as the grid experiments).
 
-use wsrs_bench::{RunParams, TraceCache};
+use wsrs_bench::TraceCache;
 use wsrs_workloads::stats::TraceStats;
 use wsrs_workloads::Workload;
 
 fn main() {
-    // Skip 1 M µops to clear in-trace initialization, measure 500 k.
-    let params = RunParams {
-        warmup: 1_000_000,
-        measure: 500_000,
-    };
+    // Skip initialization loops, then a window long enough for stable
+    // fractions (see `wsrs_bench::windows`).
+    let params = wsrs_bench::windows::mix_params();
     let cache = TraceCache::evicting(params, 1);
 
     println!(

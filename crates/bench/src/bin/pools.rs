@@ -36,7 +36,8 @@ fn main() {
             r.ipc(),
             r.rename.alloc_refusals
         );
-    });
+    })
+    .reports;
 
     let rows: Vec<(String, Vec<f64>)> = workloads
         .iter()

@@ -23,26 +23,15 @@ use wsrs_bench::manifest::{
     artifacts_dir, baseline_path, grid_manifest, load_baseline, repo_root, telemetry_on,
     write_manifest,
 };
-use wsrs_bench::{figure4_configs, grid_threads, run_grid_with_threads, RunParams};
+use wsrs_bench::windows::gate_params;
+use wsrs_bench::{
+    default_trace_store, figure4_configs, grid_threads, run_grid_full, run_grid_with_threads,
+    RunParams,
+};
 use wsrs_core::{AllocPolicy, SimConfig};
 use wsrs_regfile::RenameStrategy;
 use wsrs_telemetry::{GateOutcome, RunManifest, Tolerances};
 use wsrs_workloads::Workload;
-
-/// Fixed gate window: small enough for CI, large enough that IPC is
-/// stable to well under the 2% failure tolerance.
-fn gate_params() -> RunParams {
-    let get = |k: &str, d: u64| {
-        std::env::var(k)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(d)
-    };
-    RunParams {
-        warmup: get("WSRS_GATE_WARMUP", 250_000),
-        measure: get("WSRS_GATE_MEASURE", 500_000),
-    }
-}
 
 /// One gated experiment: name, configurations, workloads.
 type Experiment = (&'static str, Vec<(&'static str, SimConfig)>, Vec<Workload>);
@@ -93,9 +82,16 @@ fn run_experiment(
         params.measure,
     );
     let t0 = Instant::now();
-    let grid = run_grid_with_threads(workloads, configs, params, threads, &|w, name, r, _| {
-        eprintln!("  {:<8} {:<14} ipc {:>6.3}", w.name(), name, r.ipc());
-    });
+    let run = run_grid_full(
+        workloads,
+        configs,
+        params,
+        threads,
+        default_trace_store(),
+        &|w, name, r, _| {
+            eprintln!("  {:<8} {:<14} ipc {:>6.3}", w.name(), name, r.ipc());
+        },
+    );
     grid_manifest(
         experiment,
         workloads,
@@ -103,7 +99,8 @@ fn run_experiment(
         params,
         threads,
         t0.elapsed().as_secs_f64(),
-        &grid,
+        &run.reports,
+        Some(&run.provenance),
     )
 }
 
@@ -140,6 +137,7 @@ fn determinism_drift(params: RunParams) -> Option<String> {
             threads,
             0.0,
             &grid,
+            None,
         )
         .normalized_json_string()
     };

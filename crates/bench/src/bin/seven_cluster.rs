@@ -85,7 +85,7 @@ fn main() {
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
     let subset = [Workload::Gzip, Workload::Mcf, Workload::Wupwise];
     let params = RunParams::from_env();
-    let grid = run_grid(&subset, &configs, params, &|_, _, _, _| {});
+    let grid = run_grid(&subset, &configs, params, &|_, _, _, _| {}).reports;
     let rows: Vec<(String, Vec<f64>)> = subset
         .iter()
         .zip(&grid)

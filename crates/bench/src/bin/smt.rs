@@ -15,13 +15,14 @@
 //! so peak memory stays at two traces.
 
 use std::collections::HashMap;
-use wsrs_bench::{RunParams, TraceCache};
+use wsrs_bench::windows::SMT_PER_THREAD;
+use wsrs_bench::TraceCache;
 use wsrs_core::{AllocPolicy, Report, SimConfig, SimConfigBuilder, Simulator};
 use wsrs_regfile::RenameStrategy;
 use wsrs_workloads::Workload;
 
 // Long enough to clear every kernel's in-trace initialization (mcf ~770k).
-const PER_THREAD: usize = 1_500_000;
+const PER_THREAD: usize = SMT_PER_THREAD as usize;
 
 fn base() -> SimConfig {
     SimConfig::wsrs(
@@ -55,10 +56,7 @@ fn main() {
         (Workload::Vpr, Workload::Galgel), // branchy + FP
         (Workload::Gzip, Workload::Gzip),  // homogeneous
     ];
-    let params = RunParams {
-        warmup: 0,
-        measure: PER_THREAD as u64,
-    };
+    let params = wsrs_bench::windows::smt_params();
     let mut singles: HashMap<Workload, Report> = HashMap::new();
 
     println!(

@@ -1,0 +1,324 @@
+//! Maintenance CLI for the on-disk trace store (`wsrs-trace`).
+//!
+//! ```sh
+//! # pre-record every workload at the default grid window
+//! cargo run --release -p wsrs-bench --bin trace -- record
+//!
+//! # record one workload at an explicit window
+//! cargo run --release -p wsrs-bench --bin trace -- record gzip 1000000 2000000
+//!
+//! # what's in the store, and is it still valid?
+//! cargo run --release -p wsrs-bench --bin trace -- ls
+//! cargo run --release -p wsrs-bench --bin trace -- verify
+//! cargo run --release -p wsrs-bench --bin trace -- inspect gzip
+//!
+//! # drop files recorded against an older emulator revision
+//! cargo run --release -p wsrs-bench --bin trace -- rm --stale
+//! ```
+//!
+//! The store location is `artifacts/traces/` unless `WSRS_TRACE_DIR`
+//! overrides it. `rev` prints the current per-workload emulator revision
+//! hashes (the value CI keys its trace cache on).
+
+use std::process::ExitCode;
+use wsrs_bench::{default_trace_store, RunParams};
+use wsrs_trace::{TraceFile, TraceKey, TraceStore};
+use wsrs_workloads::Workload;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace <command>\n\
+         \n\
+         commands:\n\
+         \x20 record [workload] [warmup measure]  pre-record traces (default: all workloads,\n\
+         \x20                                     WSRS_WARMUP/WSRS_MEASURE window)\n\
+         \x20 inspect <workload|file>             print one trace's header, size and checksum\n\
+         \x20 verify                              checksum + parse every file in the store\n\
+         \x20 ls                                  list the store's contents\n\
+         \x20 rm --stale | --all | <workload>     remove stale / all / one workload's files\n\
+         \x20 rev                                 print current per-workload revision hashes"
+    );
+    ExitCode::from(2)
+}
+
+fn workload_by_name(name: &str) -> Option<Workload> {
+    Workload::all().into_iter().find(|w| w.name() == name)
+}
+
+/// The key the grid harness would use for `w` at window `p` right now.
+fn current_key(w: Workload, p: RunParams) -> TraceKey {
+    TraceKey {
+        workload: w.name().to_string(),
+        warmup: p.warmup,
+        measure: p.measure,
+        rev: w.trace_fingerprint(),
+    }
+}
+
+/// Is `key` recordable by the current emulator? (Same workload name and
+/// revision hash; any window.)
+fn is_current(key: &TraceKey) -> bool {
+    workload_by_name(&key.workload).is_some_and(|w| w.trace_fingerprint() == key.rev)
+}
+
+fn store_or_die() -> TraceStore {
+    match default_trace_store() {
+        Some(s) => s,
+        None => {
+            eprintln!("trace store disabled (WSRS_TRACE_STORE={:?})", {
+                std::env::var("WSRS_TRACE_STORE").unwrap_or_default()
+            });
+            std::process::exit(2);
+        }
+    }
+}
+
+fn record(store: &TraceStore, args: &[String]) -> ExitCode {
+    let mut params = RunParams::from_env();
+    let workloads: Vec<Workload> = match args.first() {
+        None => Workload::all().to_vec(),
+        Some(name) => match workload_by_name(name) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!("unknown workload '{name}'");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if let (Some(w), Some(m)) = (args.get(1), args.get(2)) {
+        match (w.parse(), m.parse()) {
+            (Ok(w), Ok(m)) => {
+                params = RunParams {
+                    warmup: w,
+                    measure: m,
+                }
+            }
+            _ => {
+                eprintln!("bad window '{w} {m}' (expected two integers)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let bound = (params.warmup + params.measure) as usize;
+    for w in workloads {
+        let key = current_key(w, params);
+        if store.load(&key).is_ok() {
+            println!("{:<42} up to date", key.file_name());
+            continue;
+        }
+        let uops: Vec<_> = w.trace().take(bound).collect();
+        match store.save(&key, &uops) {
+            Ok(saved) => println!(
+                "{:<42} recorded  {} µops  {} bytes  {:016x}",
+                key.file_name(),
+                uops.len(),
+                saved.bytes,
+                saved.checksum
+            ),
+            Err(e) => {
+                eprintln!("{}: {e}", key.file_name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn inspect(store: &TraceStore, target: Option<&String>) -> ExitCode {
+    let Some(target) = target else {
+        eprintln!("inspect: expected a workload name or a .wsrt path");
+        return ExitCode::from(2);
+    };
+    let path = if std::path::Path::new(target).is_file() {
+        std::path::PathBuf::from(target)
+    } else if let Some(w) = workload_by_name(target) {
+        // Exact current-window file if present, else any recorded window
+        // of this workload.
+        let exact = store.path_for(&current_key(w, RunParams::from_env()));
+        if exact.is_file() {
+            exact
+        } else {
+            match store.entries().ok().and_then(|e| {
+                e.into_iter().find(|p| {
+                    p.file_name()
+                        .and_then(|n| TraceKey::parse_file_name(&n.to_string_lossy()))
+                        .is_some_and(|k| k.workload == w.name())
+                })
+            }) {
+                Some(p) => p,
+                None => exact, // fall through to the open error below
+            }
+        }
+    } else {
+        eprintln!("'{target}' is neither a file nor a workload name");
+        return ExitCode::from(2);
+    };
+    match TraceFile::open(&path) {
+        Ok(f) => {
+            let h = f.header();
+            println!("file       {}", path.display());
+            println!("workload   {}", h.workload);
+            println!("revision   {:016x}", h.rev);
+            println!(
+                "window     {} warmup + {} measure µops",
+                h.warmup, h.measure
+            );
+            println!("µops       {}", h.uop_count);
+            println!("blocks     {} x {} µops", f.block_count(), h.block_uops);
+            println!("size       {} bytes", f.size_bytes());
+            println!(
+                "density    {:.2} bytes/µop",
+                f.size_bytes() as f64 / h.uop_count.max(1) as f64
+            );
+            println!("checksum   {:016x}", f.checksum());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn verify(store: &TraceStore) -> ExitCode {
+    let entries = match store.entries() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{}: {e}", store.dir().display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if entries.is_empty() {
+        println!("store empty ({})", store.dir().display());
+        return ExitCode::SUCCESS;
+    }
+    let mut bad = 0usize;
+    for path in &entries {
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        // Full decode of every block, not just the checksum: a verify
+        // pass should prove the file replays.
+        match TraceFile::open(path).and_then(|f| f.read_all().map(|u| (f, u))) {
+            Ok((f, uops)) => {
+                let stale = TraceKey::parse_file_name(&name).is_none_or(|k| !is_current(&k));
+                println!(
+                    "{name:<42} ok  {} µops  {:016x}{}",
+                    uops.len(),
+                    f.checksum(),
+                    if stale { "  (stale revision)" } else { "" }
+                );
+            }
+            Err(e) => {
+                println!("{name:<42} CORRUPT: {e}");
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("{bad} corrupt file(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn ls(store: &TraceStore) -> ExitCode {
+    match store.entries() {
+        Ok(entries) if entries.is_empty() => {
+            println!("store empty ({})", store.dir().display());
+            ExitCode::SUCCESS
+        }
+        Ok(entries) => {
+            let mut total = 0u64;
+            for path in &entries {
+                let name = path.file_name().unwrap_or_default().to_string_lossy();
+                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                total += bytes;
+                let status = match TraceKey::parse_file_name(&name) {
+                    Some(k) if is_current(&k) => "current",
+                    Some(_) => "stale",
+                    None => "foreign",
+                };
+                println!("{name:<42} {bytes:>12} bytes  {status}");
+            }
+            println!(
+                "{} file(s), {} bytes in {}",
+                entries.len(),
+                total,
+                store.dir().display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", store.dir().display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn rm(store: &TraceStore, arg: Option<&String>) -> ExitCode {
+    let entries = match store.entries() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{}: {e}", store.dir().display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let keep = |name: &str| -> bool {
+        match arg.map(String::as_str) {
+            Some("--stale") => TraceKey::parse_file_name(name).is_some_and(|k| is_current(&k)),
+            Some("--all") => false,
+            Some(workload) => {
+                TraceKey::parse_file_name(name).is_none_or(|k| k.workload != workload)
+            }
+            None => true,
+        }
+    };
+    if arg.is_none() {
+        eprintln!("rm: expected --stale, --all or a workload name");
+        return ExitCode::from(2);
+    }
+    let mut removed = 0usize;
+    for path in &entries {
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .to_string();
+        if !keep(&name) {
+            match std::fs::remove_file(path) {
+                Ok(()) => {
+                    println!("removed {name}");
+                    removed += 1;
+                }
+                Err(e) => {
+                    eprintln!("{name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!("{removed} file(s) removed");
+    ExitCode::SUCCESS
+}
+
+/// Prints the per-workload revision hash (emulator revision + program
+/// fingerprint + memory size). CI keys its trace-store cache on this
+/// output: any change to the emulator or a kernel invalidates the cache.
+fn rev() -> ExitCode {
+    for w in Workload::all() {
+        println!("{:<10} {:016x}", w.name(), w.trace_fingerprint());
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => record(&store_or_die(), &args[1..]),
+        Some("inspect") => inspect(&store_or_die(), args.get(1)),
+        Some("verify") => verify(&store_or_die()),
+        Some("ls") => ls(&store_or_die()),
+        Some("rm") => rm(&store_or_die(), args.get(1)),
+        Some("rev") => rev(),
+        _ => usage(),
+    }
+}

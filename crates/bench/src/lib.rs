@@ -25,6 +25,7 @@
 //! variables `WSRS_WARMUP` and `WSRS_MEASURE` for paper-scale runs.
 
 pub mod manifest;
+pub mod windows;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,6 +34,7 @@ use std::time::{Duration, Instant};
 use wsrs_core::{AllocPolicy, Report, SimConfig, Simulator};
 use wsrs_isa::DynInst;
 use wsrs_regfile::RenameStrategy;
+use wsrs_trace::{TraceKey, TraceStore};
 use wsrs_workloads::Workload;
 
 /// Measurement window for simulation experiments.
@@ -45,12 +47,13 @@ pub struct RunParams {
 }
 
 impl RunParams {
-    /// Scaled-down defaults (1 M + 2 M); see the [crate docs](crate).
+    /// Scaled-down defaults ([`windows::DEFAULT_WARMUP`] +
+    /// [`windows::DEFAULT_MEASURE`]); see the [crate docs](crate).
     #[must_use]
     pub fn default_scaled() -> Self {
         RunParams {
-            warmup: 1_000_000,
-            measure: 2_000_000,
+            warmup: windows::DEFAULT_WARMUP,
+            measure: windows::DEFAULT_MEASURE,
         }
     }
 
@@ -124,6 +127,98 @@ pub fn run_cell_cached(trace: &[DynInst], cfg: &SimConfig, p: RunParams) -> Repo
     Simulator::new(*cfg).run_measured(trace.iter().copied(), p.warmup, p.measure)
 }
 
+/// How one workload's µop trace was obtained this run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOrigin {
+    /// Built by the functional emulator (and recorded, if a store was
+    /// attached and writable).
+    Emulated,
+    /// Replayed from an on-disk trace file.
+    Replayed,
+}
+
+impl TraceOrigin {
+    /// The manifest string for this origin.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceOrigin::Emulated => "emulated",
+            TraceOrigin::Replayed => "replayed",
+        }
+    }
+}
+
+/// Provenance of one workload's trace: where it came from, the content
+/// checksum of its trace file (when a store was involved), and the bytes
+/// that moved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSource {
+    pub workload: Workload,
+    pub origin: TraceOrigin,
+    /// Trace-file content checksum; `None` when the cache ran storeless
+    /// (or the record attempt failed).
+    pub checksum: Option<u64>,
+    /// Trace-file bytes read (replayed) or written (recorded).
+    pub bytes: u64,
+}
+
+/// Aggregate [`TraceCache`] counters for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCacheCounters {
+    /// Checkouts served from the in-memory tier.
+    pub mem_hits: u64,
+    /// Builds served by replaying an on-disk trace file.
+    pub disk_hits: u64,
+    /// Builds that fell through to the functional emulator.
+    pub misses: u64,
+    /// In-memory entries evicted after their last expected use.
+    pub evictions: u64,
+    /// Trace-file bytes read from the store.
+    pub bytes_read: u64,
+    /// Trace-file bytes written to the store.
+    pub bytes_written: u64,
+}
+
+///// Everything a grid run knows about where its traces came from:
+/// per-workload sources (first acquisition wins) plus the cache counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceProvenance {
+    /// One entry per workload, sorted by workload name.
+    pub sources: Vec<TraceSource>,
+    pub counters: TraceCacheCounters,
+}
+
+impl TraceProvenance {
+    /// Merges another run's provenance into this one (multi-sweep
+    /// binaries): counters add; per-workload sources keep the first
+    /// recorded origin.
+    pub fn absorb(&mut self, other: TraceProvenance) {
+        for s in other.sources {
+            if !self.sources.iter().any(|t| t.workload == s.workload) {
+                self.sources.push(s);
+            }
+        }
+        self.sources.sort_by_key(|s| s.workload.name());
+        let (a, b) = (&mut self.counters, other.counters);
+        a.mem_hits += b.mem_hits;
+        a.disk_hits += b.disk_hits;
+        a.misses += b.misses;
+        a.evictions += b.evictions;
+        a.bytes_read += b.bytes_read;
+        a.bytes_written += b.bytes_written;
+    }
+
+    /// Whether every workload replayed from disk (a fully warm store).
+    #[must_use]
+    pub fn all_replayed(&self) -> bool {
+        !self.sources.is_empty()
+            && self
+                .sources
+                .iter()
+                .all(|s| s.origin == TraceOrigin::Replayed)
+    }
+}
+
 /// One cached trace entry: either still being emulated by some thread, or
 /// finished with a count of outstanding uses.
 enum TraceEntry {
@@ -137,10 +232,20 @@ enum TraceEntry {
     },
 }
 
-/// Shared store of dynamic µop traces: each workload is emulated **once**
+/// Two-tier shared store of dynamic µop traces.
+///
+/// **Memory tier**: each workload is materialized **once** per cache
 /// (bounded to `warmup + measure` µops) and the resulting `Arc<[DynInst]>`
 /// is handed to every cell that needs it, instead of re-running the
 /// functional emulator per (workload, configuration) cell.
+///
+/// **Disk tier** (optional, [`TraceCache::with_store`]): before emulating,
+/// the cache looks the workload up in a persistent [`TraceStore`] keyed on
+/// (workload, window, emulator+program fingerprint) and replays the file
+/// if present; on a miss it emulates and records the trace for every
+/// future run (*record-on-miss*). Corrupted or stale files are rejected by
+/// the store's integrity checks and fall back to re-emulation (with a
+/// warning), overwriting the bad file.
 ///
 /// Construct with [`TraceCache::new`] to retain entries for the cache's
 /// lifetime, or [`TraceCache::evicting`] to drop each workload's trace as
@@ -152,8 +257,13 @@ pub struct TraceCache {
     params: RunParams,
     /// Checkouts expected per workload before its entry can be evicted.
     uses_per_workload: Option<usize>,
+    /// The disk tier, when attached.
+    store: Option<TraceStore>,
     entries: Mutex<HashMap<Workload, TraceEntry>>,
     built: Condvar,
+    counters: Mutex<TraceCacheCounters>,
+    /// First-acquisition provenance per workload.
+    sources: Mutex<Vec<TraceSource>>,
 }
 
 impl TraceCache {
@@ -163,8 +273,11 @@ impl TraceCache {
         TraceCache {
             params,
             uses_per_workload: None,
+            store: None,
             entries: Mutex::new(HashMap::new()),
             built: Condvar::new(),
+            counters: Mutex::new(TraceCacheCounters::default()),
+            sources: Mutex::new(Vec::new()),
         }
     }
 
@@ -178,9 +291,111 @@ impl TraceCache {
         }
     }
 
+    /// Attaches a persistent disk tier: builds replay from `store` when a
+    /// matching trace file exists, and record on miss.
+    #[must_use]
+    pub fn with_store(mut self, store: Option<TraceStore>) -> Self {
+        self.store = store;
+        self
+    }
+
     /// µops per cached trace: the measurement window, warm-up included.
     fn bound(&self) -> usize {
         (self.params.warmup + self.params.measure) as usize
+    }
+
+    /// The store key of `w` under this cache's window.
+    fn store_key(&self, w: Workload) -> TraceKey {
+        TraceKey {
+            workload: w.name().to_string(),
+            warmup: self.params.warmup,
+            measure: self.params.measure,
+            rev: w.trace_fingerprint(),
+        }
+    }
+
+    /// Runs the functional emulator for `w`, bounded to the window.
+    fn emulate(&self, w: Workload) -> Arc<[DynInst]> {
+        // The emulator's iterator has no usable size hint, so collect
+        // through an exactly-sized Vec — repeated doubling on a
+        // multi-hundred-MB trace costs more than the emulation itself.
+        let mut buf = Vec::with_capacity(self.bound());
+        buf.extend(w.trace().take(self.bound()));
+        buf.into()
+    }
+
+    /// Builds the trace for `w`: disk replay if a store is attached and
+    /// holds a valid file, otherwise emulation plus record-on-miss.
+    fn acquire(&self, w: Workload) -> (Arc<[DynInst]>, TraceSource) {
+        let Some(store) = &self.store else {
+            self.counters.lock().unwrap().misses += 1;
+            let trace = self.emulate(w);
+            let source = TraceSource {
+                workload: w,
+                origin: TraceOrigin::Emulated,
+                checksum: None,
+                bytes: 0,
+            };
+            return (trace, source);
+        };
+
+        let key = self.store_key(w);
+        match store.load(&key) {
+            Ok(loaded) => {
+                let mut c = self.counters.lock().unwrap();
+                c.disk_hits += 1;
+                c.bytes_read += loaded.bytes;
+                drop(c);
+                let source = TraceSource {
+                    workload: w,
+                    origin: TraceOrigin::Replayed,
+                    checksum: Some(loaded.checksum),
+                    bytes: loaded.bytes,
+                };
+                return (loaded.uops.into(), source);
+            }
+            Err(e) if e.is_not_found() => {}
+            Err(e) => {
+                // Corrupted, stale or unreadable: fall back to emulation
+                // and overwrite the bad file below.
+                eprintln!("wsrs-trace: discarding unusable trace for {w}: {e}; re-emulating");
+            }
+        }
+
+        self.counters.lock().unwrap().misses += 1;
+        let trace = self.emulate(w);
+        let (checksum, bytes) = match store.save(&key, &trace) {
+            Ok(saved) => {
+                self.counters.lock().unwrap().bytes_written += saved.bytes;
+                (Some(saved.checksum), saved.bytes)
+            }
+            Err(e) => {
+                eprintln!("wsrs-trace: could not record trace for {w}: {e}");
+                (None, 0)
+            }
+        };
+        let source = TraceSource {
+            workload: w,
+            origin: TraceOrigin::Emulated,
+            checksum,
+            bytes,
+        };
+        (trace, source)
+    }
+
+    /// Snapshot of where every trace came from plus the cache counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn provenance(&self) -> TraceProvenance {
+        let mut sources = self.sources.lock().unwrap().clone();
+        sources.sort_by_key(|s| s.workload.name());
+        TraceProvenance {
+            sources,
+            counters: *self.counters.lock().unwrap(),
+        }
     }
 
     /// The bounded trace of `w`: emulated on the calling thread if this is
@@ -199,13 +414,16 @@ impl TraceCache {
                 None => {
                     entries.insert(w, TraceEntry::Building);
                     drop(entries);
-                    // The emulator's iterator has no usable size hint, so
-                    // collect through an exactly-sized Vec — repeated
-                    // doubling on a multi-hundred-MB trace costs more than
-                    // the emulation itself.
-                    let mut buf = Vec::with_capacity(self.bound());
-                    buf.extend(w.trace().take(self.bound()));
-                    let trace: Arc<[DynInst]> = buf.into();
+                    let (trace, source) = self.acquire(w);
+                    {
+                        let mut sources = self.sources.lock().unwrap();
+                        // First acquisition wins: a rebuild after eviction
+                        // is a disk hit of the file the first build
+                        // recorded, which is not a second origin.
+                        if !sources.iter().any(|s| s.workload == w) {
+                            sources.push(source);
+                        }
+                    }
                     let mut entries = self.entries.lock().unwrap();
                     entries.insert(
                         w,
@@ -225,7 +443,10 @@ impl TraceCache {
                         assert!(*n > 0, "more checkouts of {w} than the cache expects");
                         *n -= 1;
                     }
-                    return Arc::clone(trace);
+                    let trace = Arc::clone(trace);
+                    drop(entries);
+                    self.counters.lock().unwrap().mem_hits += 1;
+                    return trace;
                 }
             }
         }
@@ -251,6 +472,8 @@ impl TraceCache {
             // chronologically, but every other user already holds its own
             // `Arc`, so dropping the cache's copy is safe.
             entries.remove(&w);
+            drop(entries);
+            self.counters.lock().unwrap().evictions += 1;
         }
     }
 }
@@ -275,27 +498,58 @@ pub fn grid_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// The result of one grid run: the per-cell reports (indexed
+/// `[workload][configuration]`) plus the trace provenance the run's
+/// [`TraceCache`] accumulated — where each workload's µops came from and
+/// the cache's hit/miss/byte counters, destined for the run manifest.
+pub struct GridRun {
+    /// Reports indexed `[workload][configuration]`.
+    pub reports: Vec<Vec<Report>>,
+    /// Per-workload trace origins and cache counters for this run.
+    pub provenance: TraceProvenance,
+}
+
+/// The disk trace store grid experiments use by default:
+/// `artifacts/traces/` next to the manifests, overridable with
+/// `WSRS_TRACE_DIR` and disabled with `WSRS_TRACE_STORE=0`.
+#[must_use]
+pub fn default_trace_store() -> Option<TraceStore> {
+    TraceStore::from_env(manifest::artifacts_dir().join("traces"))
+}
+
 /// Runs every (workload, configuration) cell of an experiment grid and
-/// returns the reports indexed `[workload][configuration]`.
+/// returns the reports indexed `[workload][configuration]` together with
+/// the run's trace provenance.
 ///
-/// Each workload's µop trace is emulated once, shared across its cells
-/// through a [`TraceCache`], and evicted when its last cell completes.
-/// Cells are fanned across [`grid_threads`] worker threads; because every
-/// cell simulates an identical (trace, configuration) pair in isolation,
-/// the returned grid is byte-identical for any worker count, including
-/// the serial single-thread case.
+/// Each workload's µop trace is materialized once — replayed from the
+/// [`default_trace_store`] when a valid recording exists, emulated (and
+/// recorded) otherwise — shared across its cells through a
+/// [`TraceCache`], and evicted when its last cell completes. Cells are
+/// fanned across [`grid_threads`] worker threads; because every cell
+/// simulates an identical (trace, configuration) pair in isolation, the
+/// returned grid is byte-identical for any worker count, including the
+/// serial single-thread case, and for replayed vs freshly emulated
+/// traces.
 #[must_use]
 pub fn run_grid(
     workloads: &[Workload],
     configs: &[(&str, SimConfig)],
     params: RunParams,
     on_cell: CellHook<'_>,
-) -> Vec<Vec<Report>> {
-    run_grid_with_threads(workloads, configs, params, grid_threads(), on_cell)
+) -> GridRun {
+    run_grid_full(
+        workloads,
+        configs,
+        params,
+        grid_threads(),
+        default_trace_store(),
+        on_cell,
+    )
 }
 
-/// [`run_grid`] with an explicit worker count (`threads == 1` runs every
-/// cell inline on the calling thread).
+/// [`run_grid`] with an explicit worker count and no disk store — every
+/// trace is emulated in-process. Kept storeless so determinism tests can
+/// compare thread counts without touching the filesystem.
 ///
 /// # Panics
 ///
@@ -308,8 +562,27 @@ pub fn run_grid_with_threads(
     threads: usize,
     on_cell: CellHook<'_>,
 ) -> Vec<Vec<Report>> {
+    run_grid_full(workloads, configs, params, threads, None, on_cell).reports
+}
+
+/// [`run_grid`] with every knob explicit: worker count (`threads == 1`
+/// runs every cell inline on the calling thread) and the disk trace
+/// store to replay from / record into (`None` disables the disk tier).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics, propagating the cell's panic.
+#[must_use]
+pub fn run_grid_full(
+    workloads: &[Workload],
+    configs: &[(&str, SimConfig)],
+    params: RunParams,
+    threads: usize,
+    store: Option<TraceStore>,
+    on_cell: CellHook<'_>,
+) -> GridRun {
     let n_cells = workloads.len() * configs.len();
-    let cache = TraceCache::evicting(params, configs.len());
+    let cache = TraceCache::evicting(params, configs.len()).with_store(store);
     let next = AtomicUsize::new(0);
     let cells: Vec<Mutex<Option<Report>>> = (0..n_cells).map(|_| Mutex::new(None)).collect();
 
@@ -343,7 +616,7 @@ pub fn run_grid_with_threads(
     }
 
     let mut flat = cells.into_iter();
-    workloads
+    let reports = workloads
         .iter()
         .map(|_| {
             flat.by_ref()
@@ -351,7 +624,11 @@ pub fn run_grid_with_threads(
                 .map(|c| c.into_inner().unwrap().expect("cell completed"))
                 .collect()
         })
-        .collect()
+        .collect();
+    GridRun {
+        reports,
+        provenance: cache.provenance(),
+    }
 }
 
 /// Renders a labelled numeric grid (benchmarks × configurations) as text.

@@ -3,11 +3,11 @@
 //! (`BENCH_<experiment>.json`) live at the repository root so regressions
 //! show up in review diffs, fresh copies go under `artifacts/`.
 
-use crate::RunParams;
+use crate::{RunParams, TraceProvenance};
 use std::path::{Path, PathBuf};
 use wsrs_core::{Report, SimConfig};
 use wsrs_telemetry::manifest::{config_hash, git_revision, SCHEMA_VERSION};
-use wsrs_telemetry::{CellRecord, RunManifest};
+use wsrs_telemetry::{CellRecord, RunManifest, TraceCacheStats, TraceRecord};
 use wsrs_workloads::Workload;
 
 /// The repository root, anchored at this crate's location at compile time.
@@ -83,6 +83,7 @@ pub fn cell_record(w: Workload, config_name: &str, cfg: &SimConfig, r: &Report) 
 /// (after [`RunManifest::normalized_json_string`]) is byte-identical for
 /// any worker count.
 #[must_use]
+#[allow(clippy::too_many_arguments)] // one flat record per manifest field group
 pub fn grid_manifest(
     experiment: &str,
     workloads: &[Workload],
@@ -91,6 +92,7 @@ pub fn grid_manifest(
     workers: usize,
     wall_secs: f64,
     grid: &[Vec<Report>],
+    provenance: Option<&TraceProvenance>,
 ) -> RunManifest {
     let mut cells = Vec::with_capacity(workloads.len() * configs.len());
     for (w, row) in workloads.iter().zip(grid) {
@@ -98,6 +100,9 @@ pub fn grid_manifest(
             cells.push(cell_record(*w, name, cfg, r));
         }
     }
+    let (traces, trace_cache) = provenance.map_or((Vec::new(), None), |p| {
+        (trace_records(p), Some(trace_stats(p)))
+    });
     RunManifest {
         schema: SCHEMA_VERSION,
         experiment: experiment.to_string(),
@@ -107,6 +112,36 @@ pub fn grid_manifest(
         workers: workers as u64,
         wall_secs,
         cells,
+        traces,
+        trace_cache,
+    }
+}
+
+/// Converts a grid run's per-workload trace sources into manifest rows.
+#[must_use]
+pub fn trace_records(p: &TraceProvenance) -> Vec<TraceRecord> {
+    p.sources
+        .iter()
+        .map(|s| TraceRecord {
+            workload: s.workload.name().to_string(),
+            origin: s.origin.as_str().to_string(),
+            checksum: s.checksum.map(|c| format!("{c:016x}")).unwrap_or_default(),
+            bytes: s.bytes,
+        })
+        .collect()
+}
+
+/// Converts a grid run's cache counters into manifest stats.
+#[must_use]
+pub fn trace_stats(p: &TraceProvenance) -> TraceCacheStats {
+    let c = p.counters;
+    TraceCacheStats {
+        mem_hits: c.mem_hits,
+        disk_hits: c.disk_hits,
+        misses: c.misses,
+        evictions: c.evictions,
+        bytes_read: c.bytes_read,
+        bytes_written: c.bytes_written,
     }
 }
 
@@ -144,7 +179,7 @@ mod tests {
             measure: 10_000,
         };
         let grid = run_grid_with_threads(&workloads, &configs, params, 1, &|_, _, _, _| {});
-        let m = grid_manifest("unit", &workloads, &configs, params, 1, 0.25, &grid);
+        let m = grid_manifest("unit", &workloads, &configs, params, 1, 0.25, &grid, None);
         assert_eq!(m.cells.len(), 2);
         assert!(m.cells[0].attribution.is_none());
         let attr = m.cells[1].attribution.as_ref().expect("telemetry on");

@@ -1,0 +1,131 @@
+//! Integration tests for the two-tier trace cache: a cold run (emulate +
+//! record) and a warm run (replay from disk) must produce byte-identical
+//! normalized manifests at any worker count, and a corrupted trace file
+//! must be detected, re-emulated and repaired rather than trusted.
+
+use std::path::PathBuf;
+use wsrs_bench::manifest::{grid_manifest, telemetry_on};
+use wsrs_bench::{run_grid_full, GridRun, RunParams, TraceOrigin};
+use wsrs_core::SimConfig;
+use wsrs_trace::{TraceFile, TraceStore};
+use wsrs_workloads::Workload;
+
+const PARAMS: RunParams = RunParams {
+    warmup: 2_000,
+    measure: 4_000,
+};
+
+fn temp_store(tag: &str) -> (PathBuf, TraceStore) {
+    let dir = std::env::temp_dir().join(format!("wsrs-trace-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (dir.clone(), TraceStore::at(dir))
+}
+
+fn grid(threads: usize, store: Option<TraceStore>) -> GridRun {
+    let workloads = [Workload::Gzip, Workload::Mcf];
+    let configs = [
+        ("conv", telemetry_on(&SimConfig::conventional_rr(256))),
+        ("conv-512", telemetry_on(&SimConfig::conventional_rr(512))),
+    ];
+    run_grid_full(
+        &workloads,
+        &configs,
+        PARAMS,
+        threads,
+        store,
+        &|_, _, _, _| {},
+    )
+}
+
+fn normalized(run: &GridRun) -> String {
+    let workloads = [Workload::Gzip, Workload::Mcf];
+    let configs = [
+        ("conv", telemetry_on(&SimConfig::conventional_rr(256))),
+        ("conv-512", telemetry_on(&SimConfig::conventional_rr(512))),
+    ];
+    grid_manifest(
+        "trace-store-test",
+        &workloads,
+        &configs,
+        PARAMS,
+        1,
+        0.0,
+        &run.reports,
+        Some(&run.provenance),
+    )
+    .normalized_json_string()
+}
+
+#[test]
+fn cold_then_warm_runs_are_byte_identical_across_thread_counts() {
+    let (dir, store) = temp_store("determinism");
+
+    // Cold: every workload emulated and recorded.
+    let cold = grid(1, Some(store.clone()));
+    assert!(cold
+        .provenance
+        .sources
+        .iter()
+        .all(|s| s.origin == TraceOrigin::Emulated));
+    assert_eq!(cold.provenance.counters.misses, 2);
+    assert_eq!(cold.provenance.counters.disk_hits, 0);
+    assert!(cold.provenance.counters.bytes_written > 0);
+    assert!(cold.provenance.sources.iter().all(|s| s.checksum.is_some()));
+
+    // Warm, different worker count: every workload replayed, zero
+    // emulations, and the normalized manifest is byte-identical (the
+    // kept checksums prove the replayed bytes match the recording).
+    let warm = grid(3, Some(store.clone()));
+    assert!(warm.provenance.all_replayed(), "warm run must not emulate");
+    assert_eq!(warm.provenance.counters.misses, 0);
+    assert_eq!(warm.provenance.counters.disk_hits, 2);
+    assert!(warm.provenance.counters.bytes_read > 0);
+    assert_eq!(normalized(&cold), normalized(&warm));
+
+    // A storeless run agrees on the results too (`Report` itself is not
+    // comparable; IPC-relevant counters are): replay vs fresh emulation
+    // is invisible in the results, only in the provenance.
+    let none = grid(2, None);
+    for (row_a, row_b) in none.reports.iter().zip(&warm.reports) {
+        for (a, b) in row_a.iter().zip(row_b) {
+            assert_eq!((a.cycles, a.uops), (b.cycles, b.uops));
+        }
+    }
+    assert!(none.provenance.sources.iter().all(|s| s.checksum.is_none()));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corrupt_trace_file_falls_back_to_emulation_and_is_repaired() {
+    let (dir, store) = temp_store("corrupt");
+    let cold = grid(1, Some(store.clone()));
+
+    // Flip one payload byte of one recorded file.
+    let entries = store.entries().expect("store listing");
+    assert_eq!(entries.len(), 2);
+    let victim = &entries[0];
+    let mut bytes = std::fs::read(victim).expect("read trace");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(victim, &bytes).expect("corrupt trace");
+    assert!(
+        TraceFile::open(victim).is_err(),
+        "bit flip must fail the checksum"
+    );
+
+    // The warm run detects the corruption, re-emulates that workload,
+    // replays the other, and still matches the cold run exactly.
+    let warm = grid(2, Some(store.clone()));
+    assert_eq!(warm.provenance.counters.misses, 1);
+    assert_eq!(warm.provenance.counters.disk_hits, 1);
+    assert_eq!(normalized(&cold), normalized(&warm));
+
+    // The fallback re-recorded the file: it parses again and a second
+    // warm run is replay-only.
+    assert!(TraceFile::open(victim).is_ok(), "file must be repaired");
+    let again = grid(1, Some(store));
+    assert!(again.provenance.all_replayed());
+
+    let _ = std::fs::remove_dir_all(dir);
+}

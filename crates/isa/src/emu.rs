@@ -12,11 +12,52 @@
 //! never rely on trapping semantics).
 
 use crate::dyninst::DynInst;
+use crate::hash::Fnv1a;
 use crate::inst::Inst;
 use crate::mem::Memory;
-use crate::op::Opcode;
+use crate::op::{OpClass, Opcode};
 use crate::program::Program;
 use crate::reg::{Freg, Reg, RegClass, RegRef, NUM_FP_REGS, NUM_INT_REGS, SCRATCH_REG};
+
+/// Bump this whenever the emulator's *observable semantics* change — any
+/// edit that could alter the dynamic µop stream produced for an unchanged
+/// program (execution rules, µop cracking, zero-register filtering,
+/// operand recording order, …).
+///
+/// The constant feeds [`emulator_revision`], which keys recorded traces on
+/// disk: forgetting to bump it after a semantic change makes `wsrs-trace`
+/// replay stale traces, silently reproducing the *old* behaviour.
+pub const EMULATOR_SEMANTICS_VERSION: u32 = 1;
+
+/// A fingerprint of the functional emulator's semantics, for keying and
+/// validating recorded traces.
+///
+/// Covers [`EMULATOR_SEMANTICS_VERSION`] (hand-bumped on behavioural
+/// change) plus everything mechanically hashable that the µop stream or
+/// its binary encoding depends on: the architectural register counts and
+/// the opcode/class encoding tables with their per-opcode arity, class
+/// and commutativity metadata. Reordering an enum or editing opcode
+/// metadata therefore changes the revision without anyone remembering to
+/// bump the version constant.
+#[must_use]
+pub fn emulator_revision() -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(b"wsrs-emulator;");
+    h.write_u64(u64::from(EMULATOR_SEMANTICS_VERSION));
+    h.write_u8(NUM_INT_REGS);
+    h.write_u8(NUM_FP_REGS);
+    h.write_u8(SCRATCH_REG.index());
+    for op in Opcode::ALL {
+        h.write_u8(op.code());
+        h.write(format!("{op:?};{:?};{}", op.arity(), op.is_commutative()).as_bytes());
+        h.write_u8(op.class().code());
+    }
+    for class in OpClass::ALL {
+        h.write_u8(class.code());
+        h.write(format!("{class:?}").as_bytes());
+    }
+    h.finish()
+}
 
 /// Functional emulator over a program. See the [module docs](self).
 #[derive(Clone, Debug)]
@@ -566,6 +607,12 @@ mod tests {
         let _ = sel;
         for _ in emu.by_ref() {}
         assert_ne!(emu.int_reg(out), 1);
+    }
+
+    #[test]
+    fn emulator_revision_is_deterministic() {
+        assert_ne!(emulator_revision(), 0);
+        assert_eq!(emulator_revision(), emulator_revision());
     }
 
     #[test]

@@ -90,75 +90,6 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// All opcodes in a fixed order; the encoding is their index.
-const OPCODES: &[Opcode] = &[
-    Opcode::Add,
-    Opcode::Sub,
-    Opcode::And,
-    Opcode::Or,
-    Opcode::Xor,
-    Opcode::Sll,
-    Opcode::Srl,
-    Opcode::Sra,
-    Opcode::Slt,
-    Opcode::Sltu,
-    Opcode::Min,
-    Opcode::Max,
-    Opcode::Addi,
-    Opcode::Andi,
-    Opcode::Ori,
-    Opcode::Xori,
-    Opcode::Slli,
-    Opcode::Srli,
-    Opcode::Srai,
-    Opcode::Slti,
-    Opcode::Li,
-    Opcode::Mov,
-    Opcode::Not,
-    Opcode::Neg,
-    Opcode::Popc,
-    Opcode::Mul,
-    Opcode::Div,
-    Opcode::Rem,
-    Opcode::Lw,
-    Opcode::LwIdx,
-    Opcode::Sw,
-    Opcode::SwIdx,
-    Opcode::Lf,
-    Opcode::LfIdx,
-    Opcode::Sf,
-    Opcode::Fadd,
-    Opcode::Fsub,
-    Opcode::Fmul,
-    Opcode::Fdiv,
-    Opcode::Fsqrt,
-    Opcode::Fneg,
-    Opcode::Fabs,
-    Opcode::Fmov,
-    Opcode::Fcvt,
-    Opcode::Ficvt,
-    Opcode::Fcmplt,
-    Opcode::Fcmpeq,
-    Opcode::Beq,
-    Opcode::Bne,
-    Opcode::Blt,
-    Opcode::Bge,
-    Opcode::Beqz,
-    Opcode::Bnez,
-    Opcode::Jump,
-    Opcode::Call,
-    Opcode::Ret,
-    Opcode::JumpReg,
-    Opcode::Halt,
-];
-
-fn opcode_index(op: Opcode) -> u8 {
-    OPCODES
-        .iter()
-        .position(|&o| o == op)
-        .expect("every opcode is in the table") as u8
-}
-
 fn encode_reg(r: Option<RegRef>) -> u8 {
     match r {
         None => 0,
@@ -211,7 +142,7 @@ pub fn encode_inst(i: &Inst, index: usize) -> Result<Word, EncodeError> {
     } else {
         i32::try_from(i.imm).map_err(|_| EncodeError::ImmediateOverflow { index })? as u32
     };
-    Ok((u64::from(opcode_index(i.op)) << 56)
+    Ok((u64::from(i.op.code()) << 56)
         | (u64::from(encode_reg(i.rd)) << 48)
         | (u64::from(encode_reg(i.ra)) << 40)
         | (u64::from(encode_reg(i.rb)) << 32)
@@ -225,9 +156,7 @@ pub fn encode_inst(i: &Inst, index: usize) -> Result<Word, EncodeError> {
 /// Fails on unknown opcodes or out-of-range register fields.
 pub fn decode_inst(w: Word, index: usize) -> Result<Inst, DecodeError> {
     let code = (w >> 56) as u8;
-    let op = *OPCODES
-        .get(code as usize)
-        .ok_or(DecodeError::BadOpcode { index, code })?;
+    let op = Opcode::from_code(code).ok_or(DecodeError::BadOpcode { index, code })?;
     let mut i = Inst::new(op);
     i.rd = decode_reg((w >> 48) as u8, index)?;
     i.ra = decode_reg((w >> 40) as u8, index)?;
@@ -319,7 +248,7 @@ mod tests {
     #[test]
     fn bad_register_rejected() {
         // int register index 100 (>= 80): field 101.
-        let w = (u64::from(opcode_index(Opcode::Mov)) << 56) | (101u64 << 48);
+        let w = (u64::from(Opcode::Mov.code()) << 56) | (101u64 << 48);
         assert!(matches!(
             decode_inst(w, 3),
             Err(DecodeError::BadRegister { index: 3 })

@@ -1,0 +1,92 @@
+//! Streaming 64-bit FNV-1a — the workspace's dependency-free content hash.
+//!
+//! Used to fingerprint programs and emulator semantics ([`crate::emulator_revision`])
+//! and, in `wsrs-trace`, to checksum on-disk trace files. FNV-1a is not
+//! cryptographic; it guards against corruption and staleness, not
+//! adversaries, which is all a local trace store needs.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over byte streams.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher in the standard FNV-1a initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.write(&[b]);
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` in little-endian byte order.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest of everything written so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// One-shot FNV-1a over a byte string.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write(b"hello ");
+        h.write(b"world");
+        assert_eq!(h.finish(), fnv1a_64(b"hello world"));
+    }
+
+    #[test]
+    fn u64_is_little_endian_bytes() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.write(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -53,6 +53,7 @@ pub mod disasm;
 pub mod dyninst;
 pub mod emu;
 pub mod encode;
+pub mod hash;
 pub mod inst;
 pub mod latency;
 pub mod mem;
@@ -62,7 +63,8 @@ pub mod reg;
 
 pub use asm::Assembler;
 pub use dyninst::DynInst;
-pub use emu::Emulator;
+pub use emu::{emulator_revision, Emulator, EMULATOR_SEMANTICS_VERSION};
+pub use hash::{fnv1a_64, Fnv1a};
 pub use inst::Inst;
 pub use mem::Memory;
 pub use op::{Arity, OpClass, Opcode};

@@ -200,6 +200,34 @@ pub enum OpClass {
     FpMove,
 }
 
+impl OpClass {
+    /// Every execution class in canonical encoding order (same contract as
+    /// [`Opcode::ALL`]: the encoding byte is the table index).
+    pub const ALL: [OpClass; 9] = [
+        OpClass::IntAlu,
+        OpClass::IntMulDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDivSqrt,
+        OpClass::FpMove,
+    ];
+
+    /// The canonical one-byte encoding of this class.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The class for an encoding byte; `None` for unassigned values.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<OpClass> {
+        OpClass::ALL.get(code as usize).copied()
+    }
+}
+
 impl fmt::Display for OpClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -218,6 +246,87 @@ impl fmt::Display for OpClass {
 }
 
 impl Opcode {
+    /// Every opcode in canonical encoding order: the on-disk byte of an
+    /// opcode (both the fixed-width instruction encoding and the
+    /// `wsrs-trace` µop codec) is its index in this table. Appending is
+    /// format-compatible; reordering is a format break and must bump the
+    /// relevant format versions (it also changes
+    /// [`emulator_revision`](crate::emulator_revision), so stale trace
+    /// files are rejected rather than misdecoded).
+    pub const ALL: [Opcode; 58] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Slt,
+        Opcode::Sltu,
+        Opcode::Min,
+        Opcode::Max,
+        Opcode::Addi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Slti,
+        Opcode::Li,
+        Opcode::Mov,
+        Opcode::Not,
+        Opcode::Neg,
+        Opcode::Popc,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::Lw,
+        Opcode::LwIdx,
+        Opcode::Sw,
+        Opcode::SwIdx,
+        Opcode::Lf,
+        Opcode::LfIdx,
+        Opcode::Sf,
+        Opcode::Fadd,
+        Opcode::Fsub,
+        Opcode::Fmul,
+        Opcode::Fdiv,
+        Opcode::Fsqrt,
+        Opcode::Fneg,
+        Opcode::Fabs,
+        Opcode::Fmov,
+        Opcode::Fcvt,
+        Opcode::Ficvt,
+        Opcode::Fcmplt,
+        Opcode::Fcmpeq,
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Beqz,
+        Opcode::Bnez,
+        Opcode::Jump,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::JumpReg,
+        Opcode::Halt,
+    ];
+
+    /// The canonical one-byte encoding of this opcode (its index in
+    /// [`Opcode::ALL`]).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The opcode for an encoding byte; `None` for unassigned values.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Opcode> {
+        Opcode::ALL.get(code as usize).copied()
+    }
+
     /// The register-operand arity of this opcode *as encoded* (before any
     /// µop cracking; [`Opcode::SwIdx`] reports `Dyadic` because each of its
     /// two µops is dyadic at most).
@@ -302,70 +411,9 @@ impl Opcode {
 mod tests {
     use super::*;
 
-    const ALL: &[Opcode] = &[
-        Opcode::Add,
-        Opcode::Sub,
-        Opcode::And,
-        Opcode::Or,
-        Opcode::Xor,
-        Opcode::Sll,
-        Opcode::Srl,
-        Opcode::Sra,
-        Opcode::Slt,
-        Opcode::Sltu,
-        Opcode::Min,
-        Opcode::Max,
-        Opcode::Addi,
-        Opcode::Andi,
-        Opcode::Ori,
-        Opcode::Xori,
-        Opcode::Slli,
-        Opcode::Srli,
-        Opcode::Srai,
-        Opcode::Slti,
-        Opcode::Li,
-        Opcode::Mov,
-        Opcode::Not,
-        Opcode::Neg,
-        Opcode::Popc,
-        Opcode::Mul,
-        Opcode::Div,
-        Opcode::Rem,
-        Opcode::Lw,
-        Opcode::LwIdx,
-        Opcode::Sw,
-        Opcode::SwIdx,
-        Opcode::Lf,
-        Opcode::LfIdx,
-        Opcode::Sf,
-        Opcode::Fadd,
-        Opcode::Fsub,
-        Opcode::Fmul,
-        Opcode::Fdiv,
-        Opcode::Fsqrt,
-        Opcode::Fneg,
-        Opcode::Fabs,
-        Opcode::Fmov,
-        Opcode::Fcvt,
-        Opcode::Ficvt,
-        Opcode::Fcmplt,
-        Opcode::Fcmpeq,
-        Opcode::Beq,
-        Opcode::Bne,
-        Opcode::Blt,
-        Opcode::Bge,
-        Opcode::Beqz,
-        Opcode::Bnez,
-        Opcode::Jump,
-        Opcode::Call,
-        Opcode::Ret,
-        Opcode::JumpReg,
-        Opcode::Halt,
-    ];
-
     #[test]
     fn commutative_ops_are_dyadic() {
-        for &op in ALL {
+        for op in Opcode::ALL {
             if op.is_commutative() {
                 assert_eq!(op.arity(), Arity::Dyadic, "{op:?}");
             }
@@ -394,7 +442,7 @@ mod tests {
 
     #[test]
     fn every_opcode_has_consistent_metadata() {
-        for &op in ALL {
+        for op in Opcode::ALL {
             // arity and class never panic, and conditional branches are control.
             let _ = op.arity();
             let _ = op.class();
@@ -409,5 +457,24 @@ mod tests {
         assert!(!Opcode::Sub.is_commutative());
         assert!(!Opcode::Blt.is_commutative());
         assert!(!Opcode::Fdiv.is_commutative());
+    }
+
+    #[test]
+    fn opcode_codes_round_trip() {
+        for (i, op) in Opcode::ALL.into_iter().enumerate() {
+            assert_eq!(op.code() as usize, i, "{op:?} out of table order");
+            assert_eq!(Opcode::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Opcode::from_code(Opcode::ALL.len() as u8), None);
+        assert_eq!(Opcode::from_code(u8::MAX), None);
+    }
+
+    #[test]
+    fn class_codes_round_trip() {
+        for (i, c) in OpClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.code() as usize, i, "{c:?} out of table order");
+            assert_eq!(OpClass::from_code(c.code()), Some(c));
+        }
+        assert_eq!(OpClass::from_code(OpClass::ALL.len() as u8), None);
     }
 }

@@ -1,6 +1,8 @@
 //! Assembled programs.
 
+use crate::hash::Fnv1a;
 use crate::inst::Inst;
+use crate::reg::{RegClass, RegRef};
 
 /// A forward-referenceable code label handed out by the assembler.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -64,6 +66,50 @@ impl Program {
     pub fn data(&self) -> &[(u64, u64)] {
         &self.data
     }
+
+    /// Content fingerprint of the program: an FNV-1a hash over every
+    /// instruction field and the initial data image. Two programs share a
+    /// fingerprint exactly when the emulator would execute them
+    /// identically, so it keys recorded traces — a kernel edit changes the
+    /// fingerprint and invalidates stale trace files (see `wsrs-trace`).
+    ///
+    /// Unlike [`crate::encode::encode`], fingerprinting never fails:
+    /// immediates are hashed at full 64-bit width.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // Registers hash as class-disambiguated bytes: 0 = absent,
+        // 1..=128 = int, 129.. = fp (the instruction encoding's scheme).
+        let reg_byte = |r: Option<RegRef>| match r {
+            None => 0,
+            Some(rr) => match rr.class() {
+                RegClass::Int => rr.index() + 1,
+                RegClass::Fp => rr.index() + 129,
+            },
+        };
+        let mut h = Fnv1a::new();
+        h.write(b"wsrs-program-v1");
+        for i in &self.insts {
+            h.write_u8(i.op.code());
+            h.write_u8(reg_byte(i.rd));
+            h.write_u8(reg_byte(i.ra));
+            h.write_u8(reg_byte(i.rb));
+            h.write_u8(reg_byte(i.rc));
+            h.write_i64(i.imm);
+            // Distinguish "no target" from "target 0".
+            match i.target {
+                None => h.write_u8(0),
+                Some(t) => {
+                    h.write_u8(1);
+                    h.write_u64(t as u64);
+                }
+            }
+        }
+        for &(addr, value) in &self.data {
+            h.write_u64(addr);
+            h.write_u64(value);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -84,5 +130,35 @@ mod tests {
         let p = Program::new(vec![Inst::new(Opcode::Halt)], vec![]);
         assert_eq!(p.iter().count(), p.len());
         assert_eq!(p.get(0).unwrap().op, Opcode::Halt);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let mut add = Inst::new(Opcode::Add);
+        add.rd = Some(crate::reg::Reg::new(1).into());
+        let base = Program::new(vec![add, Inst::new(Opcode::Halt)], vec![(8, 7)]);
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+
+        // Any field change moves the hash.
+        let mut other = base.clone();
+        other.insts[0].imm = 5;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut retarget = base.clone();
+        retarget.insts[0].target = Some(0);
+        assert_ne!(base.fingerprint(), retarget.fingerprint());
+        let mut data = base.clone();
+        data.data[0].1 = 8;
+        assert_ne!(base.fingerprint(), data.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_register_classes() {
+        let mut int_mov = Inst::new(Opcode::Mov);
+        int_mov.ra = Some(crate::reg::Reg::new(3).into());
+        let mut fp_mov = Inst::new(Opcode::Mov);
+        fp_mov.ra = Some(crate::reg::Freg::new(3).into());
+        let a = Program::from_insts(vec![int_mov]);
+        let b = Program::from_insts(vec![fp_mov]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

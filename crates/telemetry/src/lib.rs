@@ -34,5 +34,7 @@ pub mod registry;
 
 pub use attr::{CycleAttribution, SlotBucket};
 pub use json::Json;
-pub use manifest::{CellRecord, GateOutcome, RunManifest, Tolerances};
+pub use manifest::{
+    CellRecord, GateOutcome, RunManifest, Tolerances, TraceCacheStats, TraceRecord,
+};
 pub use registry::{Counter, Histogram, PerCluster, StatDef};

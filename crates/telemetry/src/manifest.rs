@@ -18,7 +18,8 @@ use crate::json::Json;
 use std::path::Path;
 
 /// Manifest schema version; bump on breaking field changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version 2 added trace provenance (`traces`, `trace_cache`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// 64-bit FNV-1a over a byte string. Stable, dependency-free, and good
 /// enough to fingerprint a `Debug`-rendered `SimConfig`.
@@ -170,6 +171,94 @@ impl CellRecord {
     }
 }
 
+/// Where one workload's µop trace came from during a run.
+///
+/// `origin` and `bytes` describe the environment (warm vs cold trace
+/// store) and are neutralized by [`RunManifest::normalized_json_string`];
+/// `checksum` describes the trace *content* and is kept, so a replayed run
+/// normalizes identically to the cold run that recorded the trace exactly
+/// when the bytes match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Workload name.
+    pub workload: String,
+    /// `"emulated"` (built by the functional emulator this run) or
+    /// `"replayed"` (loaded from the on-disk trace store).
+    pub origin: String,
+    /// 16-hex-digit content checksum of the trace file; empty when the
+    /// run had no trace store.
+    pub checksum: String,
+    /// Trace-file bytes read (replayed) or written (recorded); 0 without
+    /// a store.
+    pub bytes: u64,
+}
+
+impl TraceRecord {
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("origin".into(), Json::Str(self.origin.clone())),
+            ("checksum".into(), Json::Str(self.checksum.clone())),
+            ("bytes".into(), Json::UInt(self.bytes)),
+        ])
+    }
+
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<TraceRecord> {
+        Some(TraceRecord {
+            workload: v.get("workload")?.as_str()?.to_string(),
+            origin: v.get("origin")?.as_str()?.to_string(),
+            checksum: v.get("checksum")?.as_str()?.to_string(),
+            bytes: v.get("bytes")?.as_u64()?,
+        })
+    }
+}
+
+/// Aggregate trace-cache counters for one run (environment, not result —
+/// dropped by [`RunManifest::normalized_json_string`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Checkouts served from the in-memory tier.
+    pub mem_hits: u64,
+    /// Builds served by replaying an on-disk trace file.
+    pub disk_hits: u64,
+    /// Builds that fell through to the functional emulator.
+    pub misses: u64,
+    /// In-memory entries evicted after their last expected use.
+    pub evictions: u64,
+    /// Trace-file bytes read from the store.
+    pub bytes_read: u64,
+    /// Trace-file bytes written to the store.
+    pub bytes_written: u64,
+}
+
+impl TraceCacheStats {
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("mem_hits".into(), Json::UInt(self.mem_hits)),
+            ("disk_hits".into(), Json::UInt(self.disk_hits)),
+            ("misses".into(), Json::UInt(self.misses)),
+            ("evictions".into(), Json::UInt(self.evictions)),
+            ("bytes_read".into(), Json::UInt(self.bytes_read)),
+            ("bytes_written".into(), Json::UInt(self.bytes_written)),
+        ])
+    }
+
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<TraceCacheStats> {
+        Some(TraceCacheStats {
+            mem_hits: v.get("mem_hits")?.as_u64()?,
+            disk_hits: v.get("disk_hits")?.as_u64()?,
+            misses: v.get("misses")?.as_u64()?,
+            evictions: v.get("evictions")?.as_u64()?,
+            bytes_read: v.get("bytes_read")?.as_u64()?,
+            bytes_written: v.get("bytes_written")?.as_u64()?,
+        })
+    }
+}
+
 /// A complete experiment run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunManifest {
@@ -187,13 +276,18 @@ pub struct RunManifest {
     pub workers: u64,
     /// Wall-clock seconds for the run (environment, not result).
     pub wall_secs: f64,
+    /// Per-workload trace provenance (empty when the harness ran without
+    /// trace accounting).
+    pub traces: Vec<TraceRecord>,
+    /// Trace-cache counters, when the harness ran with a cache.
+    pub trace_cache: Option<TraceCacheStats>,
     pub cells: Vec<CellRecord>,
 }
 
 impl RunManifest {
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), Json::UInt(self.schema)),
             ("experiment".into(), Json::Str(self.experiment.clone())),
             ("git_rev".into(), Json::Str(self.git_rev.clone())),
@@ -202,10 +296,18 @@ impl RunManifest {
             ("workers".into(), Json::UInt(self.workers)),
             ("wall_secs".into(), Json::Float(self.wall_secs)),
             (
-                "cells".into(),
-                Json::Arr(self.cells.iter().map(CellRecord::to_json).collect()),
+                "traces".into(),
+                Json::Arr(self.traces.iter().map(TraceRecord::to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(stats) = &self.trace_cache {
+            fields.push(("trace_cache".into(), stats.to_json()));
+        }
+        fields.push((
+            "cells".into(),
+            Json::Arr(self.cells.iter().map(CellRecord::to_json).collect()),
+        ));
+        Json::Obj(fields)
     }
 
     #[must_use]
@@ -218,6 +320,18 @@ impl RunManifest {
             measure: v.get("measure")?.as_u64()?,
             workers: v.get("workers")?.as_u64()?,
             wall_secs: v.get("wall_secs")?.as_f64()?,
+            // Absent in schema-1 manifests; tolerate so `report check` can
+            // still describe a stale baseline instead of calling it
+            // malformed.
+            traces: match v.get("traces") {
+                Some(t) => t
+                    .as_arr()?
+                    .iter()
+                    .map(TraceRecord::from_json)
+                    .collect::<Option<Vec<_>>>()?,
+                None => Vec::new(),
+            },
+            trace_cache: v.get("trace_cache").and_then(TraceCacheStats::from_json),
             cells: v
                 .get("cells")?
                 .as_arr()?
@@ -242,15 +356,24 @@ impl RunManifest {
     }
 
     /// The on-disk form with the environment fields (`workers`,
-    /// `wall_secs`, `git_rev`) neutralized. Two runs of the same code on
-    /// the same inputs must produce byte-identical normalized strings for
-    /// any `WSRS_THREADS` — this is what the determinism checks compare.
+    /// `wall_secs`, `git_rev`, trace-cache counters, trace origins)
+    /// neutralized. Two runs of the same code on the same inputs must
+    /// produce byte-identical normalized strings for any `WSRS_THREADS`
+    /// and any trace-store warmth — this is what the determinism checks
+    /// compare. Trace `checksum`s are content, not environment, and are
+    /// deliberately kept: a warm (replayed) run normalizes identically to
+    /// the cold run that recorded it exactly when the trace bytes match.
     #[must_use]
     pub fn normalized_json_string(&self) -> String {
         let mut m = self.clone();
         m.workers = 0;
         m.wall_secs = 0.0;
         m.git_rev = String::new();
+        m.trace_cache = None;
+        for t in &mut m.traces {
+            t.origin = String::new();
+            t.bytes = 0;
+        }
         m.to_json_string()
     }
 
@@ -281,6 +404,25 @@ impl RunManifest {
                 self.warmup, self.measure, fresh.warmup, fresh.measure
             ));
             return out;
+        }
+        // Trace checksums identify the µop stream each cell consumed. A
+        // drift means the *input* changed — any IPC delta below is then
+        // workload drift, not a simulator regression, so fail loudly.
+        // Empty checksums (no trace store in that run) are not comparable.
+        for base_t in &self.traces {
+            if base_t.checksum.is_empty() {
+                continue;
+            }
+            let Some(new_t) = fresh.traces.iter().find(|t| t.workload == base_t.workload) else {
+                continue;
+            };
+            if !new_t.checksum.is_empty() && new_t.checksum != base_t.checksum {
+                out.failures.push(format!(
+                    "{}: trace checksum drifted {} -> {} — the workload's µop \
+                     stream changed; refresh the baseline if intentional",
+                    base_t.workload, base_t.checksum, new_t.checksum
+                ));
+            }
         }
         for base in &self.cells {
             let (w, c) = base.key();
@@ -430,6 +572,20 @@ mod tests {
             measure: 200,
             workers: 3,
             wall_secs: 1.5,
+            traces: vec![TraceRecord {
+                workload: "gcc".to_string(),
+                origin: "emulated".to_string(),
+                checksum: "00000000deadbeef".to_string(),
+                bytes: 4096,
+            }],
+            trace_cache: Some(TraceCacheStats {
+                mem_hits: 5,
+                disk_hits: 1,
+                misses: 1,
+                evictions: 2,
+                bytes_read: 4096,
+                bytes_written: 4096,
+            }),
             cells,
         }
     }
@@ -452,10 +608,49 @@ mod tests {
         b.workers = 16;
         b.wall_secs = 99.0;
         b.git_rev = "other".to_string();
+        // Trace warmth is environment: a replay of the same bytes must
+        // normalize identically to the recording run…
+        b.traces[0].origin = "replayed".to_string();
+        b.traces[0].bytes = 9999;
+        b.trace_cache = None;
         assert_ne!(a.to_json_string(), b.to_json_string());
         assert_eq!(a.normalized_json_string(), b.normalized_json_string());
+        // …but the checksum is content and must stay visible.
+        let mut c = a.clone();
+        c.traces[0].checksum = "1111111111111111".to_string();
+        assert_ne!(a.normalized_json_string(), c.normalized_json_string());
         a.cells[0].ipc = 2.1;
         assert_ne!(a.normalized_json_string(), b.normalized_json_string());
+    }
+
+    #[test]
+    fn gate_fails_on_trace_checksum_drift() {
+        let base = manifest(vec![cell("gcc", "rr", 2.0)]);
+        let mut fresh = base.clone();
+        fresh.traces[0].checksum = "ffffffffffffffff".to_string();
+        let out = base.compare(&fresh, &Tolerances::default());
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("checksum drifted"), "{out:?}");
+
+        // Runs without a store (empty checksum) are not comparable and
+        // must not fail.
+        let mut storeless = base.clone();
+        storeless.traces[0].checksum = String::new();
+        assert!(base.compare(&storeless, &Tolerances::default()).passed());
+        assert!(storeless.compare(&base, &Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn schema_one_manifests_still_parse() {
+        // A pre-provenance manifest (no traces/trace_cache keys) parses
+        // with empty defaults, so `report check` can describe it.
+        let text = r#"{"schema": 1, "experiment": "t", "git_rev": "x",
+                       "warmup": 1, "measure": 2, "workers": 0,
+                       "wall_secs": 0.0, "cells": []}"#;
+        let parsed = RunManifest::parse(text).unwrap();
+        assert_eq!(parsed.schema, 1);
+        assert!(parsed.traces.is_empty());
+        assert!(parsed.trace_cache.is_none());
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! Compact binary codec for dynamic µop records.
+//!
+//! Records are delta/varint encoded against a small running state (previous
+//! PC, previous effective address) so that hot loops — where consecutive
+//! µops share high PC bits and stride through memory — compress to a few
+//! bytes each. The state resets at block boundaries, which is what makes
+//! blocks independently decodable (see [`crate::file`]).
+//!
+//! ## Record layout
+//!
+//! ```text
+//! opcode      u8               Opcode::code()
+//! flags       u8               field-presence bits, see below
+//! pc          zigzag varint    delta from previous record's pc
+//! [dst]       u8               register byte, if F_DST
+//! [src0]      u8               register byte, if F_SRC0
+//! [src1]      u8               register byte, if F_SRC1
+//! [uop]       u8               if F_UOP (i.e. uop != 0)
+//! [class]     u8               OpClass::code(), if F_CLASS (class != op.class())
+//! [target]    zigzag varint    delta from pc + 1, if F_TARGET
+//! [eff_addr]  zigzag varint    delta from previous eff_addr, if F_ADDR
+//! ```
+//!
+//! Register bytes store integer registers as their index (`0..128`) and
+//! floating-point registers as `128 + index`.
+
+use wsrs_isa::reg::{Freg, Reg, NUM_FP_REGS, NUM_INT_REGS};
+use wsrs_isa::{DynInst, OpClass, Opcode, RegRef};
+
+/// Flag bits of the per-record presence byte.
+const F_TAKEN: u8 = 1 << 0;
+const F_DST: u8 = 1 << 1;
+const F_SRC0: u8 = 1 << 2;
+const F_SRC1: u8 = 1 << 3;
+const F_ADDR: u8 = 1 << 4;
+const F_UOP: u8 = 1 << 5;
+const F_CLASS: u8 = 1 << 6;
+const F_TARGET: u8 = 1 << 7;
+
+/// Errors surfaced while decoding a block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte stream ended inside a record.
+    Truncated,
+    /// A varint ran past the 10-byte maximum for 64-bit values.
+    OverlongVarint,
+    /// An opcode byte outside [`Opcode::ALL`].
+    BadOpcode(u8),
+    /// An execution-class byte outside [`OpClass::ALL`].
+    BadClass(u8),
+    /// A register byte naming a nonexistent register.
+    BadRegister(u8),
+    /// Bytes remained after the declared record count was decoded.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "byte stream truncated mid-record"),
+            CodecError::OverlongVarint => write!(f, "varint longer than 10 bytes"),
+            CodecError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#04x}"),
+            CodecError::BadClass(b) => write!(f, "invalid op-class byte {b:#04x}"),
+            CodecError::BadRegister(b) => write!(f, "invalid register byte {b:#04x}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after final record"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Maps a signed delta onto an unsigned varint-friendly value.
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends an LEB128-style varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128-style varint, advancing `pos`.
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    for shift in 0..10 {
+        let &byte = bytes.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << (7 * shift);
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(CodecError::OverlongVarint)
+}
+
+fn get_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, CodecError> {
+    let &b = bytes.get(*pos).ok_or(CodecError::Truncated)?;
+    *pos += 1;
+    Ok(b)
+}
+
+/// Register byte: int registers as `index`, fp registers as `128 + index`.
+fn reg_to_byte(r: RegRef) -> u8 {
+    match r.class() {
+        wsrs_isa::RegClass::Int => r.index(),
+        wsrs_isa::RegClass::Fp => 128 + r.index(),
+    }
+}
+
+fn reg_from_byte(b: u8) -> Result<RegRef, CodecError> {
+    if b < 128 {
+        if b >= NUM_INT_REGS {
+            return Err(CodecError::BadRegister(b));
+        }
+        Ok(Reg::new(b).into())
+    } else {
+        let idx = b - 128;
+        if idx >= NUM_FP_REGS {
+            return Err(CodecError::BadRegister(b));
+        }
+        Ok(Freg::new(idx).into())
+    }
+}
+
+/// Per-block delta state; reset to zero at every block boundary.
+#[derive(Default)]
+struct DeltaState {
+    prev_pc: u64,
+    prev_addr: u64,
+}
+
+fn encode_record(state: &mut DeltaState, d: &DynInst, out: &mut Vec<u8>) {
+    out.push(d.op.code());
+
+    let mut flags = 0u8;
+    if d.taken {
+        flags |= F_TAKEN;
+    }
+    if d.dst.is_some() {
+        flags |= F_DST;
+    }
+    if d.srcs[0].is_some() {
+        flags |= F_SRC0;
+    }
+    if d.srcs[1].is_some() {
+        flags |= F_SRC1;
+    }
+    if d.eff_addr.is_some() {
+        flags |= F_ADDR;
+    }
+    if d.uop != 0 {
+        flags |= F_UOP;
+    }
+    if d.class != d.op.class() {
+        flags |= F_CLASS;
+    }
+    if d.target != 0 {
+        flags |= F_TARGET;
+    }
+    out.push(flags);
+
+    put_varint(
+        out,
+        zigzag((d.pc as i64).wrapping_sub(state.prev_pc as i64)),
+    );
+    state.prev_pc = d.pc;
+
+    if let Some(r) = d.dst {
+        out.push(reg_to_byte(r));
+    }
+    if let Some(r) = d.srcs[0] {
+        out.push(reg_to_byte(r));
+    }
+    if let Some(r) = d.srcs[1] {
+        out.push(reg_to_byte(r));
+    }
+    if d.uop != 0 {
+        out.push(d.uop);
+    }
+    if d.class != d.op.class() {
+        out.push(d.class.code());
+    }
+    if d.target != 0 {
+        // Fallthrough (pc + 1) is the common not-taken case, so delta
+        // against it keeps taken-backward and fallthrough targets tiny.
+        let fallthrough = d.pc.wrapping_add(1);
+        put_varint(
+            out,
+            zigzag((d.target as i64).wrapping_sub(fallthrough as i64)),
+        );
+    }
+    if let Some(a) = d.eff_addr {
+        put_varint(out, zigzag((a as i64).wrapping_sub(state.prev_addr as i64)));
+        state.prev_addr = a;
+    }
+}
+
+fn decode_record(
+    state: &mut DeltaState,
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<DynInst, CodecError> {
+    let op_byte = get_u8(bytes, pos)?;
+    let op = Opcode::from_code(op_byte).ok_or(CodecError::BadOpcode(op_byte))?;
+    let flags = get_u8(bytes, pos)?;
+
+    let pc = state
+        .prev_pc
+        .wrapping_add(unzigzag(get_varint(bytes, pos)?) as u64);
+    state.prev_pc = pc;
+
+    let mut d = DynInst::new(pc, op);
+    d.taken = flags & F_TAKEN != 0;
+    if flags & F_DST != 0 {
+        d.dst = Some(reg_from_byte(get_u8(bytes, pos)?)?);
+    }
+    if flags & F_SRC0 != 0 {
+        d.srcs[0] = Some(reg_from_byte(get_u8(bytes, pos)?)?);
+    }
+    if flags & F_SRC1 != 0 {
+        d.srcs[1] = Some(reg_from_byte(get_u8(bytes, pos)?)?);
+    }
+    if flags & F_UOP != 0 {
+        d.uop = get_u8(bytes, pos)?;
+    }
+    if flags & F_CLASS != 0 {
+        let class_byte = get_u8(bytes, pos)?;
+        d.class = OpClass::from_code(class_byte).ok_or(CodecError::BadClass(class_byte))?;
+    }
+    if flags & F_TARGET != 0 {
+        let fallthrough = pc.wrapping_add(1);
+        d.target = fallthrough.wrapping_add(unzigzag(get_varint(bytes, pos)?) as u64);
+    }
+    if flags & F_ADDR != 0 {
+        let a = state
+            .prev_addr
+            .wrapping_add(unzigzag(get_varint(bytes, pos)?) as u64);
+        state.prev_addr = a;
+        d.eff_addr = Some(a);
+    }
+    Ok(d)
+}
+
+/// Encodes `uops` as one independently decodable block, appended to `out`.
+pub fn encode_block(uops: &[DynInst], out: &mut Vec<u8>) {
+    let mut state = DeltaState::default();
+    for d in uops {
+        encode_record(&mut state, d, out);
+    }
+}
+
+/// Decodes exactly `count` records from `bytes` into `out`.
+///
+/// The block must contain exactly `count` records: leftover bytes are
+/// reported as [`CodecError::TrailingBytes`] so corruption that happens to
+/// decode cannot silently change the record count.
+pub fn decode_block(bytes: &[u8], count: usize, out: &mut Vec<DynInst>) -> Result<(), CodecError> {
+    let mut state = DeltaState::default();
+    let mut pos = 0;
+    out.reserve(count);
+    for _ in 0..count {
+        out.push(decode_record(&mut state, bytes, &mut pos)?);
+    }
+    if pos != bytes.len() {
+        return Err(CodecError::TrailingBytes(bytes.len() - pos));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(uops: &[DynInst]) -> Vec<DynInst> {
+        let mut bytes = Vec::new();
+        encode_block(uops, &mut bytes);
+        let mut back = Vec::new();
+        decode_block(&bytes, uops.len(), &mut back).expect("decode");
+        back
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX, 1 << 35] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn all_field_shapes_round_trip() {
+        let mut load = DynInst::new(100, Opcode::Lw);
+        load.dst = Some(Reg::new(5).into());
+        load.srcs[0] = Some(Reg::new(7).into());
+        load.eff_addr = Some(0xdead_beef);
+
+        let mut branch = DynInst::new(101, Opcode::Blt);
+        branch.srcs = [Some(Reg::new(1).into()), Some(Reg::new(2).into())];
+        branch.taken = true;
+        branch.target = 42;
+
+        let mut cracked = DynInst::new(101, Opcode::Add);
+        cracked.uop = 1;
+        cracked.dst = Some(wsrs_isa::reg::SCRATCH_REG.into());
+
+        let mut fp = DynInst::new(103, Opcode::Fmul);
+        fp.dst = Some(Freg::new(3).into());
+        fp.srcs = [Some(Freg::new(1).into()), Some(Freg::new(2).into())];
+
+        let uops = [DynInst::new(0, Opcode::Li), load, branch, cracked, fp];
+        assert_eq!(round_trip(&uops), uops);
+    }
+
+    #[test]
+    fn backward_branches_and_large_deltas_round_trip() {
+        let mut b = DynInst::new(1000, Opcode::Jump);
+        b.taken = true;
+        b.target = 3;
+        let next = DynInst::new(3, Opcode::Li);
+        let far = DynInst::new(u64::from(u32::MAX) + 17, Opcode::Li);
+        let uops = [b, next, far];
+        assert_eq!(round_trip(&uops), uops);
+    }
+
+    #[test]
+    fn empty_block_is_empty() {
+        let mut bytes = Vec::new();
+        encode_block(&[], &mut bytes);
+        assert!(bytes.is_empty());
+        let mut out = Vec::new();
+        decode_block(&bytes, 0, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut d = DynInst::new(9, Opcode::Lw);
+        d.dst = Some(Reg::new(3).into());
+        d.eff_addr = Some(0x4000);
+        let mut bytes = Vec::new();
+        encode_block(&[d], &mut bytes);
+        for cut in 0..bytes.len() {
+            let mut out = Vec::new();
+            let err = decode_block(&bytes[..cut], 1, &mut out).unwrap_err();
+            assert_eq!(err, CodecError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Vec::new();
+        encode_block(&[DynInst::new(0, Opcode::Li)], &mut bytes);
+        bytes.push(0);
+        let mut out = Vec::new();
+        assert_eq!(
+            decode_block(&bytes, 1, &mut out).unwrap_err(),
+            CodecError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn bad_bytes_are_rejected() {
+        let mut out = Vec::new();
+        // Opcode byte past the table.
+        assert_eq!(
+            decode_block(&[0xff, 0, 0], 1, &mut out).unwrap_err(),
+            CodecError::BadOpcode(0xff)
+        );
+        // Register byte past both files: int index 127 is out of range.
+        out.clear();
+        assert_eq!(
+            decode_block(&[0, F_DST, 0, 127], 1, &mut out).unwrap_err(),
+            CodecError::BadRegister(127)
+        );
+        // Fp register byte past the fp file.
+        out.clear();
+        assert_eq!(
+            decode_block(&[0, F_DST, 0, 255], 1, &mut out).unwrap_err(),
+            CodecError::BadRegister(255)
+        );
+    }
+
+    #[test]
+    fn hot_loops_compress_well() {
+        // A tight 4-µop loop body repeated: the whole point of the deltas.
+        let mut uops = Vec::new();
+        for i in 0..1000u64 {
+            let pc = 50 + (i % 4);
+            let mut d = DynInst::new(pc, Opcode::Add);
+            d.dst = Some(Reg::new(1).into());
+            d.srcs[0] = Some(Reg::new(2).into());
+            uops.push(d);
+        }
+        let mut bytes = Vec::new();
+        encode_block(&uops, &mut bytes);
+        assert!(
+            bytes.len() <= uops.len() * 5,
+            "{} bytes for {} µops",
+            bytes.len(),
+            uops.len()
+        );
+        let mut back = Vec::new();
+        decode_block(&bytes, uops.len(), &mut back).unwrap();
+        assert_eq!(back, uops);
+    }
+}

@@ -1,0 +1,510 @@
+//! The versioned on-disk trace file format.
+//!
+//! A trace file records the dynamic µop stream of one workload window so
+//! later runs replay it instead of re-emulating. All integers are
+//! little-endian:
+//!
+//! ```text
+//! magic          8 bytes   "WSRSTRC1"
+//! format_version u32       bumped on any layout change
+//! rev            u64       trace key revision (emulator + program hash)
+//! warmup         u64       window bound: µops skipped before measuring
+//! measure        u64       window bound: µops measured
+//! uop_count      u64       total records in the payload
+//! block_uops     u32       records per block (last block may be short)
+//! workload_len   u16       length of the workload name
+//! workload       ..        UTF-8 workload name
+//! payload        ..        blocks of varint/delta-coded records
+//! index          n × u64   byte offset of each block within the payload
+//! payload_len    u64       total payload bytes
+//! checksum       u64       FNV-1a over every preceding byte
+//! ```
+//!
+//! The whole-file checksum rejects corrupted or truncated files; the `rev`
+//! field (plus the store's key-in-filename scheme, [`crate::store`])
+//! rejects stale ones. Blocks reset the codec's delta state, so the index
+//! gives O(1) seeks to any µop window without decoding the prefix.
+
+use std::path::Path;
+
+use wsrs_isa::{fnv1a_64, DynInst};
+
+use crate::codec::{self, CodecError};
+
+/// File magic, also embedding the first format generation.
+pub const MAGIC: [u8; 8] = *b"WSRSTRC1";
+/// Current format version; readers reject anything newer or older.
+pub const FORMAT_VERSION: u32 = 1;
+/// Default records per block: large enough to amortize per-block index
+/// cost, small enough for fine-grained window seeks.
+pub const DEFAULT_BLOCK_UOPS: u32 = 1 << 16;
+
+/// Fixed-size portion of the header preceding the workload name.
+const FIXED_HEADER: usize = 8 + 4 + 8 + 8 + 8 + 8 + 4 + 2;
+/// Footer: payload length + checksum.
+const FOOTER: usize = 8 + 8;
+
+/// Everything a trace file declares about itself ahead of the payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Trace key revision: [`wsrs-workloads`' trace fingerprint][f] — an
+    /// FNV hash of the emulator semantics revision, the assembled program,
+    /// and the emulated-memory size. A mismatch means the file is stale.
+    ///
+    /// [f]: https://example.org/wsrs "Workload::trace_fingerprint"
+    pub rev: u64,
+    /// µops skipped before the measured window (recorded for provenance;
+    /// the payload contains warmup *and* measure µops).
+    pub warmup: u64,
+    /// µops in the measured window.
+    pub measure: u64,
+    /// Total records in the payload.
+    pub uop_count: u64,
+    /// Records per block.
+    pub block_uops: u32,
+    /// Workload name (e.g. `"gzip"`).
+    pub workload: String,
+}
+
+/// Errors surfaced while reading or validating a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is shorter than its own structure requires.
+    Truncated { len: usize, need: usize },
+    /// The magic bytes are wrong — not a trace file.
+    BadMagic,
+    /// A format version this reader does not speak.
+    UnsupportedVersion(u32),
+    /// The stored checksum does not match the file contents.
+    ChecksumMismatch { stored: u64, computed: u64 },
+    /// Structurally inconsistent (bad lengths, offsets, or strings).
+    Malformed(String),
+    /// A block failed to decode.
+    Codec(CodecError),
+    /// The file's header disagrees with the key used to look it up.
+    KeyMismatch {
+        field: &'static str,
+        want: String,
+        found: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::Truncated { len, need } => {
+                write!(f, "file truncated: {len} bytes, need at least {need}")
+            }
+            TraceError::BadMagic => write!(f, "not a wsrs trace file (bad magic)"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            TraceError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            TraceError::Malformed(why) => write!(f, "malformed trace file: {why}"),
+            TraceError::Codec(e) => write!(f, "payload decode error: {e}"),
+            TraceError::KeyMismatch { field, want, found } => {
+                write!(
+                    f,
+                    "trace key mismatch on {field}: want {want}, found {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<CodecError> for TraceError {
+    fn from(e: CodecError) -> Self {
+        TraceError::Codec(e)
+    }
+}
+
+impl TraceError {
+    /// Whether this is a plain file-not-found — a cache *miss*, as opposed
+    /// to corruption, which callers may want to warn about.
+    #[must_use]
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, TraceError::Io(e) if e.kind() == std::io::ErrorKind::NotFound)
+    }
+}
+
+/// Serializes `uops` under `header` into a complete trace file image,
+/// checksum included.
+///
+/// # Panics
+///
+/// Panics if `header.uop_count != uops.len()`, `block_uops` is zero, or
+/// the workload name exceeds `u16::MAX` bytes — all caller bugs.
+#[must_use]
+pub fn encode(header: &TraceHeader, uops: &[DynInst]) -> Vec<u8> {
+    assert_eq!(header.uop_count, uops.len() as u64, "uop_count mismatch");
+    assert!(header.block_uops > 0, "block_uops must be positive");
+    assert!(
+        header.workload.len() <= usize::from(u16::MAX),
+        "workload name too long"
+    );
+
+    // Loops compress to ~2 bytes per µop; reserve for that plus headroom.
+    let mut out = Vec::with_capacity(FIXED_HEADER + uops.len() * 3 + 64);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&header.rev.to_le_bytes());
+    out.extend_from_slice(&header.warmup.to_le_bytes());
+    out.extend_from_slice(&header.measure.to_le_bytes());
+    out.extend_from_slice(&header.uop_count.to_le_bytes());
+    out.extend_from_slice(&header.block_uops.to_le_bytes());
+    out.extend_from_slice(&(header.workload.len() as u16).to_le_bytes());
+    out.extend_from_slice(header.workload.as_bytes());
+
+    let payload_start = out.len();
+    let mut index = Vec::new();
+    for block in uops.chunks(header.block_uops as usize) {
+        index.push((out.len() - payload_start) as u64);
+        codec::encode_block(block, &mut out);
+    }
+    let payload_len = (out.len() - payload_start) as u64;
+    for off in &index {
+        out.extend_from_slice(&off.to_le_bytes());
+    }
+    out.extend_from_slice(&payload_len.to_le_bytes());
+    let checksum = fnv1a_64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// The content checksum of a complete file image (its trailing u64).
+#[must_use]
+pub fn checksum_of(file_bytes: &[u8]) -> u64 {
+    let n = file_bytes.len();
+    assert!(n >= 8, "image too short to carry a checksum");
+    u64::from_le_bytes(file_bytes[n - 8..].try_into().unwrap())
+}
+
+/// A parsed, checksum-verified trace file held in memory.
+#[derive(Debug)]
+pub struct TraceFile {
+    header: TraceHeader,
+    bytes: Vec<u8>,
+    payload_start: usize,
+    /// Block offsets within the payload, from the on-disk index.
+    index: Vec<u64>,
+    payload_len: u64,
+    checksum: u64,
+}
+
+impl TraceFile {
+    /// Parses and integrity-checks a complete file image.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<TraceFile, TraceError> {
+        let len = bytes.len();
+        if len < FIXED_HEADER + FOOTER {
+            return Err(TraceError::Truncated {
+                len,
+                need: FIXED_HEADER + FOOTER,
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        // Integrity first: a checksum failure must win over whatever
+        // nonsense a corrupted structure would otherwise produce.
+        let stored = u64::from_le_bytes(bytes[len - 8..].try_into().unwrap());
+        let computed = fnv1a_64(&bytes[..len - 8]);
+        if stored != computed {
+            return Err(TraceError::ChecksumMismatch { stored, computed });
+        }
+
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let rev = u64_at(12);
+        let warmup = u64_at(20);
+        let measure = u64_at(28);
+        let uop_count = u64_at(36);
+        let block_uops = u32_at(44);
+        let workload_len = usize::from(u16::from_le_bytes(bytes[48..50].try_into().unwrap()));
+
+        let payload_start = FIXED_HEADER + workload_len;
+        if block_uops == 0 {
+            return Err(TraceError::Malformed("block_uops is zero".into()));
+        }
+        let n_blocks = uop_count.div_ceil(u64::from(block_uops));
+        let tail = 8 * n_blocks + FOOTER as u64;
+        let need = payload_start as u64 + tail;
+        if (len as u64) < need {
+            return Err(TraceError::Truncated {
+                len,
+                need: need as usize,
+            });
+        }
+        let workload = std::str::from_utf8(&bytes[FIXED_HEADER..payload_start])
+            .map_err(|_| TraceError::Malformed("workload name is not UTF-8".into()))?
+            .to_string();
+
+        let payload_len = u64_at(len - 16);
+        let index_start = len as u64 - tail;
+        if payload_start as u64 + payload_len != index_start {
+            return Err(TraceError::Malformed(format!(
+                "payload length {payload_len} inconsistent with file size {len}"
+            )));
+        }
+        let mut index = Vec::with_capacity(n_blocks as usize);
+        for b in 0..n_blocks {
+            let off = u64_at((index_start + 8 * b) as usize);
+            if off > payload_len {
+                return Err(TraceError::Malformed(format!(
+                    "block {b} offset {off} past payload end {payload_len}"
+                )));
+            }
+            if b > 0 && off < index[b as usize - 1] {
+                return Err(TraceError::Malformed(format!(
+                    "block {b} index not monotone"
+                )));
+            }
+            index.push(off);
+        }
+
+        Ok(TraceFile {
+            header: TraceHeader {
+                rev,
+                warmup,
+                measure,
+                uop_count,
+                block_uops,
+                workload,
+            },
+            bytes,
+            payload_start,
+            index,
+            payload_len,
+            checksum: stored,
+        })
+    }
+
+    /// Reads and parses a trace file from disk.
+    pub fn open(path: &Path) -> Result<TraceFile, TraceError> {
+        TraceFile::from_bytes(std::fs::read(path)?)
+    }
+
+    /// The declared header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// The verified content checksum.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Total size of the file image in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Number of blocks in the payload.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The byte range of block `b` within the whole file image.
+    fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        let start = self.payload_start + self.index[b] as usize;
+        let end = match self.index.get(b + 1) {
+            Some(&next) => self.payload_start + next as usize,
+            None => self.payload_start + self.payload_len as usize,
+        };
+        start..end
+    }
+
+    /// Number of records in block `b` (all blocks are full except the last).
+    fn block_len(&self, b: usize) -> usize {
+        let per = u64::from(self.header.block_uops);
+        let start = b as u64 * per;
+        (self.header.uop_count - start).min(per) as usize
+    }
+
+    /// Decodes the entire payload.
+    pub fn read_all(&self) -> Result<Vec<DynInst>, TraceError> {
+        self.read_window(0, self.header.uop_count)
+    }
+
+    /// Decodes `count` µops starting at µop index `start`, decoding only
+    /// the blocks that overlap the window.
+    pub fn read_window(&self, start: u64, count: u64) -> Result<Vec<DynInst>, TraceError> {
+        let end = start
+            .checked_add(count)
+            .filter(|&e| e <= self.header.uop_count)
+            .ok_or_else(|| {
+                TraceError::Malformed(format!(
+                    "window [{start}, {start}+{count}) exceeds uop_count {}",
+                    self.header.uop_count
+                ))
+            })?;
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let per = u64::from(self.header.block_uops);
+        let first_block = (start / per) as usize;
+        let last_block = ((end - 1) / per) as usize;
+
+        let mut decoded = Vec::with_capacity(count as usize + self.header.block_uops as usize);
+        for b in first_block..=last_block {
+            codec::decode_block(
+                &self.bytes[self.block_range(b)],
+                self.block_len(b),
+                &mut decoded,
+            )?;
+        }
+        let skip = (start - first_block as u64 * per) as usize;
+        decoded.drain(..skip);
+        decoded.truncate(count as usize);
+        Ok(decoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrs_isa::{Opcode, Reg};
+
+    fn sample_uops(n: usize) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| {
+                let mut d = DynInst::new((i % 37) as u64, Opcode::Add);
+                d.dst = Some(Reg::new((i % 7 + 1) as u8).into());
+                if i % 5 == 0 {
+                    d.eff_addr = Some(0x1000 + 8 * i as u64);
+                }
+                d
+            })
+            .collect()
+    }
+
+    fn sample_header(n: usize, block_uops: u32) -> TraceHeader {
+        TraceHeader {
+            rev: 0xfeed_f00d,
+            warmup: (n / 2) as u64,
+            measure: (n - n / 2) as u64,
+            uop_count: n as u64,
+            block_uops,
+            workload: "gzip".into(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_multi_block() {
+        let uops = sample_uops(1000);
+        let header = sample_header(1000, 64);
+        let image = encode(&header, &uops);
+        let file = TraceFile::from_bytes(image.clone()).expect("parse");
+        assert_eq!(file.header(), &header);
+        assert_eq!(file.block_count(), 16); // ceil(1000/64)
+        assert_eq!(file.checksum(), checksum_of(&image));
+        assert_eq!(file.read_all().unwrap(), uops);
+    }
+
+    #[test]
+    fn window_reads_match_slices() {
+        let uops = sample_uops(500);
+        let file = TraceFile::from_bytes(encode(&sample_header(500, 32), &uops)).unwrap();
+        for (start, count) in [(0, 500), (0, 10), (31, 2), (32, 32), (490, 10), (499, 1)] {
+            let got = file.read_window(start as u64, count as u64).unwrap();
+            assert_eq!(got, uops[start..start + count], "window {start}+{count}");
+        }
+        assert!(file.read_window(0, 0).unwrap().is_empty());
+        assert!(file.read_window(200, 400).is_err(), "past the end");
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let header = sample_header(0, DEFAULT_BLOCK_UOPS);
+        let file = TraceFile::from_bytes(encode(&header, &[])).unwrap();
+        assert_eq!(file.block_count(), 0);
+        assert!(file.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let image = encode(&sample_header(40, 16), &sample_uops(40));
+        for at in 0..image.len() {
+            let mut bad = image.clone();
+            bad[at] ^= 0x40;
+            assert!(
+                TraceFile::from_bytes(bad).is_err(),
+                "flip at byte {at} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let image = encode(&sample_header(40, 16), &sample_uops(40));
+        for cut in 0..image.len() {
+            assert!(
+                TraceFile::from_bytes(image[..cut].to_vec()).is_err(),
+                "truncation to {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let image = encode(&sample_header(4, 16), &sample_uops(4));
+        let mut wrong_magic = image.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            TraceFile::from_bytes(wrong_magic),
+            Err(TraceError::BadMagic)
+        ));
+
+        // Bump the version and re-seal the checksum so only the version is
+        // at fault.
+        let mut wrong_version = image.clone();
+        wrong_version[8] = 99;
+        let n = wrong_version.len();
+        let sum = fnv1a_64(&wrong_version[..n - 8]);
+        wrong_version[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            TraceFile::from_bytes(wrong_version),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn checksum_mismatch_reports_both_sums() {
+        let mut image = encode(&sample_header(4, 16), &sample_uops(4));
+        let mid = image.len() / 2;
+        image[mid] ^= 1;
+        match TraceFile::from_bytes(image) {
+            Err(TraceError::ChecksumMismatch { stored, computed }) => {
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+}

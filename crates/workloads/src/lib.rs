@@ -191,6 +191,22 @@ impl Workload {
         Emulator::new(self.program(UNBOUNDED), DEFAULT_MEM_BYTES)
     }
 
+    /// Fingerprint of everything the dynamic µop stream of [`Self::trace`]
+    /// depends on: the emulator's semantics revision, the assembled kernel
+    /// program (unbounded form), and the emulated-memory size. Recorded
+    /// traces are keyed on this hash, so editing a kernel — or the
+    /// emulator — invalidates its stale trace files instead of silently
+    /// replaying them.
+    #[must_use]
+    pub fn trace_fingerprint(self) -> u64 {
+        let mut h = wsrs_isa::Fnv1a::new();
+        h.write(b"wsrs-trace-key-v1;");
+        h.write_u64(wsrs_isa::emulator_revision());
+        h.write_u64(self.program(UNBOUNDED).fingerprint());
+        h.write_u64(DEFAULT_MEM_BYTES as u64);
+        h.finish()
+    }
+
     /// An emulator over a short, terminating run (functional tests).
     #[must_use]
     pub fn short_run(self) -> Emulator {
@@ -260,6 +276,15 @@ mod tests {
             let n = emu.by_ref().count();
             assert!(emu.is_halted(), "{w} did not halt");
             assert!(n > 500, "{w} too short: {n} µops");
+        }
+    }
+
+    #[test]
+    fn trace_fingerprints_distinguish_kernels() {
+        let mut seen = std::collections::HashSet::new();
+        for w in Workload::all() {
+            assert_eq!(w.trace_fingerprint(), w.trace_fingerprint(), "{w}");
+            assert!(seen.insert(w.trace_fingerprint()), "{w} collides");
         }
     }
 

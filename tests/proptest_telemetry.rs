@@ -142,8 +142,10 @@ fn manifests_are_worker_count_invariant() {
     };
     let manifest = |threads: usize| {
         let grid = run_grid_with_threads(&workloads, &configs, params, threads, &|_, _, _, _| {});
-        grid_manifest("prop", &workloads, &configs, params, threads, 1.0, &grid)
-            .normalized_json_string()
+        grid_manifest(
+            "prop", &workloads, &configs, params, threads, 1.0, &grid, None,
+        )
+        .normalized_json_string()
     };
     let serial = manifest(1);
     assert_eq!(serial, manifest(2));
