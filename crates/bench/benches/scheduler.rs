@@ -1,0 +1,130 @@
+//! Criterion benches for the event scheduler's data structures.
+//!
+//! `calendar` races the fixed-horizon [`CalendarWheel`] against the
+//! `BTreeMap<u64, Vec<u64>>` calendar it replaced, on a booking stream
+//! derived from a recorded workload trace (each µop books one completion
+//! event at its class latency). `engine` measures the end-to-end effect:
+//! the wheel + intrusive-list engine versus the retained O(window) scan
+//! oracle on the same pre-emulated trace.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsrs_core::{AllocPolicy, CalendarWheel, SimConfig, Simulator};
+use wsrs_isa::latency;
+use wsrs_regfile::RenameStrategy;
+use wsrs_workloads::Workload;
+
+const UOPS: u64 = 100_000;
+
+/// Per-event delays from a recorded trace: µop `i` completes
+/// `latency::of(class)` cycles after it is booked, eight bookings per
+/// simulated cycle (the machine's dispatch width).
+fn delay_stream() -> Vec<(u64, u64)> {
+    Workload::Mcf
+        .trace()
+        .take(UOPS as usize)
+        .enumerate()
+        .map(|(i, d)| (i as u64 / 8, u64::from(latency::of(d.class))))
+        .collect()
+}
+
+fn calendar_structures(c: &mut Criterion) {
+    let stream = delay_stream();
+    let mut g = c.benchmark_group("scheduler/calendar");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.sample_size(20);
+
+    g.bench_with_input(
+        BenchmarkId::from_parameter("wheel"),
+        &stream,
+        |b, stream| {
+            b.iter(|| {
+                let mut wheel = CalendarWheel::new(128);
+                let mut out = Vec::new();
+                let mut fired = 0u64;
+                let mut next = 0usize;
+                let last = stream.last().expect("stream is non-empty").0;
+                for cycle in 0..=last + 64 {
+                    while next < stream.len() && stream[next].0 == cycle {
+                        let (at, delay) = stream[next];
+                        wheel.schedule(at + delay.max(1), next as u64);
+                        next += 1;
+                    }
+                    out.clear();
+                    wheel.drain_due(cycle, &mut out);
+                    fired += out.len() as u64;
+                }
+                assert_eq!(fired, stream.len() as u64);
+                fired
+            })
+        },
+    );
+
+    g.bench_with_input(
+        BenchmarkId::from_parameter("btreemap"),
+        &stream,
+        |b, stream| {
+            b.iter(|| {
+                let mut calendar: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+                let mut fired = 0u64;
+                let mut next = 0usize;
+                let last = stream.last().expect("stream is non-empty").0;
+                for cycle in 0..=last + 64 {
+                    while next < stream.len() && stream[next].0 == cycle {
+                        let (at, delay) = stream[next];
+                        calendar
+                            .entry(at + delay.max(1))
+                            .or_default()
+                            .push(next as u64);
+                        next += 1;
+                    }
+                    while let Some(entry) = calendar.first_entry() {
+                        if *entry.key() > cycle {
+                            break;
+                        }
+                        fired += entry.remove().len() as u64;
+                    }
+                }
+                assert_eq!(fired, stream.len() as u64);
+                fired
+            })
+        },
+    );
+    g.finish();
+}
+
+fn engine_vs_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler/engine");
+    g.throughput(Throughput::Elements(UOPS));
+    g.sample_size(10);
+
+    let cfg = SimConfig::wsrs(
+        512,
+        AllocPolicy::RandomCommutative,
+        RenameStrategy::ExactCount,
+    );
+    let trace: Vec<_> = Workload::Mcf.trace().take(UOPS as usize).collect();
+    g.bench_with_input(BenchmarkId::from_parameter("event"), &trace, |b, trace| {
+        b.iter(|| {
+            Simulator::new(cfg)
+                .run_measured(trace.iter().copied(), 0, UOPS)
+                .cycles
+        })
+    });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("scan_oracle"),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                Simulator::new(cfg)
+                    .run_measured_scan_oracle(trace.iter().copied(), 0, UOPS)
+                    .cycles
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, calendar_structures, engine_vs_oracle);
+criterion_main!(benches);

@@ -118,6 +118,11 @@ impl Resources {
     }
 }
 
+/// Most unpipelined structures any domain carries (the monolithic 8-way
+/// fusion has 4 of each); bounding them lets [`ClusterState`] keep its
+/// busy tables inline instead of on the heap.
+const MAX_UNPIPELINED: usize = 8;
+
 /// Per-cycle issue bookkeeping for one execution domain.
 ///
 /// Call [`ClusterState::new_cycle`] once per cycle, then
@@ -129,9 +134,11 @@ pub struct ClusterState {
     alus_used: u32,
     ldst_used: u32,
     fp_used: u32,
-    /// Unpipelined structures: the cycle at which each frees up.
-    muldiv_busy_until: Vec<u64>,
-    fpdiv_busy_until: Vec<u64>,
+    /// Unpipelined structures: the cycle at which each frees up. Inline
+    /// arrays (only the first `res.muldivs` / `res.fpdivs` entries are
+    /// live) so issue never chases a heap pointer.
+    muldiv_busy_until: [u64; MAX_UNPIPELINED],
+    fpdiv_busy_until: [u64; MAX_UNPIPELINED],
     /// µops dispatched to this cluster and not yet committed.
     pub window_occupancy: usize,
     /// Total µops ever dispatched here (for the unbalance metric).
@@ -152,14 +159,18 @@ impl ClusterState {
     /// A domain with an explicit functional-unit complement.
     #[must_use]
     pub fn with_resources(res: Resources) -> Self {
+        assert!(
+            res.muldivs as usize <= MAX_UNPIPELINED && res.fpdivs as usize <= MAX_UNPIPELINED,
+            "unpipelined structure count exceeds the inline busy tables"
+        );
         ClusterState {
             res,
             issued_this_cycle: 0,
             alus_used: 0,
             ldst_used: 0,
             fp_used: 0,
-            muldiv_busy_until: vec![0; res.muldivs as usize],
-            fpdiv_busy_until: vec![0; res.fpdivs as usize],
+            muldiv_busy_until: [0; MAX_UNPIPELINED],
+            fpdiv_busy_until: [0; MAX_UNPIPELINED],
             window_occupancy: 0,
             dispatched: 0,
         }
@@ -225,7 +236,7 @@ impl ClusterState {
                     // unpipelined (paper Table 2: 15 cycles).
                     if self.alus_used < self.res.alus
                         && Self::reserve_unpipelined(
-                            &mut self.muldiv_busy_until,
+                            &mut self.muldiv_busy_until[..self.res.muldivs as usize],
                             cycle,
                             u64::from(latency::of(class)),
                         )
@@ -254,7 +265,7 @@ impl ClusterState {
                 if class == OpClass::FpDivSqrt {
                     if self.fp_used < self.res.fps
                         && Self::reserve_unpipelined(
-                            &mut self.fpdiv_busy_until,
+                            &mut self.fpdiv_busy_until[..self.res.fpdivs as usize],
                             cycle,
                             u64::from(latency::of(class)),
                         )

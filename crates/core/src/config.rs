@@ -306,6 +306,29 @@ impl SimConfig {
         self.rob
     }
 
+    /// Ring size (in cycles) for the event scheduler's calendar wheel: the
+    /// worst deterministically-bounded operand delay this configuration can
+    /// book — a load missing both cache levels on top of the L1 hit
+    /// pipeline and a port-contention slip (or the longest functional-unit
+    /// latency, whichever is larger), plus the register-cache slow-read
+    /// penalty, the inter-cluster forwarding bubble and the one-cycle
+    /// writeback→use gap — rounded up to a power of two for mask indexing.
+    /// L2 bus queuing under a miss burst is unbounded, and stress
+    /// configurations may inflate penalties past the 1024-bucket cap;
+    /// those rare bookings take the wheel's overflow path.
+    #[must_use]
+    pub fn scheduler_horizon(&self) -> usize {
+        use wsrs_isa::latency;
+        let miss_path = self.hierarchy.l1.hit_latency
+            + 1 // port-contention slip
+            + self.hierarchy.l1_miss_penalty
+            + self.hierarchy.l2_miss_penalty;
+        let unit = latency::MULDIV_LATENCY.max(latency::FP_DIV_SQRT_LATENCY);
+        let slow_read = self.reg_cache.map_or(0, |rc| rc.slow_read_penalty);
+        let worst = miss_path.max(unit) + slow_read + 2;
+        (worst as usize).next_power_of_two().clamp(64, 1024)
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics

@@ -47,6 +47,7 @@ pub mod config;
 pub mod metrics;
 pub mod pipeview;
 pub mod sim;
+pub mod wheel;
 
 pub use alloc::{AllocPolicy, ClusterChoice};
 pub use cluster::{ClusterId, FuKind, Resources};
@@ -54,3 +55,4 @@ pub use config::{FastForward, RegCache, RegFileMode, SimConfig, SimConfigBuilder
 pub use metrics::{Report, UnbalanceTracker};
 pub use pipeview::UopTiming;
 pub use sim::Simulator;
+pub use wheel::CalendarWheel;

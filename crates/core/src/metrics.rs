@@ -9,12 +9,19 @@ use wsrs_telemetry::CycleAttribution;
 /// into groups of 128 µops; a group is *unbalanced* when any of the four
 /// clusters receives fewer than 24 or more than 40 of them. The
 /// *unbalancing degree* is the fraction of unbalanced groups.
+/// Most execution domains a tracked machine has (4 clusters in the paper;
+/// pooled organizations use fewer). Bounding it keeps the per-group
+/// counters inline in [`UnbalanceTracker`].
+const MAX_CLUSTERS: usize = 8;
+
 #[derive(Clone, Debug)]
 pub struct UnbalanceTracker {
     group_size: u64,
     low: u64,
     high: u64,
-    counts: Vec<u64>,
+    /// Only the first `clusters` entries are live; the rest stay zero.
+    counts: [u64; MAX_CLUSTERS],
+    clusters: usize,
     in_group: u64,
     groups: u64,
     unbalanced: u64,
@@ -35,11 +42,13 @@ impl UnbalanceTracker {
     #[must_use]
     pub fn new(clusters: usize, group_size: u64, low: u64, high: u64) -> Self {
         assert!(group_size > 0 && low <= high);
+        assert!(clusters <= MAX_CLUSTERS, "too many clusters to track");
         UnbalanceTracker {
             group_size,
             low,
             high,
-            counts: vec![0; clusters],
+            counts: [0; MAX_CLUSTERS],
+            clusters,
             in_group: 0,
             groups: 0,
             unbalanced: 0,
@@ -48,14 +57,16 @@ impl UnbalanceTracker {
 
     /// Records that one µop was allocated to `cluster`.
     pub fn record(&mut self, cluster: usize) {
+        debug_assert!(cluster < self.clusters);
         self.counts[cluster] += 1;
         self.in_group += 1;
         if self.in_group == self.group_size {
             self.groups += 1;
-            if self.counts.iter().any(|&c| c < self.low || c > self.high) {
+            let live = &mut self.counts[..self.clusters];
+            if live.iter().any(|&c| c < self.low || c > self.high) {
                 self.unbalanced += 1;
             }
-            self.counts.iter_mut().for_each(|c| *c = 0);
+            live.iter_mut().for_each(|c| *c = 0);
             self.in_group = 0;
         }
     }

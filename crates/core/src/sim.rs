@@ -21,24 +21,32 @@
 //! Because only the correct path is fetched, mispredictions are pure
 //! timing events and no squash machinery exists anywhere in the engine.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::alloc::Allocator;
 use crate::cluster::ClusterState;
 use crate::config::{RegFileMode, SimConfig};
 use crate::metrics::{Report, StallBreakdown, UnbalanceTracker};
 use crate::pipeview::UopTiming;
+use crate::wheel::CalendarWheel;
 use wsrs_frontend::DirectionPredictor;
 use wsrs_isa::{latency, DynInst, OpClass, RegClass};
 use wsrs_mem::{MemoryHierarchy, StoreQueue, StoreQueueQuery};
-use wsrs_regfile::{DeadlockMonitor, Mapping, Renamer, Subset};
+use wsrs_regfile::{DeadlockMonitor, Mapping, PhysReg, Renamer, Subset};
 use wsrs_telemetry::{CycleAttribution, SlotBucket};
 
 /// Sentinel for "value not yet produced".
 const IN_FLIGHT: u64 = u64::MAX;
 
-/// Index of a register class in class-indexed pairs
-/// (`reg_info`, `wakeup`).
+/// Sentinel for "not a memory µop" in [`Slot::mem_seq`].
+const MEM_NONE: u64 = u64::MAX;
+
+/// Null link in the intrusive per-register waiter lists. A live link packs
+/// `(seq << 1) | src_index`.
+const LINK_NONE: u64 = u64::MAX;
+
+/// Index of a register class in class-indexed pairs (`reg_info`,
+/// `vp_reserved`).
 fn class_index(class: RegClass) -> usize {
     match class {
         RegClass::Int => 0,
@@ -53,41 +61,110 @@ fn class_index(class: RegClass) -> usize {
 /// cycles prove the wedge.
 const DEADLOCK_THRESHOLD: u64 = 16;
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum SlotState {
-    Waiting,
-    Done,
+// Slot flag bits.
+const F_DONE: u8 = 1 << 0;
+const F_LOAD: u8 = 1 << 1;
+const F_STORE: u8 = 1 << 2;
+const F_MISPREDICTED: u8 = 1 << 3;
+
+/// A register operand (or destination) packed into one word:
+/// `phys | class_index << 30`, with `u32::MAX` as the "absent" niche —
+/// valid encodings never set bit 31, since physical indices stay far below
+/// 2^30 (the largest budget, virtual-physical tag space, is 16 K).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct PackedReg(u32);
+
+impl PackedReg {
+    const NONE: PackedReg = PackedReg(u32::MAX);
+
+    fn new(class: RegClass, phys: u32) -> Self {
+        debug_assert!(phys < 1 << 30);
+        PackedReg(phys | ((class_index(class) as u32) << 30))
+    }
+
+    fn is_some(self) -> bool {
+        self != Self::NONE
+    }
+
+    fn class_index(self) -> usize {
+        debug_assert!(self.is_some());
+        ((self.0 >> 30) & 1) as usize
+    }
+
+    fn class(self) -> RegClass {
+        if self.class_index() == 0 {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    fn phys(self) -> usize {
+        (self.0 & ((1 << 30) - 1)) as usize
+    }
 }
 
+/// One ROB entry. Everything the issue loop touches — scheduling state,
+/// operands, gates — sits in the leading 64 bytes (`repr(C)` keeps the
+/// order); fetch/commit bookkeeping trails it. The old per-field `Option`s
+/// are folded into sentinel niches ([`PackedReg`], [`MEM_NONE`]) and a
+/// flags byte.
+#[repr(C)]
 #[derive(Clone, Copy, Debug)]
-struct SrcOperand {
-    class: RegClass,
-    phys: u32,
-}
-
-#[derive(Clone, Debug)]
 struct Slot {
     seq: u64,
-    /// Hardware thread that fetched this µop.
-    thread: u8,
-    /// Fetch-order id, used to match misprediction redirects.
-    fetch_id: u64,
-    class: OpClass,
-    srcs: [Option<SrcOperand>; 2],
-    dst: Option<(RegClass, u32)>,
-    old_mapping: Option<(RegClass, Mapping)>,
-    cluster: u8,
-    state: SlotState,
     done_cycle: u64,
     dispatch_cycle: u64,
-    fetch_cycle: u64,
-    mem_seq: Option<u64>,
-    eff_addr: Option<u64>,
-    is_load: bool,
-    is_store: bool,
-    mispredicted: bool,
-    /// Source operands still in flight (event scheduler bookkeeping).
+    /// Program-order memory sequence, [`MEM_NONE`] for non-memory µops.
+    mem_seq: u64,
+    srcs: [PackedReg; 2],
+    dst: PackedReg,
+    /// Physical register previously mapped to the destination's logical
+    /// register (freed at commit). With `old_subset`, valid iff
+    /// `dst.is_some()`; its class is `dst.class()`.
+    old_phys: u32,
+    class: OpClass,
+    cluster: u8,
+    /// Hardware thread that fetched this µop.
+    thread: u8,
+    flags: u8,
+    /// Source operands still in flight (event-scheduler bookkeeping).
     pending_srcs: u8,
+    old_subset: u8,
+    /// Intrusive waiter links: `next_waiter[i]` chains source `i` onward in
+    /// its producer's waiter list ([`LINK_NONE`] terminates).
+    next_waiter: [u64; 2],
+    fetch_cycle: u64,
+    /// Fetch-order id, used to match misprediction redirects.
+    fetch_id: u64,
+    /// Effective address; meaningful only when `F_LOAD`/`F_STORE` is set.
+    eff_addr: u64,
+}
+
+impl Slot {
+    fn is_done(&self) -> bool {
+        self.flags & F_DONE != 0
+    }
+
+    fn is_load(&self) -> bool {
+        self.flags & F_LOAD != 0
+    }
+
+    fn is_store(&self) -> bool {
+        self.flags & F_STORE != 0
+    }
+
+    fn mispredicted(&self) -> bool {
+        self.flags & F_MISPREDICTED != 0
+    }
+
+    /// The commit-time mapping to free (valid iff `dst.is_some()`).
+    fn old_mapping(&self) -> Mapping {
+        Mapping {
+            phys: PhysReg(self.old_phys),
+            subset: Subset(self.old_subset),
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -95,6 +172,10 @@ struct RegInfo {
     /// Cycle the value becomes usable in the producing cluster; `IN_FLIGHT`
     /// while the producer has not issued.
     avail: u64,
+    /// Head of the intrusive waiter list — `(seq << 1) | src_index` of the
+    /// most recently hung consumer, [`LINK_NONE`] when none. Only non-null
+    /// while `avail == IN_FLIGHT` under the event scheduler.
+    wake_head: u64,
     /// Producing cluster (drives the inter-cluster forwarding penalty).
     cluster: u8,
     /// Whether the producer is a load — lets cycle attribution charge a
@@ -187,6 +268,23 @@ impl Simulator {
     ) -> Report {
         let bounded = trace.into_iter().take((warmup + measure) as usize);
         Engine::new(&self.config).run(bounded, warmup)
+    }
+
+    /// Like [`Simulator::run_measured`], but forcing the retained O(window)
+    /// selection scan instead of the event-driven scheduler. Bit-identical
+    /// to [`Simulator::run_measured`] by construction — exposed as the
+    /// differential-testing oracle for the wheel + intrusive-list engine
+    /// (see `tests/proptest_scheduler.rs` and the `scheduler` bench).
+    pub fn run_measured_scan_oracle(
+        &self,
+        trace: impl IntoIterator<Item = DynInst>,
+        warmup: u64,
+        measure: u64,
+    ) -> Report {
+        let bounded = trace.into_iter().take((warmup + measure) as usize);
+        let mut engine = Engine::new(&self.config);
+        engine.force_scan = true;
+        engine.run(bounded, warmup)
     }
 
     /// Runs an SMT machine: one trace per hardware thread
@@ -296,13 +394,12 @@ struct Engine<'a> {
     vp: Option<VpState>,
     /// (head seq, cycles the ROB head has been VP-capacity-blocked).
     vp_blocked: (u64, u64),
-    /// Event scheduler: per-physical-register consumer lists
-    /// (`wakeup[class][phys]` holds seqs of waiting µops), indexed like
-    /// `reg_info`.
-    wakeup: [Vec<Vec<u64>>; 2],
-    /// Event scheduler: µops whose operands become usable at a known
-    /// future cycle, keyed by that cycle.
-    calendar: BTreeMap<u64, Vec<u64>>,
+    /// Event scheduler: µops whose operands become usable at a known future
+    /// cycle, booked on a fixed-horizon calendar wheel. The per-register
+    /// waiter lists live intrusively in `RegInfo::wake_head` and
+    /// `Slot::next_waiter` — hanging or draining a waiter is pointer
+    /// writes, never an allocation.
+    wheel: CalendarWheel,
     /// Event scheduler: operand-ready µops awaiting an issue slot, sorted
     /// ascending by seq (the scan's oldest-first order).
     ready: Vec<u64>,
@@ -315,6 +412,17 @@ struct Engine<'a> {
     /// Dispatch scratch buffers, reused every cycle.
     occ_buf: Vec<usize>,
     free_buf: Vec<usize>,
+    /// Issue scratch buffers, reused every cycle: destinations completed
+    /// this cycle (deferred writeback), resolved branch redirects, and the
+    /// wheel's drain staging.
+    dest_updates: Vec<(PackedReg, u64)>,
+    redirect_buf: Vec<(usize, u64, u64)>,
+    due_buf: Vec<u64>,
+    /// Scan-path scratch: VP reservations per class/subset, zeroed in
+    /// place at the top of each scan.
+    vp_reserved: [Vec<usize>; 2],
+    /// Recovery scratch (cold paths), reused across recoveries.
+    victims_buf: Vec<(usize, usize)>,
     // metrics
     retired: u64,
     branches: u64,
@@ -362,7 +470,9 @@ impl<'a> Engine<'a> {
                 .collect(),
             rob: VecDeque::with_capacity(cfg.rob_size()),
             reg_info,
-            fetch_bufs: vec![VecDeque::new(); cfg.threads],
+            fetch_bufs: (0..cfg.threads)
+                .map(|_| VecDeque::with_capacity(4 * cfg.fetch_width))
+                .collect(),
             redirects: vec![Redirect::None; cfg.threads],
             store_queues: vec![StoreQueue::new(); cfg.threads],
             mem_next_issue: vec![0; cfg.threads],
@@ -378,11 +488,7 @@ impl<'a> Engine<'a> {
             timeline: None,
             vp,
             vp_blocked: (u64::MAX, 0),
-            wakeup: [
-                vec![Vec::new(); cfg.renamer.int_regs],
-                vec![Vec::new(); cfg.renamer.fp_regs],
-            ],
-            calendar: BTreeMap::new(),
+            wheel: CalendarWheel::new(cfg.scheduler_horizon()),
             ready: Vec::new(),
             issue_width_total: (0..cfg.clusters)
                 .map(|i| cfg.resources[i.min(3)].issue_width)
@@ -390,6 +496,11 @@ impl<'a> Engine<'a> {
             force_scan: false,
             occ_buf: Vec::with_capacity(cfg.clusters),
             free_buf: Vec::with_capacity(cfg.renamer.subsets),
+            dest_updates: Vec::new(),
+            redirect_buf: Vec::new(),
+            due_buf: Vec::new(),
+            vp_reserved: [vec![0; cfg.renamer.subsets], vec![0; cfg.renamer.subsets]],
+            victims_buf: Vec::new(),
             retired: 0,
             branches: 0,
             mispredicts: 0,
@@ -412,6 +523,7 @@ impl<'a> Engine<'a> {
         let mut v = vec![
             RegInfo {
                 avail: 0,
+                wake_head: LINK_NONE,
                 cluster: 0,
                 from_load: false,
             };
@@ -425,21 +537,25 @@ impl<'a> Engine<'a> {
     }
 
     /// Runs to completion, moving any collected timeline into `out`.
-    fn run_collecting<'t>(
+    fn run_collecting<T: Iterator<Item = DynInst>>(
         self,
-        trace: impl Iterator<Item = DynInst> + 't,
+        trace: T,
         out: &mut Vec<UopTiming>,
     ) -> Report {
-        self.run_inner(vec![Box::new(trace)], 0, Some(out))
+        self.run_inner(vec![trace], 0, Some(out))
     }
 
-    fn run<'t>(self, trace: impl Iterator<Item = DynInst> + 't, warmup: u64) -> Report {
-        self.run_inner(vec![Box::new(trace)], warmup, None)
+    fn run<T: Iterator<Item = DynInst>>(self, trace: T, warmup: u64) -> Report {
+        self.run_inner(vec![trace], warmup, None)
     }
 
-    fn run_inner(
+    /// Monomorphized driver: `T` is the concrete trace iterator, so the
+    /// common single-thread path (grid cells replaying recorded traces)
+    /// pays no dynamic dispatch per µop; the SMT entry points pass
+    /// `Box<dyn Iterator>` as `T`.
+    fn run_inner<T: Iterator<Item = DynInst>>(
         mut self,
-        mut traces: Vec<Box<dyn Iterator<Item = DynInst> + '_>>,
+        mut traces: Vec<T>,
         warmup: u64,
         timeline_out: Option<&mut Vec<UopTiming>>,
     ) -> Report {
@@ -586,18 +702,21 @@ impl<'a> Engine<'a> {
 
     /// Why the (old-enough) ROB head did not retire this cycle.
     fn head_bucket(&self, head: &Slot) -> SlotBucket {
-        if head.state == SlotState::Done {
+        if head.is_done() {
             // Issued, executing. Loads (and stores in their cache access)
             // are memory-bound; everything else is execution latency.
-            return if head.is_load || head.is_store {
+            return if head.is_load() || head.is_store() {
                 SlotBucket::Memory
             } else {
                 SlotBucket::ExecLatency
             };
         }
         // Waiting. Operand not yet usable?
-        for s in head.srcs.iter().flatten() {
-            let info = self.reg_class(s.class)[s.phys as usize];
+        for s in head.srcs {
+            if !s.is_some() {
+                continue;
+            }
+            let info = self.reg_info[s.class_index()][s.phys()];
             if info.avail == IN_FLIGHT || self.cycle < info.avail {
                 // Producer unissued or still executing.
                 return if info.from_load {
@@ -612,21 +731,12 @@ impl<'a> Engine<'a> {
             }
         }
         // Operands usable; what else gates issue?
-        if head
-            .mem_seq
-            .is_some_and(|ms| ms != self.mem_next_issue[head.thread as usize])
-        {
+        if head.mem_seq != MEM_NONE && head.mem_seq != self.mem_next_issue[head.thread as usize] {
             return SlotBucket::Memory; // memory-order serialization
         }
-        if self.vp.is_some() {
-            let no_reservations: [Vec<usize>; 2] = [
-                vec![0; self.cfg.renamer.subsets],
-                vec![0; self.cfg.renamer.subsets],
-            ];
-            if !self.vp_can_alloc(head, &no_reservations) {
-                // Issue-time register allocation blocked (VP file full).
-                return SlotBucket::RenameStall;
-            }
+        if self.vp.is_some() && !self.vp_can_alloc(head, None) {
+            // Issue-time register allocation blocked (VP file full).
+            return SlotBucket::RenameStall;
         }
         SlotBucket::FuContention
     }
@@ -637,7 +747,7 @@ impl<'a> Engine<'a> {
         self.committed_this_cycle = 0;
         for _ in 0..self.cfg.fetch_width {
             let Some(head) = self.rob.front() else { break };
-            if head.state != SlotState::Done || head.done_cycle > self.cycle {
+            if !head.is_done() || head.done_cycle > self.cycle {
                 break;
             }
             let slot = self.rob.pop_front().expect("head exists");
@@ -646,21 +756,17 @@ impl<'a> Engine<'a> {
                     e.commit = self.cycle;
                 }
             }
-            if slot.is_store {
-                let addr = slot.eff_addr.expect("stores have addresses");
-                let tagged = addr | ((slot.thread as u64) << 40);
+            if slot.is_store() {
+                let tagged = slot.eff_addr | ((slot.thread as u64) << 40);
                 self.hierarchy.store(tagged, self.cycle);
                 self.store_queues[slot.thread as usize].remove(slot.seq);
             }
-            if let Some((class, old)) = slot.old_mapping {
+            if slot.dst.is_some() {
+                let old = slot.old_mapping();
                 if let Some(vp) = self.vp.as_mut() {
-                    let ci = match class {
-                        RegClass::Int => 0,
-                        RegClass::Fp => 1,
-                    };
-                    vp.used[ci][old.subset.index()] -= 1;
+                    vp.used[slot.dst.class_index()][old.subset.index()] -= 1;
                 }
-                self.renamer.free(class, old, self.cycle);
+                self.renamer.free(slot.dst.class(), old, self.cycle);
             }
             self.clusters[slot.cluster as usize].window_occupancy -= 1;
             self.retired += 1;
@@ -679,9 +785,9 @@ impl<'a> Engine<'a> {
     /// Fetches up to `fetch_width` µops from **one** thread this cycle,
     /// rotating round-robin and skipping threads that are redirect-blocked,
     /// buffer-full or exhausted (the classic RR SMT fetch policy).
-    fn fetch(
+    fn fetch<T: Iterator<Item = DynInst>>(
         &mut self,
-        traces: &mut [Box<dyn Iterator<Item = DynInst> + '_>],
+        traces: &mut [T],
         trace_done: &mut [bool],
         cap: usize,
     ) {
@@ -709,9 +815,9 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn fetch_thread(
+    fn fetch_thread<T: Iterator<Item = DynInst>>(
         &mut self,
-        trace: &mut (impl Iterator<Item = DynInst> + ?Sized),
+        trace: &mut T,
         trace_done: &mut [bool],
         tid: usize,
         cap: usize,
@@ -794,15 +900,12 @@ impl<'a> Engine<'a> {
                 // Source operands: current mappings (younger µops renamed this
                 // same cycle already updated the map — in-group dependency
                 // propagation).
-                let mut srcs: [Option<SrcOperand>; 2] = [None, None];
+                let mut srcs = [PackedReg::NONE; 2];
                 let mut src_subsets: [Option<Subset>; 2] = [None, None];
                 for (i, s) in d.srcs.iter().enumerate() {
                     if let Some(r) = s {
                         let m = self.renamer.map_source_for(tid, *r);
-                        srcs[i] = Some(SrcOperand {
-                            class: r.class(),
-                            phys: m.phys.0,
-                        });
+                        srcs[i] = PackedReg::new(r.class(), m.phys.0);
                         src_subsets[i] = Some(m.subset);
                     }
                 }
@@ -849,8 +952,9 @@ impl<'a> Engine<'a> {
                 }
 
                 // Destination rename, into the executing cluster's subset.
-                let mut dst = None;
-                let mut old_mapping = None;
+                let mut dst = PackedReg::NONE;
+                let mut old_phys = 0u32;
+                let mut old_subset = 0u8;
                 if let Some(dreg) = d.dst {
                     let subset = match self.cfg.mode {
                         RegFileMode::Conventional => Subset(0),
@@ -868,13 +972,20 @@ impl<'a> Engine<'a> {
                         .alloc(dreg.class(), subset)
                         .expect("can_alloc checked");
                     let old = self.renamer.rename_dest_for(tid, dreg, m);
-                    self.reg_class_mut(dreg.class())[m.phys.0 as usize] = RegInfo {
+                    let info = &mut self.reg_class_mut(dreg.class())[m.phys.0 as usize];
+                    debug_assert_eq!(
+                        info.wake_head, LINK_NONE,
+                        "freed register still has waiters"
+                    );
+                    *info = RegInfo {
                         avail: IN_FLIGHT,
                         cluster: choice.cluster.0,
                         from_load: d.is_load(),
+                        wake_head: LINK_NONE,
                     };
-                    dst = Some((dreg.class(), m.phys.0));
-                    old_mapping = Some((dreg.class(), old));
+                    dst = PackedReg::new(dreg.class(), m.phys.0);
+                    old_phys = old.phys.0;
+                    old_subset = old.subset.0;
                 }
 
                 let fetched = self.fetch_bufs[tid].pop_front().expect("front exists");
@@ -888,21 +999,27 @@ impl<'a> Engine<'a> {
                     if d.is_store() {
                         self.store_queues[tid].insert(seq, d.eff_addr.expect("store has address"));
                     }
-                    Some(ms)
+                    ms
                 } else {
-                    None
+                    MEM_NONE
                 };
 
-                // Event-scheduler registration: in-flight producers get a
-                // wakeup entry for this consumer; operands already produced
+                // Event-scheduler registration: this consumer is threaded
+                // onto each in-flight producer's intrusive waiter list (a
+                // pointer write, no allocation); operands already produced
                 // pin down the operand-ready cycle right now.
                 let mut pending_srcs = 0u8;
+                let mut next_waiter = [LINK_NONE; 2];
                 if self.event_scheduler() {
                     let mut ready_at = self.cycle + 1;
-                    for s in srcs.iter().flatten() {
-                        let info = self.reg_class(s.class)[s.phys as usize];
+                    for (i, s) in srcs.iter().enumerate() {
+                        if !s.is_some() {
+                            continue;
+                        }
+                        let info = &mut self.reg_info[s.class_index()][s.phys()];
                         if info.avail == IN_FLIGHT {
-                            self.wakeup[class_index(s.class)][s.phys as usize].push(seq);
+                            next_waiter[i] = info.wake_head;
+                            info.wake_head = (seq << 1) | i as u64;
                             pending_srcs += 1;
                         } else {
                             ready_at = ready_at.max(
@@ -915,7 +1032,7 @@ impl<'a> Engine<'a> {
                         }
                     }
                     if pending_srcs == 0 {
-                        self.calendar.entry(ready_at).or_default().push(seq);
+                        self.wheel.schedule(ready_at, seq);
                     }
                 }
 
@@ -939,25 +1056,34 @@ impl<'a> Engine<'a> {
                         });
                     }
                 }
+                let mut flags = 0u8;
+                if d.is_load() {
+                    flags |= F_LOAD;
+                }
+                if d.is_store() {
+                    flags |= F_STORE;
+                }
+                if fetched.mispredicted {
+                    flags |= F_MISPREDICTED;
+                }
                 self.rob.push_back(Slot {
                     seq,
-                    thread: tid as u8,
-                    fetch_id: fetched.fetch_id,
-                    class: d.class,
-                    srcs,
-                    dst,
-                    old_mapping,
-                    cluster: choice.cluster.0,
-                    state: SlotState::Waiting,
                     done_cycle: 0,
                     dispatch_cycle: self.cycle,
-                    fetch_cycle: fetched.fetch_cycle,
                     mem_seq,
-                    eff_addr: d.eff_addr,
-                    is_load: d.is_load(),
-                    is_store: d.is_store(),
-                    mispredicted: fetched.mispredicted,
+                    srcs,
+                    dst,
+                    old_phys,
+                    class: d.class,
+                    cluster: choice.cluster.0,
+                    thread: tid as u8,
+                    flags,
                     pending_srcs,
+                    old_subset,
+                    next_waiter,
+                    fetch_cycle: fetched.fetch_cycle,
+                    fetch_id: fetched.fetch_id,
+                    eff_addr: d.eff_addr.unwrap_or(0),
                 });
             }
         }
@@ -993,19 +1119,18 @@ impl<'a> Engine<'a> {
         let subsets = self.cfg.renamer.subsets;
         // Move logical registers (of any hardware thread) out of the stuck
         // subset until a dispatch group's worth of headroom exists.
-        let victims: Vec<(usize, usize)> = (0..self.cfg.threads)
-            .flat_map(|tid| {
-                self.renamer
-                    .map_table_for(tid, class)
-                    .iter()
-                    .filter(|(_, m)| m.subset == stuck)
-                    .map(|(l, _)| (tid, l))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        let mut victims = std::mem::take(&mut self.victims_buf);
+        victims.clear();
+        for tid in 0..self.cfg.threads {
+            for (l, m) in self.renamer.map_table_for(tid, class).iter() {
+                if m.subset == stuck {
+                    victims.push((tid, l));
+                }
+            }
+        }
         let mut moved = 0;
         let done_at = self.cycle + self.cfg.min_mispredict_penalty;
-        for (tid, logical) in victims {
+        for &(tid, logical) in &victims {
             if moved >= self.cfg.fetch_width {
                 break;
             }
@@ -1026,12 +1151,14 @@ impl<'a> Engine<'a> {
                     avail: done_at,
                     cluster: new.subset.0 % self.cfg.clusters as u8,
                     from_load: false,
+                    wake_head: LINK_NONE,
                 };
                 moved += 1;
             } else {
                 break;
             }
         }
+        self.victims_buf = victims;
         if moved == 0 {
             // No subset has a free register: unrecoverable.
             self.deadlocked = true;
@@ -1043,25 +1170,22 @@ impl<'a> Engine<'a> {
         self.blocked_subset = None;
     }
 
-    fn reg_class_mut(&mut self, class: RegClass) -> &mut Vec<RegInfo> {
-        match class {
-            RegClass::Int => &mut self.reg_info[0],
-            RegClass::Fp => &mut self.reg_info[1],
-        }
+    fn reg_class_mut(&mut self, class: RegClass) -> &mut [RegInfo] {
+        &mut self.reg_info[class_index(class)]
     }
 
-    fn reg_class(&self, class: RegClass) -> &Vec<RegInfo> {
-        match class {
-            RegClass::Int => &self.reg_info[0],
-            RegClass::Fp => &self.reg_info[1],
-        }
+    fn reg_class(&self, class: RegClass) -> &[RegInfo] {
+        &self.reg_info[class_index(class)]
     }
 
     // ---- issue / execute ----
 
     fn srcs_ready(&self, slot: &Slot) -> bool {
-        slot.srcs.iter().flatten().all(|s| {
-            let info = self.reg_class(s.class)[s.phys as usize];
+        slot.srcs.iter().all(|s| {
+            if !s.is_some() {
+                return true;
+            }
+            let info = self.reg_info[s.class_index()][s.phys()];
             info.avail != IN_FLIGHT
                 && self.cycle
                     >= info.avail + self.cfg.fast_forward.penalty(info.cluster, slot.cluster)
@@ -1073,19 +1197,18 @@ impl<'a> Engine<'a> {
     /// `reserved` counts *older, still-unissued* destination µops per
     /// class/subset — each holds a reservation a younger µop may not
     /// consume, which makes allocation-at-issue deadlock-free.
-    fn vp_can_alloc(&self, slot: &Slot, reserved: &[Vec<usize>; 2]) -> bool {
+    fn vp_can_alloc(&self, slot: &Slot, reserved: Option<&[Vec<usize>; 2]>) -> bool {
         let Some(vp) = self.vp.as_ref() else {
             return true;
         };
-        let Some((class, phys)) = slot.dst else {
+        if !slot.dst.is_some() {
             return true;
-        };
+        }
+        let (class, phys) = (slot.dst.class(), slot.dst.phys() as u32);
         let subset = self.cfg.renamer.phys_subset_of(class, phys);
-        let ci = match class {
-            RegClass::Int => 0,
-            RegClass::Fp => 1,
-        };
-        vp.used[ci][subset.index()] + reserved[ci][subset.index()] < vp.capacity
+        let ci = slot.dst.class_index();
+        let held = reserved.map_or(0, |r| r[ci][subset.index()]);
+        vp.used[ci][subset.index()] + held < vp.capacity
     }
 
     /// Whether this run uses the event-driven scheduler. Virtual-physical
@@ -1107,27 +1230,67 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Issue-time bookkeeping shared by the event path and the legacy
+    /// scan: timestamps completion, marks the slot done, advances memory
+    /// order, and queues the deferred writeback / front-end redirect into
+    /// the engine-owned scratch buffers.
+    fn complete_issue(&mut self, i: usize) {
+        let (lat, forwarded) = self.exec_latency(i);
+        if forwarded {
+            self.store_forwards += 1;
+        }
+        let slot = &mut self.rob[i];
+        slot.done_cycle = self.cycle + u64::from(lat);
+        slot.flags |= F_DONE;
+        if let Some((entries, _)) = self.timeline.as_mut() {
+            if let Some(e) = entries.get_mut(slot.seq as usize) {
+                e.issue = self.cycle;
+                e.complete = slot.done_cycle;
+            }
+        }
+        if slot.mem_seq != MEM_NONE {
+            self.mem_next_issue[slot.thread as usize] += 1;
+        }
+        if slot.dst.is_some() {
+            self.dest_updates.push((slot.dst, slot.done_cycle));
+        }
+        if slot.mispredicted() {
+            let resume =
+                (slot.done_cycle + 1).max(slot.fetch_cycle + self.cfg.min_mispredict_penalty);
+            self.redirect_buf
+                .push((slot.thread as usize, slot.fetch_id, resume));
+        }
+    }
+
+    /// Applies (and clears) the front-end redirects queued by
+    /// [`Self::complete_issue`].
+    fn apply_redirects(&mut self) {
+        for k in 0..self.redirect_buf.len() {
+            let (tid, fetch_id, resume) = self.redirect_buf[k];
+            if self.redirects[tid] == Redirect::WaitingResolve(fetch_id) {
+                self.redirects[tid] = Redirect::WaitingCycle(resume);
+            }
+        }
+        self.redirect_buf.clear();
+    }
+
     /// Event-driven selection: only µops whose operands are known-usable
-    /// (tracked through wakeup lists and the completion calendar) are
-    /// examined, in ascending seq order — the same oldest-first order the
-    /// scan produces, so all issue-time side effects (FU reservation,
+    /// (tracked through intrusive waiter lists and the completion wheel)
+    /// are examined, in ascending seq order — the same oldest-first order
+    /// the scan produces, so all issue-time side effects (FU reservation,
     /// memory-order advancement, cache accesses) happen identically.
     fn issue_event(&mut self) {
-        while let Some(entry) = self.calendar.first_entry() {
-            if *entry.key() > self.cycle {
-                break;
-            }
-            for seq in entry.remove() {
-                let pos = self.ready.partition_point(|&s| s < seq);
-                self.ready.insert(pos, seq);
-            }
+        self.due_buf.clear();
+        self.wheel.drain_due(self.cycle, &mut self.due_buf);
+        for k in 0..self.due_buf.len() {
+            let seq = self.due_buf[k];
+            let pos = self.ready.partition_point(|&s| s < seq);
+            self.ready.insert(pos, seq);
         }
         if self.ready.is_empty() {
             return;
         }
         let front_seq = self.rob.front().expect("ready µops live in the ROB").seq;
-        let mut redirects = Vec::new();
-        let mut dest_updates: Vec<(RegClass, u32, u64)> = Vec::new();
         let mut issued_total = 0u32;
         let mut kept = 0usize;
         let mut i = 0usize;
@@ -1145,14 +1308,14 @@ impl<'a> Engine<'a> {
             let (cluster, class, gates_ok) = {
                 let slot = &self.rob[idx];
                 debug_assert_eq!(slot.seq, seq);
-                debug_assert_eq!(slot.state, SlotState::Waiting);
+                debug_assert!(!slot.is_done());
                 debug_assert!(slot.dispatch_cycle < self.cycle);
                 debug_assert!(self.srcs_ready(slot));
                 (
                     slot.cluster as usize,
                     slot.class,
-                    slot.mem_seq
-                        .is_none_or(|ms| ms == self.mem_next_issue[slot.thread as usize]),
+                    slot.mem_seq == MEM_NONE
+                        || slot.mem_seq == self.mem_next_issue[slot.thread as usize],
                 )
             };
             if !gates_ok || !self.clusters[cluster].try_issue(class, self.cycle) {
@@ -1162,70 +1325,73 @@ impl<'a> Engine<'a> {
                 continue;
             }
             issued_total += 1;
-            let (lat, forwarded) = self.exec_latency(idx);
-            if forwarded {
-                self.store_forwards += 1;
-            }
-            let slot = &mut self.rob[idx];
-            slot.done_cycle = self.cycle + u64::from(lat);
-            if let Some((entries, _)) = self.timeline.as_mut() {
-                if let Some(e) = entries.get_mut(slot.seq as usize) {
-                    e.issue = self.cycle;
-                    e.complete = slot.done_cycle;
-                }
-            }
-            if slot.mem_seq.is_some() {
-                self.mem_next_issue[slot.thread as usize] += 1;
-            }
-            if let Some((class, phys)) = slot.dst {
-                dest_updates.push((class, phys, slot.done_cycle));
-            }
-            if slot.mispredicted {
-                let resume =
-                    (slot.done_cycle + 1).max(slot.fetch_cycle + self.cfg.min_mispredict_penalty);
-                redirects.push((slot.thread as usize, slot.fetch_id, resume));
-            }
-            slot.state = SlotState::Done;
+            self.complete_issue(idx);
             i += 1;
         }
         self.ready.truncate(kept);
 
         // Deferred writeback (as in the scan: results issued this cycle are
         // not usable this cycle), then wake each completed register's
-        // consumers. A consumer whose last in-flight operand just completed
-        // now has a fully known operand-ready cycle.
-        for (class, phys, done) in dest_updates {
-            self.reg_class_mut(class)[phys as usize].avail = done;
-            let consumers = std::mem::take(&mut self.wakeup[class_index(class)][phys as usize]);
-            for cseq in consumers {
+        // consumers by unlinking its waiter chain. A consumer whose last
+        // in-flight operand just completed now has a fully known
+        // operand-ready cycle and books a wheel slot.
+        let mut k = 0;
+        while k < self.dest_updates.len() {
+            let (dst, done) = self.dest_updates[k];
+            k += 1;
+            let (ci, phys) = (dst.class_index(), dst.phys());
+            let mut link;
+            {
+                let info = &mut self.reg_info[ci][phys];
+                info.avail = done;
+                link = std::mem::replace(&mut info.wake_head, LINK_NONE);
+            }
+            while link != LINK_NONE {
+                let cseq = link >> 1;
+                let csrc = (link & 1) as usize;
                 let cidx = (cseq - front_seq) as usize;
-                let pending = {
+                let (pending, csrcs, ccluster) = {
                     let slot = &mut self.rob[cidx];
+                    link = std::mem::replace(&mut slot.next_waiter[csrc], LINK_NONE);
                     slot.pending_srcs -= 1;
-                    slot.pending_srcs
+                    (slot.pending_srcs, slot.srcs, slot.cluster)
                 };
                 if pending > 0 {
                     continue;
                 }
-                let (csrcs, ccluster) = {
-                    let slot = &self.rob[cidx];
-                    (slot.srcs, slot.cluster)
-                };
                 let mut ready_at = self.cycle + 1;
-                for s in csrcs.iter().flatten() {
-                    let info = self.reg_class(s.class)[s.phys as usize];
+                for s in csrcs {
+                    if !s.is_some() {
+                        continue;
+                    }
+                    let info = self.reg_info[s.class_index()][s.phys()];
                     debug_assert_ne!(info.avail, IN_FLIGHT);
                     ready_at = ready_at
                         .max(info.avail + self.cfg.fast_forward.penalty(info.cluster, ccluster));
                 }
-                self.calendar.entry(ready_at).or_default().push(cseq);
+                self.wheel.schedule(ready_at, cseq);
             }
         }
-        for (tid, fetch_id, resume) in redirects {
-            if self.redirects[tid] == Redirect::WaitingResolve(fetch_id) {
-                self.redirects[tid] = Redirect::WaitingCycle(resume);
-            }
+        self.dest_updates.clear();
+        self.apply_redirects();
+    }
+
+    /// A waiting µop that does not issue this scan iteration keeps a
+    /// reservation on its destination subset for the rest of the scan
+    /// (VP only).
+    fn vp_reserve_slot(&mut self, i: usize) {
+        if self.vp.is_none() {
+            return;
         }
+        let slot = &self.rob[i];
+        if slot.is_done() || !slot.dst.is_some() {
+            return;
+        }
+        let subset = self
+            .cfg
+            .renamer
+            .phys_subset_of(slot.dst.class(), slot.dst.phys() as u32);
+        self.vp_reserved[slot.dst.class_index()][subset.index()] += 1;
     }
 
     /// Legacy O(window) selection scan, retained for virtual-physical
@@ -1235,49 +1401,26 @@ impl<'a> Engine<'a> {
         // the scan below: once a waiting µop passes without issuing, its
         // destination subset keeps one slot reserved against all younger
         // µops this cycle.
-        let subsets = self.cfg.renamer.subsets;
-        let mut vp_reserved: [Vec<usize>; 2] = [vec![0; subsets], vec![0; subsets]];
-        let mut redirects = Vec::new();
-        let mut dest_updates: Vec<(RegClass, u32, u64)> = Vec::new();
+        if self.vp.is_some() {
+            for class in &mut self.vp_reserved {
+                class.iter_mut().for_each(|c| *c = 0);
+            }
+        }
 
         // Single in-order pass: per-cluster oldest-first selection.
         for i in 0..self.rob.len() {
             let ready = {
                 let slot = &self.rob[i];
-                slot.state == SlotState::Waiting
+                !slot.is_done()
                     && slot.dispatch_cycle < self.cycle
                     && self.clusters[slot.cluster as usize].has_issue_slot()
                     && self.srcs_ready(slot)
-                    && slot
-                        .mem_seq
-                        .is_none_or(|ms| ms == self.mem_next_issue[slot.thread as usize])
-                    && self.vp_can_alloc(slot, &vp_reserved)
-            };
-            // A waiting µop that does not issue this iteration keeps a
-            // reservation on its destination subset for the rest of the
-            // scan (VP only).
-            let reserve = |rob: &VecDeque<Slot>,
-                           vp_reserved: &mut [Vec<usize>; 2],
-                           i: usize,
-                           cfg: &SimConfig| {
-                if self.vp.is_none() {
-                    return;
-                }
-                let slot = &rob[i];
-                if slot.state != SlotState::Waiting {
-                    return;
-                }
-                if let Some((class, phys)) = slot.dst {
-                    let subset = cfg.renamer.phys_subset_of(class, phys);
-                    let ci = match class {
-                        RegClass::Int => 0,
-                        RegClass::Fp => 1,
-                    };
-                    vp_reserved[ci][subset.index()] += 1;
-                }
+                    && (slot.mem_seq == MEM_NONE
+                        || slot.mem_seq == self.mem_next_issue[slot.thread as usize])
+                    && self.vp_can_alloc(slot, Some(&self.vp_reserved))
             };
             if !ready {
-                reserve(&self.rob, &mut vp_reserved, i, self.cfg);
+                self.vp_reserve_slot(i);
                 continue;
             }
             let (cluster, class) = {
@@ -1285,53 +1428,29 @@ impl<'a> Engine<'a> {
                 (s.cluster as usize, s.class)
             };
             if !self.clusters[cluster].try_issue(class, self.cycle) {
-                reserve(&self.rob, &mut vp_reserved, i, self.cfg);
+                self.vp_reserve_slot(i);
                 continue;
             }
 
-            // Compute completion.
-            let (lat, forwarded) = self.exec_latency(i);
-            if forwarded {
-                self.store_forwards += 1;
-            }
-            let slot = &mut self.rob[i];
-            slot.done_cycle = self.cycle + u64::from(lat);
-            if let Some((entries, _)) = self.timeline.as_mut() {
-                if let Some(e) = entries.get_mut(slot.seq as usize) {
-                    e.issue = self.cycle;
-                    e.complete = slot.done_cycle;
-                }
-            }
-            if slot.mem_seq.is_some() {
-                self.mem_next_issue[slot.thread as usize] += 1;
-            }
-            if let Some((class, phys)) = slot.dst {
-                dest_updates.push((class, phys, slot.done_cycle));
+            self.complete_issue(i);
+            let dst = self.rob[i].dst;
+            if dst.is_some() {
                 if let Some(vp) = self.vp.as_mut() {
-                    let subset = self.cfg.renamer.phys_subset_of(class, phys);
-                    let ci = match class {
-                        RegClass::Int => 0,
-                        RegClass::Fp => 1,
-                    };
-                    vp.used[ci][subset.index()] += 1;
+                    let subset = self
+                        .cfg
+                        .renamer
+                        .phys_subset_of(dst.class(), dst.phys() as u32);
+                    vp.used[dst.class_index()][subset.index()] += 1;
                 }
             }
-            if slot.mispredicted {
-                let resume =
-                    (slot.done_cycle + 1).max(slot.fetch_cycle + self.cfg.min_mispredict_penalty);
-                redirects.push((slot.thread as usize, slot.fetch_id, resume));
-            }
-            slot.state = SlotState::Done; // completion is timestamped
         }
 
-        for (class, phys, done) in dest_updates {
-            self.reg_class_mut(class)[phys as usize].avail = done;
+        for k in 0..self.dest_updates.len() {
+            let (dst, done) = self.dest_updates[k];
+            self.reg_info[dst.class_index()][dst.phys()].avail = done;
         }
-        for (tid, fetch_id, resume) in redirects {
-            if self.redirects[tid] == Redirect::WaitingResolve(fetch_id) {
-                self.redirects[tid] = Redirect::WaitingCycle(resume);
-            }
-        }
+        self.dest_updates.clear();
+        self.apply_redirects();
         self.vp_watch();
     }
 
@@ -1345,16 +1464,12 @@ impl<'a> Engine<'a> {
         if self.vp.is_none() {
             return;
         }
-        let no_reservations: [Vec<usize>; 2] = [
-            vec![0; self.cfg.renamer.subsets],
-            vec![0; self.cfg.renamer.subsets],
-        ];
         let blocked = match self.rob.front() {
-            Some(head) if head.state == SlotState::Waiting => {
-                if self.vp_can_alloc(head, &no_reservations) {
+            Some(head) if !head.is_done() => {
+                if self.vp_can_alloc(head, None) || !head.dst.is_some() {
                     None
                 } else {
-                    head.dst.map(|(class, phys)| (head.seq, class, phys))
+                    Some((head.seq, head.dst.class(), head.dst.phys() as u32))
                 }
             }
             _ => None,
@@ -1378,45 +1493,40 @@ impl<'a> Engine<'a> {
 
     fn vp_recover(&mut self, class: RegClass, stuck: Subset) {
         use std::collections::HashSet;
-        let ci = match class {
-            RegClass::Int => 0,
-            RegClass::Fp => 1,
-        };
+        let ci = class_index(class);
         // Tags that in-flight µops still reference (as sources, pending
         // destinations, or mappings to be freed at commit) cannot move.
+        // (Cold path — a recovery already costs a pipeline refill — so a
+        // transient set is fine here.)
         let mut pinned: HashSet<u32> = HashSet::new();
         for slot in &self.rob {
-            for s in slot.srcs.iter().flatten() {
-                if s.class == class {
-                    pinned.insert(s.phys);
+            for s in slot.srcs {
+                if s.is_some() && s.class_index() == ci {
+                    pinned.insert(s.phys() as u32);
                 }
             }
-            if let Some((c, p)) = slot.dst {
-                if c == class {
-                    pinned.insert(p);
-                }
+            if slot.dst.is_some() && slot.dst.class_index() == ci {
+                pinned.insert(slot.dst.phys() as u32);
+                // The old mapping shares the destination's class.
+                pinned.insert(slot.old_phys);
             }
-            if let Some((c, m)) = slot.old_mapping {
-                if c == class {
-                    pinned.insert(m.phys.0);
+        }
+        let mut victims = std::mem::take(&mut self.victims_buf);
+        victims.clear();
+        for tid in 0..self.cfg.threads {
+            for (l, m) in self.renamer.map_table_for(tid, class).iter() {
+                if m.subset == stuck
+                    && !pinned.contains(&m.phys.0)
+                    && self.reg_class(class)[m.phys.0 as usize].avail != IN_FLIGHT
+                {
+                    victims.push((tid, l));
                 }
             }
         }
-        let victims: Vec<(usize, usize)> = (0..self.cfg.threads)
-            .flat_map(|tid| {
-                self.renamer
-                    .map_table_for(tid, class)
-                    .iter()
-                    .filter(|(_, m)| m.subset == stuck && !pinned.contains(&m.phys.0))
-                    .filter(|(_, m)| self.reg_class(class)[m.phys.0 as usize].avail != IN_FLIGHT)
-                    .map(|(l, _)| (tid, l))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
         let done_at = self.cycle + self.cfg.min_mispredict_penalty;
         let subsets = self.cfg.renamer.subsets;
         let mut moved = 0;
-        for (tid, logical) in victims {
+        for &(tid, logical) in &victims {
             if moved >= self.cfg.fetch_width {
                 break;
             }
@@ -1438,12 +1548,14 @@ impl<'a> Engine<'a> {
                     avail: done_at,
                     cluster: new.subset.0 % self.cfg.clusters as u8,
                     from_load: false,
+                    wake_head: LINK_NONE,
                 };
                 moved += 1;
             } else {
                 break;
             }
         }
+        self.victims_buf = victims;
         if moved > 0 {
             self.dispatch_frozen_until = self.dispatch_frozen_until.max(done_at);
             self.recoveries += 1;
@@ -1455,8 +1567,8 @@ impl<'a> Engine<'a> {
     fn exec_latency(&mut self, i: usize) -> (u32, bool) {
         let slot = &self.rob[i];
         let slow_read = self.reg_cache_penalty(slot);
-        if slot.is_load {
-            let addr = slot.eff_addr.expect("loads have addresses");
+        if slot.is_load() {
+            let addr = slot.eff_addr;
             match self.store_queues[slot.thread as usize].query(slot.seq, addr) {
                 StoreQueueQuery::ForwardFrom(_) => (latency::LOAD_LATENCY + slow_read, true),
                 StoreQueueQuery::NoConflict => {
@@ -1475,8 +1587,11 @@ impl<'a> Engine<'a> {
         let Some(rc) = self.cfg.reg_cache else {
             return 0;
         };
-        let stale = slot.srcs.iter().flatten().any(|s| {
-            let info = self.reg_class(s.class)[s.phys as usize];
+        let stale = slot.srcs.iter().any(|s| {
+            if !s.is_some() {
+                return false;
+            }
+            let info = self.reg_info[s.class_index()][s.phys()];
             info.avail != IN_FLIGHT && self.cycle.saturating_sub(info.avail) > rc.retention_cycles
         });
         if stale {
@@ -2335,6 +2450,47 @@ mod tests {
             e.run_inner(traces, 0, None)
         };
         assert_eq!(format!("{:?}", run(false)), format!("{:?}", run(true)));
+    }
+
+    /// Completion delays beyond the calendar wheel's ring take the
+    /// overflow path; an inflated L2 penalty forces dependent loads well
+    /// past the horizon and the result must still match the scan exactly.
+    #[test]
+    fn event_scheduler_overflow_matches_scan() {
+        let mut cfg = SimConfig::conventional_rr(256);
+        cfg.hierarchy.l2_miss_penalty = 5000;
+        assert!(
+            (cfg.scheduler_horizon() as u32) < cfg.hierarchy.l2_miss_penalty,
+            "penalty must exceed the wheel horizon to exercise overflow"
+        );
+        // Pointer-stride loads: every access touches a fresh L1/L2 set, and
+        // the dependent add waits the full (beyond-horizon) miss latency.
+        let mut a = Assembler::new();
+        let (b, x, acc, i, n) = (
+            Reg::new(1),
+            Reg::new(2),
+            Reg::new(3),
+            Reg::new(60),
+            Reg::new(61),
+        );
+        a.li(b, 0);
+        a.li(acc, 0);
+        a.li(i, 0);
+        a.li(n, 120);
+        let top = a.bind_label();
+        a.lw(x, b, 0);
+        a.add(acc, acc, x);
+        a.addi(b, b, 8192);
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        a.halt();
+        let prog = a.assemble();
+        let event = Engine::new(&cfg).run(Emulator::new(prog.clone(), 1 << 20), 0);
+        let mut oracle = Engine::new(&cfg);
+        oracle.force_scan = true;
+        let scan = oracle.run(Emulator::new(prog, 1 << 20), 0);
+        assert!(event.memory.l2.misses > 50, "kernel must actually miss L2");
+        assert_eq!(format!("{event:?}"), format!("{scan:?}"));
     }
 
     /// Telemetry must observe, never perturb: the same run with and

@@ -1,0 +1,225 @@
+//! A fixed-horizon calendar wheel for the event scheduler.
+//!
+//! The event-driven issue path books each µop for the cycle its operands
+//! become usable. Almost every booking lands within a small, statically
+//! bounded distance of the current cycle (worst-case operand latency plus
+//! forwarding), so a ring of `horizon` buckets indexed by `cycle & mask`
+//! serves them with no per-event allocation and O(1) schedule/drain. The
+//! rare booking beyond the horizon (L2 bus queuing under a miss burst, or
+//! stress configurations with inflated penalties) goes to a plain overflow
+//! vector that is only scanned once its earliest entry comes due.
+//!
+//! The wheel requires its user to drain **every** cycle in order — the
+//! engine's main loop advances `cycle` by exactly one per iteration — so a
+//! ring bucket is unambiguous: among the undrained cycles
+//! `[base, base + horizon)` no two share an index.
+
+/// Calendar wheel: `schedule(due, seq)` then `drain_due(cycle, out)` once
+/// per cycle with consecutive `cycle` values.
+#[derive(Clone, Debug)]
+pub struct CalendarWheel {
+    /// Ring of buckets; `buckets[due & mask]` holds the seqs due then.
+    buckets: Vec<Vec<u64>>,
+    mask: u64,
+    /// Next cycle to drain; all ring entries are due in
+    /// `[base, base + horizon)`.
+    base: u64,
+    /// Bookings beyond the horizon: `(due, seq)`, unsorted.
+    overflow: Vec<(u64, u64)>,
+    /// Earliest due cycle in `overflow` (`u64::MAX` when empty), so the
+    /// drain path touches the vector only when something is actually due.
+    overflow_min: u64,
+    /// Events currently booked (ring + overflow).
+    len: usize,
+}
+
+impl CalendarWheel {
+    /// Creates a wheel with `horizon` ring buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `horizon` is a power of two (ring indexing is a mask).
+    #[must_use]
+    pub fn new(horizon: usize) -> Self {
+        assert!(horizon.is_power_of_two() && horizon >= 2);
+        CalendarWheel {
+            buckets: vec![Vec::new(); horizon],
+            mask: horizon as u64 - 1,
+            base: 0,
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            len: 0,
+        }
+    }
+
+    /// Ring capacity in cycles.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Events booked and not yet drained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no event is booked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Books `seq` for cycle `due`. `due` must not precede the next drain
+    /// cycle, or the event would never fire.
+    pub fn schedule(&mut self, due: u64, seq: u64) {
+        debug_assert!(
+            due >= self.base,
+            "due {due} before drain base {}",
+            self.base
+        );
+        if due - self.base < self.buckets.len() as u64 {
+            self.buckets[(due & self.mask) as usize].push(seq);
+        } else {
+            self.overflow.push((due, seq));
+            self.overflow_min = self.overflow_min.min(due);
+        }
+        self.len += 1;
+    }
+
+    /// Appends every seq due at exactly `cycle` to `out` and advances the
+    /// wheel. Within-cycle order is unspecified — callers that need a
+    /// deterministic order must sort. Steady state allocates nothing:
+    /// drained buckets keep their capacity.
+    pub fn drain_due(&mut self, cycle: u64, out: &mut Vec<u64>) {
+        debug_assert_eq!(cycle, self.base, "wheel drained out of order");
+        self.base = cycle + 1;
+        let bucket = &mut self.buckets[(cycle & self.mask) as usize];
+        self.len -= bucket.len();
+        out.append(bucket);
+        if self.overflow_min <= cycle {
+            let mut min = u64::MAX;
+            let mut k = 0;
+            while k < self.overflow.len() {
+                let (due, seq) = self.overflow[k];
+                if due <= cycle {
+                    debug_assert_eq!(due, cycle, "overflow entry missed its cycle");
+                    out.push(seq);
+                    self.len -= 1;
+                    self.overflow.swap_remove(k);
+                } else {
+                    min = min.min(due);
+                    k += 1;
+                }
+            }
+            self.overflow_min = min;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drained(w: &mut CalendarWheel, cycle: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        w.drain_due(cycle, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn delivers_at_exact_cycle() {
+        let mut w = CalendarWheel::new(8);
+        w.schedule(3, 30);
+        w.schedule(1, 10);
+        w.schedule(3, 31);
+        assert_eq!(w.len(), 3);
+        assert_eq!(drained(&mut w, 0), vec![]);
+        assert_eq!(drained(&mut w, 1), vec![10]);
+        assert_eq!(drained(&mut w, 2), vec![]);
+        assert_eq!(drained(&mut w, 3), vec![30, 31]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_across_many_horizons() {
+        let mut w = CalendarWheel::new(4);
+        let mut hits = Vec::new();
+        for cycle in 0..64 {
+            // Book one event `horizon - 1` ahead every cycle.
+            w.schedule(cycle + 3, cycle);
+            let mut out = Vec::new();
+            w.drain_due(cycle, &mut out);
+            hits.extend(out);
+        }
+        // Event booked at cycle c fires at c + 3.
+        assert_eq!(hits, (0..61).collect::<Vec<_>>());
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn overflow_round_trips_beyond_horizon() {
+        let mut w = CalendarWheel::new(8);
+        // Far beyond the 8-cycle horizon: must take the overflow path and
+        // still fire at exactly the booked cycle.
+        w.schedule(100, 7);
+        w.schedule(23, 5);
+        w.schedule(2, 1);
+        assert_eq!(w.len(), 3);
+        let mut fired = Vec::new();
+        for cycle in 0..=100 {
+            let mut out = Vec::new();
+            w.drain_due(cycle, &mut out);
+            for seq in out {
+                fired.push((cycle, seq));
+            }
+        }
+        assert_eq!(fired, vec![(2, 1), (23, 5), (100, 7)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_and_ring_share_a_cycle() {
+        let mut w = CalendarWheel::new(4);
+        w.schedule(40, 2); // overflow
+        for cycle in 0..38 {
+            let mut out = Vec::new();
+            w.drain_due(cycle, &mut out);
+            assert!(out.is_empty());
+        }
+        w.schedule(40, 1); // now within the ring
+        assert_eq!(drained(&mut w, 38), vec![]);
+        assert_eq!(drained(&mut w, 39), vec![]);
+        assert_eq!(drained(&mut w, 40), vec![1, 2]);
+    }
+
+    #[test]
+    fn steady_state_does_not_grow_capacity() {
+        let mut w = CalendarWheel::new(8);
+        let mut out = Vec::with_capacity(4);
+        // Warm one lap of the ring.
+        for cycle in 0..8 {
+            w.schedule(cycle + 1, cycle);
+            out.clear();
+            w.drain_due(cycle, &mut out);
+        }
+        let caps: Vec<usize> = w.buckets.iter().map(Vec::capacity).collect();
+        for cycle in 8..80 {
+            w.schedule(cycle + 1, cycle);
+            out.clear();
+            w.drain_due(cycle, &mut out);
+        }
+        assert_eq!(
+            caps,
+            w.buckets.iter().map(Vec::capacity).collect::<Vec<_>>(),
+            "bucket capacities must be stable in steady state"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_horizon_rejected() {
+        let _ = CalendarWheel::new(6);
+    }
+}

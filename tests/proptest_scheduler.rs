@@ -1,0 +1,77 @@
+//! Differential property test for the allocation-free event scheduler:
+//! random (workload-slice × config × policy) triples must produce a
+//! `Report` identical to the retained O(window) ROB-scan oracle. The
+//! event engine (calendar wheel + intrusive waiter lists) is a pure
+//! restructuring of *when* readiness is discovered, never of what issues
+//! — so any divergence, down to a single stall counter, is a bug.
+
+use proptest::prelude::*;
+use wsrs::core::{AllocPolicy, SimConfig, Simulator};
+use wsrs::isa::DynInst;
+use wsrs::regfile::RenameStrategy;
+use wsrs::workloads::Workload;
+
+/// The machine classes the event scheduler serves (virtual-physical
+/// configurations stay on the scan by construction, so they are not
+/// interesting here).
+fn config_pool() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("conv-rr-256", SimConfig::conventional_rr(256)),
+        ("mono-256", SimConfig::monolithic(256)),
+        (
+            "wsrr-512",
+            SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount),
+        ),
+        (
+            "pooled-512",
+            SimConfig::pooled_write_specialized(512, RenameStrategy::ExactCount),
+        ),
+        (
+            "wsrs-rm-512",
+            SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
+        ),
+        (
+            "wsrs-rc-384",
+            SimConfig::wsrs(
+                384,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::Recycling,
+            ),
+        ),
+        (
+            "wsrs-lb-512",
+            SimConfig::wsrs(512, AllocPolicy::LoadBalance, RenameStrategy::Recycling),
+        ),
+    ]
+}
+
+fn slice(w: Workload, len: usize) -> Vec<DynInst> {
+    w.trace().take(len).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn event_engine_matches_scan_oracle(
+        widx in 0usize..12,
+        cidx in 0usize..7,
+        len in 1_000usize..8_000,
+        warmup_frac in 0u64..4,
+    ) {
+        let w = Workload::all()[widx];
+        let (name, cfg) = config_pool().swap_remove(cidx);
+        let trace = slice(w, len);
+        let warmup = warmup_frac * len as u64 / 8;
+        let measure = len as u64 - warmup;
+        let sim = Simulator::new(cfg);
+        let event = sim.run_measured(trace.iter().copied(), warmup, measure);
+        let oracle = sim.run_measured_scan_oracle(trace.iter().copied(), warmup, measure);
+        prop_assert_eq!(
+            format!("{event:?}"),
+            format!("{oracle:?}"),
+            "schedulers diverge on {} × {:?} (len {}, warmup {})",
+            name, w, len, warmup
+        );
+    }
+}
