@@ -1,0 +1,69 @@
+//! Criterion bench: the batched lockstep engine versus N scalar runs.
+//!
+//! `batch/lockstep/N` simulates the first N configurations of a sibling
+//! family over one shared annotated trace with [`wsrs_core::run_lockstep`];
+//! `batch/scalar/N` runs the same N (trace, configuration) cells
+//! back-to-back through the scalar engine. Both report throughput in
+//! µops/s over N × [`BENCH_UOPS`] elements, so the lockstep win (one trace
+//! walk + one predictor pass fanned out to every lane) reads directly off
+//! the throughput ratio at each N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsrs_bench::windows::BENCH_UOPS as UOPS;
+use wsrs_core::{run_lockstep, AllocPolicy, SimConfig, Simulator};
+use wsrs_regfile::RenameStrategy;
+use wsrs_workloads::Workload;
+
+/// Eight sibling configurations in the shapes Figure 4/5 columns take:
+/// single-threaded, VP-free, one common predictor. Lane counts below
+/// take prefixes of this list.
+fn family() -> Vec<SimConfig> {
+    vec![
+        SimConfig::conventional_rr(256),
+        SimConfig::wsrs(
+            512,
+            AllocPolicy::RandomCommutative,
+            RenameStrategy::ExactCount,
+        ),
+        SimConfig::write_specialized_rr(512, RenameStrategy::ExactCount),
+        SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
+        SimConfig::wsrs(
+            384,
+            AllocPolicy::RandomCommutative,
+            RenameStrategy::ExactCount,
+        ),
+        SimConfig::conventional_rr(512),
+        SimConfig::wsrs(512, AllocPolicy::LoadBalance, RenameStrategy::ExactCount),
+        SimConfig::write_specialized_rr(384, RenameStrategy::ExactCount),
+    ]
+}
+
+fn batch_vs_scalar(c: &mut Criterion) {
+    let trace: Vec<_> = Workload::Crafty.trace().take(UOPS as usize).collect();
+    let family = family();
+    let mut g = c.benchmark_group("batch");
+    g.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        let lanes = &family[..n];
+        g.throughput(Throughput::Elements(UOPS * n as u64));
+        g.bench_with_input(BenchmarkId::new("lockstep", n), &lanes, |b, lanes| {
+            b.iter(|| run_lockstep(lanes, &trace, 0, UOPS));
+        });
+        g.bench_with_input(BenchmarkId::new("scalar", n), &lanes, |b, lanes| {
+            b.iter(|| {
+                lanes
+                    .iter()
+                    .map(|cfg| {
+                        Simulator::new(*cfg)
+                            .run_measured(trace.iter().copied(), 0, UOPS)
+                            .cycles
+                    })
+                    .sum::<u64>()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, batch_vs_scalar);
+criterion_main!(benches);

@@ -10,12 +10,11 @@
 use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsrs_bench::windows::BENCH_UOPS as UOPS;
 use wsrs_core::{AllocPolicy, CalendarWheel, SimConfig, Simulator};
 use wsrs_isa::latency;
 use wsrs_regfile::RenameStrategy;
 use wsrs_workloads::Workload;
-
-const UOPS: u64 = 100_000;
 
 /// Per-event delays from a recorded trace: µop `i` completes
 /// `latency::of(class)` cycles after it is booked, eight bookings per

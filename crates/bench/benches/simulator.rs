@@ -4,11 +4,10 @@
 //! three machine classes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsrs_bench::windows::BENCH_UOPS as UOPS;
 use wsrs_core::{AllocPolicy, SimConfig, Simulator};
 use wsrs_regfile::RenameStrategy;
 use wsrs_workloads::Workload;
-
-const UOPS: u64 = 100_000;
 
 fn sim_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");

@@ -59,8 +59,8 @@ fn sweep(
     let run = run_grid(&SUBSET, &refs, params, &|_, _, _, _| {});
     provenance.absorb(run.provenance);
     for (w, reports) in SUBSET.iter().zip(&run.reports) {
-        for ((name, cfg), r) in refs.iter().zip(reports) {
-            cells.push(cell_record(*w, name, cfg, r));
+        for (ci, ((name, cfg), r)) in refs.iter().zip(reports).enumerate() {
+            cells.push(cell_record(*w, name, cfg, r, run.batched[ci]));
         }
     }
     let rows: Vec<(String, Vec<f64>)> = SUBSET

@@ -88,6 +88,7 @@ fn main() {
         grid_threads(),
         t0.elapsed().as_secs_f64(),
         grid,
+        &run.batched,
         Some(&run.provenance),
     );
     match write_manifest(&m, &artifacts_dir()) {

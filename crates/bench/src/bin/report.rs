@@ -23,7 +23,7 @@ use wsrs_bench::manifest::{
     artifacts_dir, baseline_path, grid_manifest, load_baseline, repo_root, telemetry_on,
     write_manifest,
 };
-use wsrs_bench::windows::gate_params;
+use wsrs_bench::windows::{gate_params, probe_params};
 use wsrs_bench::{
     default_trace_store, figure4_configs, grid_threads, run_grid_full, run_grid_with_threads,
     RunParams,
@@ -92,6 +92,16 @@ fn run_experiment(
             eprintln!("  {:<8} {:<14} ipc {:>6.3}", w.name(), name, r.ipc());
         },
     );
+    let lanes = run.batched.iter().filter(|&&b| b).count();
+    if lanes > 0 {
+        eprintln!(
+            "{experiment}: path: lockstep batch ({lanes} lane(s)/workload, \
+             {} scalar cell(s))",
+            configs.len() - lanes
+        );
+    } else {
+        eprintln!("{experiment}: path: scalar (batching off or incompatible configs)");
+    }
     grid_manifest(
         experiment,
         workloads,
@@ -100,6 +110,7 @@ fn run_experiment(
         threads,
         t0.elapsed().as_secs_f64(),
         &run.reports,
+        &run.batched,
         Some(&run.provenance),
     )
 }
@@ -123,10 +134,7 @@ fn determinism_drift(params: RunParams) -> Option<String> {
         .take(2)
         .map(|(n, c)| (n, telemetry_on(&c)))
         .collect();
-    let probe = RunParams {
-        warmup: params.warmup.min(50_000),
-        measure: params.measure.min(100_000),
-    };
+    let probe = probe_params(params);
     let run = |threads: usize| {
         let grid = run_grid_with_threads(&workloads, &configs, probe, threads, &|_, _, _, _| {});
         grid_manifest(
@@ -136,7 +144,8 @@ fn determinism_drift(params: RunParams) -> Option<String> {
             probe,
             threads,
             0.0,
-            &grid,
+            &grid.reports,
+            &grid.batched,
             None,
         )
         .normalized_json_string()

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use wsrs_core::{AllocPolicy, Report, SimConfig, Simulator};
+use wsrs_core::{lockstep_compatible, run_lockstep, AllocPolicy, Report, SimConfig, Simulator};
 use wsrs_isa::DynInst;
 use wsrs_regfile::RenameStrategy;
 use wsrs_trace::{TraceKey, TraceStore};
@@ -505,8 +505,64 @@ pub fn grid_threads() -> usize {
 pub struct GridRun {
     /// Reports indexed `[workload][configuration]`.
     pub reports: Vec<Vec<Report>>,
+    /// Whether each *configuration column* ran on the batched lockstep
+    /// path ([`wsrs_core::run_lockstep`]) rather than cell-at-a-time
+    /// scalar simulation. Uniform across workload rows — the batch plan
+    /// depends only on the configurations — and recorded per cell in the
+    /// run manifest as execution provenance. Either path yields
+    /// bit-identical reports.
+    pub batched: Vec<bool>,
     /// Per-workload trace origins and cache counters for this run.
     pub provenance: TraceProvenance,
+}
+
+/// One schedulable unit of grid work under one workload's trace, claimed
+/// atomically by exactly one worker.
+enum WorkUnit {
+    /// ≥ 2 compatible configuration columns simulated together by one
+    /// [`wsrs_core::run_lockstep`] call over the shared trace.
+    Batch(Vec<usize>),
+    /// One configuration column simulated by the scalar engine.
+    Scalar(usize),
+}
+
+/// Whether grid batching is enabled: on by default, `WSRS_BATCH=0`
+/// forces every cell down the scalar path (reports are bit-identical
+/// either way; the switch exists for A/B timing and debugging).
+#[must_use]
+pub fn batching_enabled() -> bool {
+    std::env::var("WSRS_BATCH").map_or(true, |v| v != "0")
+}
+
+/// Partitions a grid's configuration columns into work units. Columns
+/// that can share a lockstep batch — single-threaded, no virtual-physical
+/// registers, same predictor (see [`wsrs_core::lockstep_compatible`]) —
+/// are grouped by predictor kind; everything else, and any group of one,
+/// runs scalar. The plan depends only on the configurations, so the same
+/// plan serves every workload row.
+fn plan_units(configs: &[(&str, SimConfig)], batching: bool) -> Vec<WorkUnit> {
+    let mut units = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, (_, cfg)) in configs.iter().enumerate() {
+        if !batching || !lockstep_compatible(std::slice::from_ref(cfg)) {
+            units.push(WorkUnit::Scalar(i));
+        } else if let Some(g) = groups
+            .iter_mut()
+            .find(|g| configs[g[0]].1.predictor == cfg.predictor)
+        {
+            g.push(i);
+        } else {
+            groups.push(vec![i]);
+        }
+    }
+    for g in groups {
+        if g.len() >= 2 {
+            units.push(WorkUnit::Batch(g));
+        } else {
+            units.push(WorkUnit::Scalar(g[0]));
+        }
+    }
+    units
 }
 
 /// The disk trace store grid experiments use by default:
@@ -524,12 +580,18 @@ pub fn default_trace_store() -> Option<TraceStore> {
 /// Each workload's µop trace is materialized once — replayed from the
 /// [`default_trace_store`] when a valid recording exists, emulated (and
 /// recorded) otherwise — shared across its cells through a
-/// [`TraceCache`], and evicted when its last cell completes. Cells are
-/// fanned across [`grid_threads`] worker threads; because every cell
-/// simulates an identical (trace, configuration) pair in isolation, the
-/// returned grid is byte-identical for any worker count, including the
-/// serial single-thread case, and for replayed vs freshly emulated
-/// traces.
+/// [`TraceCache`], and evicted when its last cell completes. Within a
+/// workload, compatible configuration columns are simulated together on
+/// the batched lockstep path ([`wsrs_core::run_lockstep`]): one pass over
+/// the shared trace, annotated by the family predictor once, drives every
+/// lane of the batch. Work units (batches and leftover scalar cells) are
+/// fanned across [`grid_threads`] worker threads, each unit claimed by
+/// exactly one worker; because every unit simulates its (trace,
+/// configuration) pairs in isolation — and the lockstep path is
+/// bit-identical to scalar by construction — the returned grid is
+/// byte-identical for any worker count (including serial), for replayed
+/// vs freshly emulated traces, and for `WSRS_BATCH=0` (batching
+/// disabled) vs the default batched plan.
 #[must_use]
 pub fn run_grid(
     workloads: &[Workload],
@@ -561,8 +623,8 @@ pub fn run_grid_with_threads(
     params: RunParams,
     threads: usize,
     on_cell: CellHook<'_>,
-) -> Vec<Vec<Report>> {
-    run_grid_full(workloads, configs, params, threads, None, on_cell).reports
+) -> GridRun {
+    run_grid_full(workloads, configs, params, threads, None, on_cell)
 }
 
 /// [`run_grid`] with every knob explicit: worker count (`threads == 1`
@@ -582,33 +644,64 @@ pub fn run_grid_full(
     on_cell: CellHook<'_>,
 ) -> GridRun {
     let n_cells = workloads.len() * configs.len();
-    let cache = TraceCache::evicting(params, configs.len()).with_store(store);
+    let units = plan_units(configs, batching_enabled());
+    let mut batched = vec![false; configs.len()];
+    for u in &units {
+        if let WorkUnit::Batch(g) = u {
+            for &ci in g {
+                batched[ci] = true;
+            }
+        }
+    }
+    let n_units = workloads.len() * units.len();
+    let cache = TraceCache::evicting(params, units.len()).with_store(store);
     let next = AtomicUsize::new(0);
     let cells: Vec<Mutex<Option<Report>>> = (0..n_cells).map(|_| Mutex::new(None)).collect();
 
-    // Workers claim flat cell indices (workload-major, matching the
-    // serial iteration order) until none remain.
+    // Workers claim flat unit indices (workload-major, matching the
+    // serial iteration order) until none remain; a whole lockstep batch
+    // is one claim.
     let worker = || loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= n_cells {
+        if i >= n_units {
             break;
         }
-        let w = workloads[i / configs.len()];
-        let (name, cfg) = &configs[i % configs.len()];
+        let w = workloads[i / units.len()];
+        let row = (i / units.len()) * configs.len();
+        let unit = &units[i % units.len()];
         let trace = cache.checkout(w);
-        let t0 = Instant::now();
-        let report = run_cell_cached(&trace, cfg, params);
-        drop(trace);
-        cache.release(w);
-        on_cell(w, name, &report, t0.elapsed());
-        *cells[i].lock().unwrap() = Some(report);
+        match unit {
+            WorkUnit::Scalar(ci) => {
+                let (name, cfg) = &configs[*ci];
+                let t0 = Instant::now();
+                let report = run_cell_cached(&trace, cfg, params);
+                drop(trace);
+                cache.release(w);
+                on_cell(w, name, &report, t0.elapsed());
+                *cells[row + ci].lock().unwrap() = Some(report);
+            }
+            WorkUnit::Batch(group) => {
+                let family: Vec<SimConfig> = group.iter().map(|&ci| configs[ci].1).collect();
+                let t0 = Instant::now();
+                let reports = run_lockstep(&family, &trace, params.warmup, params.measure);
+                // The batch's wall time is shared; attribute an even
+                // share to each cell so hook-side totals stay meaningful.
+                let per_cell = t0.elapsed() / group.len() as u32;
+                drop(trace);
+                cache.release(w);
+                for (&ci, report) in group.iter().zip(reports) {
+                    on_cell(w, configs[ci].0, &report, per_cell);
+                    *cells[row + ci].lock().unwrap() = Some(report);
+                }
+            }
+        }
     };
-    if threads <= 1 || n_cells <= 1 {
+    if threads <= 1 || n_units <= 1 {
         worker();
     } else {
         std::thread::scope(|s| {
             // The calling thread is worker 0.
-            for _ in 1..threads.min(n_cells) {
+            for _ in 1..threads.min(n_units) {
                 s.spawn(worker);
             }
             worker();
@@ -627,6 +720,7 @@ pub fn run_grid_full(
         .collect();
     GridRun {
         reports,
+        batched,
         provenance: cache.provenance(),
     }
 }
@@ -739,6 +833,49 @@ mod tests {
         // Without the env var, nothing is written.
         std::env::remove_var("WSRS_CSV_DIR");
         assert!(maybe_write_csv("x", "y").is_none());
+    }
+
+    #[test]
+    fn figure4_plans_as_one_lockstep_batch() {
+        let configs = figure4_configs();
+        let units = plan_units(&configs, true);
+        assert_eq!(units.len(), 1, "six sibling configs share one batch");
+        match &units[0] {
+            WorkUnit::Batch(g) => assert_eq!(g, &[0, 1, 2, 3, 4, 5]),
+            WorkUnit::Scalar(_) => panic!("expected a batch unit"),
+        }
+        let scalar = plan_units(&configs, false);
+        assert_eq!(
+            scalar.len(),
+            configs.len(),
+            "batching off: one unit per cell"
+        );
+        assert!(scalar.iter().all(|u| matches!(u, WorkUnit::Scalar(_))));
+    }
+
+    #[test]
+    fn incompatible_columns_fall_back_to_scalar_units() {
+        let mut smt = SimConfig::conventional_rr(256);
+        smt.threads = 2;
+        let mut vp = SimConfig::conventional_rr(256);
+        vp.vp_phys_per_subset = Some(48);
+        let configs = [
+            ("a", SimConfig::conventional_rr(256)),
+            ("smt", smt),
+            ("b", SimConfig::conventional_rr(512)),
+            ("vp", vp),
+        ];
+        let units = plan_units(&configs, true);
+        // smt and vp run scalar; a and b share a batch.
+        assert_eq!(units.len(), 3);
+        let batched: Vec<_> = units
+            .iter()
+            .filter_map(|u| match u {
+                WorkUnit::Batch(g) => Some(g.clone()),
+                WorkUnit::Scalar(_) => None,
+            })
+            .collect();
+        assert_eq!(batched, vec![vec![0, 2]]);
     }
 
     #[test]

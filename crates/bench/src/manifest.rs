@@ -53,9 +53,16 @@ pub fn telemetry_on(cfg: &SimConfig) -> SimConfig {
     c
 }
 
-/// Builds the manifest cell for one finished (workload, config) run.
+/// Builds the manifest cell for one finished (workload, config) run;
+/// `batched` records whether the cell ran on the lockstep batch path.
 #[must_use]
-pub fn cell_record(w: Workload, config_name: &str, cfg: &SimConfig, r: &Report) -> CellRecord {
+pub fn cell_record(
+    w: Workload,
+    config_name: &str,
+    cfg: &SimConfig,
+    r: &Report,
+    batched: bool,
+) -> CellRecord {
     CellRecord {
         workload: w.name().to_string(),
         config: config_name.to_string(),
@@ -74,6 +81,7 @@ pub fn cell_record(w: Workload, config_name: &str, cfg: &SimConfig, r: &Report) 
         l1_miss_rate: r.memory.l1.miss_rate(),
         l2_miss_rate: r.memory.l2.miss_rate(),
         store_forwards: r.store_forwards,
+        batched,
         attribution: r.attribution.clone(),
     }
 }
@@ -81,7 +89,9 @@ pub fn cell_record(w: Workload, config_name: &str, cfg: &SimConfig, r: &Report) 
 /// Assembles a finished grid into a manifest. Cells are workload-major,
 /// matching [`run_grid`](crate::run_grid)'s result order, so the manifest
 /// (after [`RunManifest::normalized_json_string`]) is byte-identical for
-/// any worker count.
+/// any worker count. `batched` holds the grid's per-configuration
+/// execution path ([`GridRun::batched`](crate::GridRun)); pass an empty
+/// slice for grids known to have run scalar.
 #[must_use]
 #[allow(clippy::too_many_arguments)] // one flat record per manifest field group
 pub fn grid_manifest(
@@ -92,12 +102,19 @@ pub fn grid_manifest(
     workers: usize,
     wall_secs: f64,
     grid: &[Vec<Report>],
+    batched: &[bool],
     provenance: Option<&TraceProvenance>,
 ) -> RunManifest {
     let mut cells = Vec::with_capacity(workloads.len() * configs.len());
     for (w, row) in workloads.iter().zip(grid) {
-        for ((name, cfg), r) in configs.iter().zip(row) {
-            cells.push(cell_record(*w, name, cfg, r));
+        for (ci, ((name, cfg), r)) in configs.iter().zip(row).enumerate() {
+            cells.push(cell_record(
+                *w,
+                name,
+                cfg,
+                r,
+                batched.get(ci).copied().unwrap_or(false),
+            ));
         }
     }
     let (traces, trace_cache) = provenance.map_or((Vec::new(), None), |p| {
@@ -178,9 +195,22 @@ mod tests {
             warmup: 5_000,
             measure: 10_000,
         };
-        let grid = run_grid_with_threads(&workloads, &configs, params, 1, &|_, _, _, _| {});
-        let m = grid_manifest("unit", &workloads, &configs, params, 1, 0.25, &grid, None);
+        let run = run_grid_with_threads(&workloads, &configs, params, 1, &|_, _, _, _| {});
+        let m = grid_manifest(
+            "unit",
+            &workloads,
+            &configs,
+            params,
+            1,
+            0.25,
+            &run.reports,
+            &run.batched,
+            None,
+        );
         assert_eq!(m.cells.len(), 2);
+        // Two sibling single-threaded configs share one lockstep batch,
+        // and the manifest records that provenance per cell.
+        assert!(m.cells.iter().all(|c| c.batched));
         assert!(m.cells[0].attribution.is_none());
         let attr = m.cells[1].attribution.as_ref().expect("telemetry on");
         assert!(attr.conserved());

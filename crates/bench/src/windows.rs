@@ -33,6 +33,16 @@ pub const MIX_MEASURE: u64 = 500_000;
 /// clear every kernel's initialization inside the measured stream.
 pub const SMT_PER_THREAD: u64 = 1_500_000;
 
+/// µops per Criterion micro-bench iteration (`simulator`, `scheduler`,
+/// `batch`): long enough that steady-state throughput dominates engine
+/// setup, short enough for a tolerable sample time.
+pub const BENCH_UOPS: u64 = 100_000;
+
+/// Warm-up cap for the regression gate's determinism probe.
+pub const PROBE_WARMUP_CAP: u64 = 50_000;
+/// Measured-window cap for the regression gate's determinism probe.
+pub const PROBE_MEASURE_CAP: u64 = 100_000;
+
 /// The `mix` binary's fixed window.
 #[must_use]
 pub fn mix_params() -> RunParams {
@@ -66,6 +76,17 @@ pub fn gate_params() -> RunParams {
     RunParams {
         warmup: get("WSRS_GATE_WARMUP", GATE_WARMUP),
         measure: get("WSRS_GATE_MEASURE", GATE_MEASURE),
+    }
+}
+
+/// The gate's determinism-probe window: the gate window capped at
+/// [`PROBE_WARMUP_CAP`] + [`PROBE_MEASURE_CAP`], so the probe stays cheap
+/// even under paper-scale `WSRS_GATE_*` overrides.
+#[must_use]
+pub fn probe_params(gate: RunParams) -> RunParams {
+    RunParams {
+        warmup: gate.warmup.min(PROBE_WARMUP_CAP),
+        measure: gate.measure.min(PROBE_MEASURE_CAP),
     }
 }
 

@@ -51,6 +51,7 @@ fn normalized(run: &GridRun) -> String {
         1,
         0.0,
         &run.reports,
+        &run.batched,
         Some(&run.provenance),
     )
     .normalized_json_string()

@@ -42,14 +42,17 @@
 //! ```
 
 pub mod alloc;
+pub mod batch;
 pub mod cluster;
 pub mod config;
 pub mod metrics;
 pub mod pipeview;
 pub mod sim;
+mod slots;
 pub mod wheel;
 
 pub use alloc::{AllocPolicy, ClusterChoice};
+pub use batch::{lockstep_compatible, run_lockstep};
 pub use cluster::{ClusterId, FuKind, Resources};
 pub use config::{FastForward, RegCache, RegFileMode, SimConfig, SimConfigBuilder};
 pub use metrics::{Report, UnbalanceTracker};

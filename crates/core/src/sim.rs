@@ -20,6 +20,14 @@
 //!
 //! Because only the correct path is fetched, mispredictions are pure
 //! timing events and no squash machinery exists anywhere in the engine.
+//!
+//! The engine advances through [`Engine::step`] — exactly one cycle per
+//! call — so a driver can interleave many engines over one trace (the
+//! batched lockstep path, [`crate::batch`]). Front-end direction
+//! prediction lives behind [`FetchStream`]: prediction depends only on
+//! trace order, never on timing, so the batched driver annotates a shared
+//! trace once and fans the per-µop outcomes out to every lane, while the
+//! scalar path predicts inline as it pulls from its iterator.
 
 use std::collections::VecDeque;
 
@@ -28,31 +36,21 @@ use crate::cluster::ClusterState;
 use crate::config::{RegFileMode, SimConfig};
 use crate::metrics::{Report, StallBreakdown, UnbalanceTracker};
 use crate::pipeview::UopTiming;
+use crate::slots::{
+    class_index, PackedReg, Rob, SlotPush, F_LOAD, F_MISPREDICTED, F_STORE, LINK_NONE,
+};
 use crate::wheel::CalendarWheel;
 use wsrs_frontend::DirectionPredictor;
-use wsrs_isa::{latency, DynInst, OpClass, RegClass};
+use wsrs_isa::{latency, DynInst, RegClass};
 use wsrs_mem::{MemoryHierarchy, StoreQueue, StoreQueueQuery};
-use wsrs_regfile::{DeadlockMonitor, Mapping, PhysReg, Renamer, Subset};
+use wsrs_regfile::{DeadlockMonitor, Renamer, Subset};
 use wsrs_telemetry::{CycleAttribution, SlotBucket};
 
 /// Sentinel for "value not yet produced".
 const IN_FLIGHT: u64 = u64::MAX;
 
-/// Sentinel for "not a memory µop" in [`Slot::mem_seq`].
+/// Sentinel for "not a memory µop" in the window's `mem_seq` lane.
 const MEM_NONE: u64 = u64::MAX;
-
-/// Null link in the intrusive per-register waiter lists. A live link packs
-/// `(seq << 1) | src_index`.
-const LINK_NONE: u64 = u64::MAX;
-
-/// Index of a register class in class-indexed pairs (`reg_info`,
-/// `vp_reserved`).
-fn class_index(class: RegClass) -> usize {
-    match class {
-        RegClass::Int => 0,
-        RegClass::Fp => 1,
-    }
-}
 
 /// Cycles of continuous blocked-and-empty rename before declaring
 /// deadlock. With an empty window nothing can commit, so the only registers
@@ -61,109 +59,71 @@ fn class_index(class: RegClass) -> usize {
 /// cycles prove the wedge.
 const DEADLOCK_THRESHOLD: u64 = 16;
 
-// Slot flag bits.
-const F_DONE: u8 = 1 << 0;
-const F_LOAD: u8 = 1 << 1;
-const F_STORE: u8 = 1 << 2;
-const F_MISPREDICTED: u8 = 1 << 3;
-
-/// A register operand (or destination) packed into one word:
-/// `phys | class_index << 30`, with `u32::MAX` as the "absent" niche —
-/// valid encodings never set bit 31, since physical indices stay far below
-/// 2^30 (the largest budget, virtual-physical tag space, is 16 K).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct PackedReg(u32);
-
-impl PackedReg {
-    const NONE: PackedReg = PackedReg(u32::MAX);
-
-    fn new(class: RegClass, phys: u32) -> Self {
-        debug_assert!(phys < 1 << 30);
-        PackedReg(phys | ((class_index(class) as u32) << 30))
-    }
-
-    fn is_some(self) -> bool {
-        self != Self::NONE
-    }
-
-    fn class_index(self) -> usize {
-        debug_assert!(self.is_some());
-        ((self.0 >> 30) & 1) as usize
-    }
-
-    fn class(self) -> RegClass {
-        if self.class_index() == 0 {
-            RegClass::Int
-        } else {
-            RegClass::Fp
-        }
-    }
-
-    fn phys(self) -> usize {
-        (self.0 & ((1 << 30) - 1)) as usize
-    }
-}
-
-/// One ROB entry. Everything the issue loop touches — scheduling state,
-/// operands, gates — sits in the leading 64 bytes (`repr(C)` keeps the
-/// order); fetch/commit bookkeeping trails it. The old per-field `Option`s
-/// are folded into sentinel niches ([`PackedReg`], [`MEM_NONE`]) and a
-/// flags byte.
-#[repr(C)]
+/// A µop annotated with the front end's stream-order decisions. Whether a
+/// conditional branch mispredicts is a pure function of the trace prefix
+/// (the predictor sees every conditional branch in trace order and timing
+/// never feeds back into it), which is what lets the batched engine
+/// compute the annotation once per trace and share it across lanes.
 #[derive(Clone, Copy, Debug)]
-struct Slot {
-    seq: u64,
-    done_cycle: u64,
-    dispatch_cycle: u64,
-    /// Program-order memory sequence, [`MEM_NONE`] for non-memory µops.
-    mem_seq: u64,
-    srcs: [PackedReg; 2],
-    dst: PackedReg,
-    /// Physical register previously mapped to the destination's logical
-    /// register (freed at commit). With `old_subset`, valid iff
-    /// `dst.is_some()`; its class is `dst.class()`.
-    old_phys: u32,
-    class: OpClass,
-    cluster: u8,
-    /// Hardware thread that fetched this µop.
-    thread: u8,
-    flags: u8,
-    /// Source operands still in flight (event-scheduler bookkeeping).
-    pending_srcs: u8,
-    old_subset: u8,
-    /// Intrusive waiter links: `next_waiter[i]` chains source `i` onward in
-    /// its producer's waiter list ([`LINK_NONE`] terminates).
-    next_waiter: [u64; 2],
-    fetch_cycle: u64,
-    /// Fetch-order id, used to match misprediction redirects.
-    fetch_id: u64,
-    /// Effective address; meaningful only when `F_LOAD`/`F_STORE` is set.
-    eff_addr: u64,
+pub(crate) struct AnnUop {
+    pub d: DynInst,
+    pub cond_branch: bool,
+    pub mispredicted: bool,
 }
 
-impl Slot {
-    fn is_done(&self) -> bool {
-        self.flags & F_DONE != 0
-    }
+/// Per-thread source of annotated µops. The direction predictor lives
+/// behind this trait, not in the engine.
+pub(crate) trait FetchStream {
+    /// The next µop of hardware thread `tid`, or `None` when its trace is
+    /// exhausted.
+    fn next(&mut self, tid: usize) -> Option<AnnUop>;
+}
 
-    fn is_load(&self) -> bool {
-        self.flags & F_LOAD != 0
-    }
+/// The scalar fetch stream: one iterator per hardware thread and a private
+/// predictor, annotating µops as they are pulled.
+pub(crate) struct PredictedIters<T> {
+    traces: Vec<T>,
+    /// `None` models the perfect-prediction oracle.
+    predictor: Option<Box<dyn DirectionPredictor>>,
+}
 
-    fn is_store(&self) -> bool {
-        self.flags & F_STORE != 0
+impl<T: Iterator<Item = DynInst>> PredictedIters<T> {
+    pub(crate) fn new(traces: Vec<T>, predictor: Option<Box<dyn DirectionPredictor>>) -> Self {
+        PredictedIters { traces, predictor }
     }
+}
 
-    fn mispredicted(&self) -> bool {
-        self.flags & F_MISPREDICTED != 0
-    }
+/// The predictor sees per-thread PCs (threads run distinct programs).
+pub(crate) fn tagged_pc(tid: usize, pc: u64) -> u64 {
+    pc | ((tid as u64) << 48)
+}
 
-    /// The commit-time mapping to free (valid iff `dst.is_some()`).
-    fn old_mapping(&self) -> Mapping {
-        Mapping {
-            phys: PhysReg(self.old_phys),
-            subset: Subset(self.old_subset),
-        }
+/// Runs the direction predictor over one µop, returning whether it
+/// mispredicted (shared by the scalar stream and the batch annotator).
+pub(crate) fn predict_uop(
+    predictor: &mut Option<Box<dyn DirectionPredictor>>,
+    tid: usize,
+    d: &DynInst,
+) -> bool {
+    let Some(p) = predictor.as_mut() else {
+        return false;
+    };
+    let pc = tagged_pc(tid, d.pc);
+    let pred = p.predict(pc);
+    p.update(pc, d.taken);
+    pred != d.taken
+}
+
+impl<T: Iterator<Item = DynInst>> FetchStream for PredictedIters<T> {
+    fn next(&mut self, tid: usize) -> Option<AnnUop> {
+        let d = self.traces[tid].next()?;
+        let cond_branch = d.is_cond_branch();
+        let mispredicted = cond_branch && predict_uop(&mut self.predictor, tid, &d);
+        Some(AnnUop {
+            d,
+            cond_branch,
+            mispredicted,
+        })
     }
 }
 
@@ -359,16 +319,14 @@ struct Snapshot {
     attr: Option<CycleAttribution>,
 }
 
-struct Engine<'a> {
+pub(crate) struct Engine<'a> {
     cfg: &'a SimConfig,
     cycle: u64,
     renamer: Renamer,
     allocator: Allocator,
-    /// `None` models the perfect-prediction oracle.
-    predictor: Option<Box<dyn DirectionPredictor>>,
     hierarchy: MemoryHierarchy,
     clusters: Vec<ClusterState>,
-    rob: VecDeque<Slot>,
+    rob: Rob,
     reg_info: [Vec<RegInfo>; 2],
     /// Per-thread fetch buffers, redirect states, store queues and
     /// memory-order counters (single-threaded machines use index 0).
@@ -396,9 +354,9 @@ struct Engine<'a> {
     vp_blocked: (u64, u64),
     /// Event scheduler: µops whose operands become usable at a known future
     /// cycle, booked on a fixed-horizon calendar wheel. The per-register
-    /// waiter lists live intrusively in `RegInfo::wake_head` and
-    /// `Slot::next_waiter` — hanging or draining a waiter is pointer
-    /// writes, never an allocation.
+    /// waiter lists live intrusively in `RegInfo::wake_head` and the
+    /// window's `next_waiter` lane — hanging or draining a waiter is
+    /// pointer writes, never an allocation.
     wheel: CalendarWheel,
     /// Event scheduler: operand-ready µops awaiting an issue slot, sorted
     /// ascending by seq (the scan's oldest-first order).
@@ -408,7 +366,17 @@ struct Engine<'a> {
     issue_width_total: u32,
     /// Forces the legacy O(window) scan even without virtual-physical
     /// registers (test oracle for the event scheduler).
-    force_scan: bool,
+    pub(crate) force_scan: bool,
+    /// Per-thread trace exhaustion (formerly a `run_inner` local; a field
+    /// so [`Engine::step`] can be driven cycle-by-cycle).
+    trace_done: Vec<bool>,
+    /// Retired-µop threshold at which the warmup snapshot is taken.
+    warmup: u64,
+    /// Counters at the warmup boundary, once reached.
+    snap: Option<Snapshot>,
+    /// Wedge detection: (retired, cycle) at the last retirement.
+    last_progress: (u64, u64),
+    fetch_buf_cap: usize,
     /// Dispatch scratch buffers, reused every cycle.
     occ_buf: Vec<usize>,
     free_buf: Vec<usize>,
@@ -440,7 +408,7 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig) -> Self {
+    pub(crate) fn new(cfg: &'a SimConfig) -> Self {
         let renamer = Renamer::new(cfg.renamer);
         let reg_info = [
             Self::initial_regs(&renamer, RegClass::Int, cfg),
@@ -463,12 +431,11 @@ impl<'a> Engine<'a> {
             cycle: 0,
             allocator: Allocator::new(cfg.policy, cfg.mode, cfg.clusters, cfg.seed),
             renamer,
-            predictor: cfg.predictor.build(),
             hierarchy: MemoryHierarchy::new(cfg.hierarchy),
             clusters: (0..cfg.clusters)
                 .map(|i| ClusterState::with_resources(cfg.resources[i.min(3)]))
                 .collect(),
-            rob: VecDeque::with_capacity(cfg.rob_size()),
+            rob: Rob::new(cfg.rob_size()),
             reg_info,
             fetch_bufs: (0..cfg.threads)
                 .map(|_| VecDeque::with_capacity(4 * cfg.fetch_width))
@@ -494,6 +461,11 @@ impl<'a> Engine<'a> {
                 .map(|i| cfg.resources[i.min(3)].issue_width)
                 .sum(),
             force_scan: false,
+            trace_done: vec![false; cfg.threads],
+            warmup: 0,
+            snap: None,
+            last_progress: (0, 0),
+            fetch_buf_cap: 4 * cfg.fetch_width,
             occ_buf: Vec::with_capacity(cfg.clusters),
             free_buf: Vec::with_capacity(cfg.renamer.subsets),
             dest_updates: Vec::new(),
@@ -513,6 +485,12 @@ impl<'a> Engine<'a> {
             committed_this_cycle: 0,
             dispatch_block: DispatchBlock::None,
         }
+    }
+
+    /// Sets the retired-µop count at which the measurement window opens
+    /// (for drivers using [`Engine::step`] directly).
+    pub(crate) fn set_warmup(&mut self, warmup: u64) {
+        self.warmup = warmup;
     }
 
     fn initial_regs(renamer: &Renamer, class: RegClass, cfg: &SimConfig) -> Vec<RegInfo> {
@@ -555,7 +533,7 @@ impl<'a> Engine<'a> {
     /// `Box<dyn Iterator>` as `T`.
     fn run_inner<T: Iterator<Item = DynInst>>(
         mut self,
-        mut traces: Vec<T>,
+        traces: Vec<T>,
         warmup: u64,
         timeline_out: Option<&mut Vec<UopTiming>>,
     ) -> Report {
@@ -564,61 +542,70 @@ impl<'a> Engine<'a> {
             self.cfg.threads,
             "one trace per hardware thread"
         );
-        let mut trace_done = vec![false; self.cfg.threads];
-        let fetch_buf_cap = 4 * self.cfg.fetch_width;
-        let mut last_progress = (0u64, 0u64); // (retired, cycle)
-        let mut snap: Option<Snapshot> = None;
+        self.warmup = warmup;
+        let mut stream = PredictedIters::new(traces, self.cfg.predictor.build());
+        while self.step(&mut stream) {}
+        self.finish(timeline_out)
+    }
 
-        loop {
-            self.commit();
-            if warmup > 0 && snap.is_none() && self.retired >= warmup {
-                snap = Some(Snapshot {
-                    cycle: self.cycle,
-                    retired: self.retired,
-                    branches: self.branches,
-                    mispredicts: self.mispredicts,
-                    per_cluster: self.clusters.iter().map(|c| c.dispatched).collect(),
-                    store_forwards: self.store_forwards,
-                    unbalance_groups: self.unbalance.groups(),
-                    unbalance_flagged: self.unbalance.unbalanced(),
-                    attr: self.attr.clone(),
-                });
-            }
-            self.fetch(&mut traces, &mut trace_done, fetch_buf_cap);
-            self.dispatch();
-            self.issue();
-            if self.attr.is_some() {
-                self.attribute_cycle();
-            }
-
-            if trace_done.iter().all(|&d| d)
-                && self.fetch_bufs.iter().all(VecDeque::is_empty)
-                && self.rob.is_empty()
-            {
-                break;
-            }
-            if self.deadlocked {
-                break;
-            }
-            if self.retired != last_progress.0 {
-                last_progress = (self.retired, self.cycle);
-            } else {
-                assert!(
-                    self.cycle - last_progress.1 < 200_000,
-                    "simulator wedged at cycle {} ({} retired, rob {}, fetch {})",
-                    self.cycle,
-                    self.retired,
-                    self.rob.len(),
-                    self.fetch_bufs.iter().map(VecDeque::len).sum::<usize>()
-                );
-            }
-            self.cycle += 1;
+    /// Advances the machine by exactly one cycle, pulling newly fetched
+    /// µops from `stream`. Returns `false` once the pipeline has drained
+    /// (or the machine deadlocked) — after which [`Engine::finish`]
+    /// produces the report.
+    pub(crate) fn step<S: FetchStream>(&mut self, stream: &mut S) -> bool {
+        self.commit();
+        if self.warmup > 0 && self.snap.is_none() && self.retired >= self.warmup {
+            self.snap = Some(Snapshot {
+                cycle: self.cycle,
+                retired: self.retired,
+                branches: self.branches,
+                mispredicts: self.mispredicts,
+                per_cluster: self.clusters.iter().map(|c| c.dispatched).collect(),
+                store_forwards: self.store_forwards,
+                unbalance_groups: self.unbalance.groups(),
+                unbalance_flagged: self.unbalance.unbalanced(),
+                attr: self.attr.clone(),
+            });
+        }
+        self.fetch(stream);
+        self.dispatch();
+        self.issue();
+        if self.attr.is_some() {
+            self.attribute_cycle();
         }
 
+        if self.trace_done.iter().all(|&d| d)
+            && self.fetch_bufs.iter().all(VecDeque::is_empty)
+            && self.rob.is_empty()
+        {
+            return false;
+        }
+        if self.deadlocked {
+            return false;
+        }
+        if self.retired != self.last_progress.0 {
+            self.last_progress = (self.retired, self.cycle);
+        } else {
+            assert!(
+                self.cycle - self.last_progress.1 < 200_000,
+                "simulator wedged at cycle {} ({} retired, rob {}, fetch {})",
+                self.cycle,
+                self.retired,
+                self.rob.len(),
+                self.fetch_bufs.iter().map(VecDeque::len).sum::<usize>()
+            );
+        }
+        self.cycle += 1;
+        true
+    }
+
+    /// Closes the run: subtracts the warmup snapshot and assembles the
+    /// [`Report`].
+    pub(crate) fn finish(mut self, timeline_out: Option<&mut Vec<UopTiming>>) -> Report {
         if let (Some((entries, _)), Some(out)) = (self.timeline.take(), timeline_out) {
             *out = entries;
         }
-        let base = snap.unwrap_or_default();
+        let base = self.snap.take().unwrap_or_default();
         let per_cluster: Vec<u64> = self
             .clusters
             .iter()
@@ -678,9 +665,9 @@ impl<'a> Engine<'a> {
     /// consulted only when the window is empty (or its head is too young
     /// to have had an issue opportunity).
     fn stall_bucket(&self) -> SlotBucket {
-        if let Some(head) = self.rob.front() {
-            if head.dispatch_cycle < self.cycle {
-                return self.head_bucket(head);
+        if !self.rob.is_empty() {
+            if self.rob.dispatch_cycle(0) < self.cycle {
+                return self.head_bucket();
             }
             // Head dispatched this very cycle: the window is filling.
             return SlotBucket::Fill;
@@ -701,18 +688,19 @@ impl<'a> Engine<'a> {
     }
 
     /// Why the (old-enough) ROB head did not retire this cycle.
-    fn head_bucket(&self, head: &Slot) -> SlotBucket {
-        if head.is_done() {
+    fn head_bucket(&self) -> SlotBucket {
+        if self.rob.is_done(0) {
             // Issued, executing. Loads (and stores in their cache access)
             // are memory-bound; everything else is execution latency.
-            return if head.is_load() || head.is_store() {
+            return if self.rob.is_load(0) || self.rob.is_store(0) {
                 SlotBucket::Memory
             } else {
                 SlotBucket::ExecLatency
             };
         }
         // Waiting. Operand not yet usable?
-        for s in head.srcs {
+        let head_cluster = self.rob.cluster(0);
+        for s in self.rob.srcs(0) {
             if !s.is_some() {
                 continue;
             }
@@ -725,16 +713,17 @@ impl<'a> Engine<'a> {
                     SlotBucket::ExecLatency
                 };
             }
-            if self.cycle < info.avail + self.cfg.fast_forward.penalty(info.cluster, head.cluster) {
+            if self.cycle < info.avail + self.cfg.fast_forward.penalty(info.cluster, head_cluster) {
                 // Produced, but still crossing clusters.
                 return SlotBucket::ForwardBubble;
             }
         }
         // Operands usable; what else gates issue?
-        if head.mem_seq != MEM_NONE && head.mem_seq != self.mem_next_issue[head.thread as usize] {
+        let mem_seq = self.rob.mem_seq(0);
+        if mem_seq != MEM_NONE && mem_seq != self.mem_next_issue[self.rob.thread(0) as usize] {
             return SlotBucket::Memory; // memory-order serialization
         }
-        if self.vp.is_some() && !self.vp_can_alloc(head, None) {
+        if self.vp.is_some() && !self.vp_can_alloc(self.rob.dst(0), None) {
             // Issue-time register allocation blocked (VP file full).
             return SlotBucket::RenameStall;
         }
@@ -746,11 +735,10 @@ impl<'a> Engine<'a> {
     fn commit(&mut self) {
         self.committed_this_cycle = 0;
         for _ in 0..self.cfg.fetch_width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.is_done() || head.done_cycle > self.cycle {
+            if self.rob.is_empty() || !self.rob.is_done(0) || self.rob.done_cycle(0) > self.cycle {
                 break;
             }
-            let slot = self.rob.pop_front().expect("head exists");
+            let slot = self.rob.pop_front();
             if let Some((entries, _)) = self.timeline.as_mut() {
                 if let Some(e) = entries.get_mut(slot.seq as usize) {
                     e.commit = self.cycle;
@@ -777,24 +765,14 @@ impl<'a> Engine<'a> {
 
     // ---- fetch ----
 
-    /// The predictor sees per-thread PCs (threads run distinct programs).
-    fn tagged_pc(&self, thread: usize, pc: u64) -> u64 {
-        pc | ((thread as u64) << 48)
-    }
-
     /// Fetches up to `fetch_width` µops from **one** thread this cycle,
     /// rotating round-robin and skipping threads that are redirect-blocked,
     /// buffer-full or exhausted (the classic RR SMT fetch policy).
-    fn fetch<T: Iterator<Item = DynInst>>(
-        &mut self,
-        traces: &mut [T],
-        trace_done: &mut [bool],
-        cap: usize,
-    ) {
+    fn fetch<S: FetchStream>(&mut self, stream: &mut S) {
         let threads = self.cfg.threads;
         for offset in 0..threads {
             let tid = (self.cycle as usize + offset) % threads;
-            if trace_done[tid] {
+            if self.trace_done[tid] {
                 continue;
             }
             match self.redirects[tid] {
@@ -807,52 +785,39 @@ impl<'a> Engine<'a> {
                 }
                 Redirect::None => {}
             }
-            if self.fetch_bufs[tid].len() >= cap {
+            if self.fetch_bufs[tid].len() >= self.fetch_buf_cap {
                 continue;
             }
-            self.fetch_thread(&mut traces[tid], trace_done, tid, cap);
+            self.fetch_thread(stream, tid);
             return; // one thread per cycle
         }
     }
 
-    fn fetch_thread<T: Iterator<Item = DynInst>>(
-        &mut self,
-        trace: &mut T,
-        trace_done: &mut [bool],
-        tid: usize,
-        cap: usize,
-    ) {
+    fn fetch_thread<S: FetchStream>(&mut self, stream: &mut S, tid: usize) {
         for _ in 0..self.cfg.fetch_width {
-            if self.fetch_bufs[tid].len() >= cap {
+            if self.fetch_bufs[tid].len() >= self.fetch_buf_cap {
                 return;
             }
-            let Some(d) = trace.next() else {
-                trace_done[tid] = true;
+            let Some(a) = stream.next(tid) else {
+                self.trace_done[tid] = true;
                 return;
             };
-            let mut mispredicted = false;
-            if d.is_cond_branch() {
+            if a.cond_branch {
                 self.branches += 1;
-                let pc = self.tagged_pc(tid, d.pc);
-                if let Some(p) = self.predictor.as_mut() {
-                    let pred = p.predict(pc);
-                    p.update(pc, d.taken);
-                    if pred != d.taken {
-                        self.mispredicts += 1;
-                        mispredicted = true;
-                    }
+                if a.mispredicted {
+                    self.mispredicts += 1;
                 }
             }
             let fetch_id = self.fetch_id_next;
             self.fetch_id_next += 1;
             self.fetch_bufs[tid].push_back(Fetched {
-                d,
+                d: a.d,
                 fetch_cycle: self.cycle,
                 fetch_id,
-                mispredicted,
+                mispredicted: a.mispredicted,
                 choice: None,
             });
-            if mispredicted {
+            if a.mispredicted {
                 // Fetch stalls until the branch resolves; the wrong path is
                 // never simulated.
                 self.redirects[tid] = Redirect::WaitingResolve(fetch_id);
@@ -1066,9 +1031,8 @@ impl<'a> Engine<'a> {
                 if fetched.mispredicted {
                     flags |= F_MISPREDICTED;
                 }
-                self.rob.push_back(Slot {
+                self.rob.push(SlotPush {
                     seq,
-                    done_cycle: 0,
                     dispatch_cycle: self.cycle,
                     mem_seq,
                     srcs,
@@ -1180,33 +1144,32 @@ impl<'a> Engine<'a> {
 
     // ---- issue / execute ----
 
-    fn srcs_ready(&self, slot: &Slot) -> bool {
-        slot.srcs.iter().all(|s| {
+    fn srcs_ready(&self, srcs: [PackedReg; 2], cluster: u8) -> bool {
+        srcs.iter().all(|s| {
             if !s.is_some() {
                 return true;
             }
             let info = self.reg_info[s.class_index()][s.phys()];
             info.avail != IN_FLIGHT
-                && self.cycle
-                    >= info.avail + self.cfg.fast_forward.penalty(info.cluster, slot.cluster)
+                && self.cycle >= info.avail + self.cfg.fast_forward.penalty(info.cluster, cluster)
         })
     }
 
-    /// Whether a µop may claim its destination physical register this
-    /// cycle under virtual-physical allocation (always true without VP).
-    /// `reserved` counts *older, still-unissued* destination µops per
-    /// class/subset — each holds a reservation a younger µop may not
-    /// consume, which makes allocation-at-issue deadlock-free.
-    fn vp_can_alloc(&self, slot: &Slot, reserved: Option<&[Vec<usize>; 2]>) -> bool {
+    /// Whether a µop with destination `dst` may claim its physical
+    /// register this cycle under virtual-physical allocation (always true
+    /// without VP). `reserved` counts *older, still-unissued* destination
+    /// µops per class/subset — each holds a reservation a younger µop may
+    /// not consume, which makes allocation-at-issue deadlock-free.
+    fn vp_can_alloc(&self, dst: PackedReg, reserved: Option<&[Vec<usize>; 2]>) -> bool {
         let Some(vp) = self.vp.as_ref() else {
             return true;
         };
-        if !slot.dst.is_some() {
+        if !dst.is_some() {
             return true;
         }
-        let (class, phys) = (slot.dst.class(), slot.dst.phys() as u32);
+        let (class, phys) = (dst.class(), dst.phys() as u32);
         let subset = self.cfg.renamer.phys_subset_of(class, phys);
-        let ci = slot.dst.class_index();
+        let ci = dst.class_index();
         let held = reserved.map_or(0, |r| r[ci][subset.index()]);
         vp.used[ci][subset.index()] + held < vp.capacity
     }
@@ -1239,26 +1202,26 @@ impl<'a> Engine<'a> {
         if forwarded {
             self.store_forwards += 1;
         }
-        let slot = &mut self.rob[i];
-        slot.done_cycle = self.cycle + u64::from(lat);
-        slot.flags |= F_DONE;
+        let done_cycle = self.cycle + u64::from(lat);
+        self.rob.complete(i, done_cycle);
         if let Some((entries, _)) = self.timeline.as_mut() {
-            if let Some(e) = entries.get_mut(slot.seq as usize) {
+            if let Some(e) = entries.get_mut(self.rob.seq_at(i) as usize) {
                 e.issue = self.cycle;
-                e.complete = slot.done_cycle;
+                e.complete = done_cycle;
             }
         }
-        if slot.mem_seq != MEM_NONE {
-            self.mem_next_issue[slot.thread as usize] += 1;
+        if self.rob.mem_seq(i) != MEM_NONE {
+            self.mem_next_issue[self.rob.thread(i) as usize] += 1;
         }
-        if slot.dst.is_some() {
-            self.dest_updates.push((slot.dst, slot.done_cycle));
+        let dst = self.rob.dst(i);
+        if dst.is_some() {
+            self.dest_updates.push((dst, done_cycle));
         }
-        if slot.mispredicted() {
+        if self.rob.mispredicted(i) {
             let resume =
-                (slot.done_cycle + 1).max(slot.fetch_cycle + self.cfg.min_mispredict_penalty);
+                (done_cycle + 1).max(self.rob.fetch_cycle(i) + self.cfg.min_mispredict_penalty);
             self.redirect_buf
-                .push((slot.thread as usize, slot.fetch_id, resume));
+                .push((self.rob.thread(i) as usize, self.rob.fetch_id(i), resume));
         }
     }
 
@@ -1290,7 +1253,8 @@ impl<'a> Engine<'a> {
         if self.ready.is_empty() {
             return;
         }
-        let front_seq = self.rob.front().expect("ready µops live in the ROB").seq;
+        debug_assert!(!self.rob.is_empty(), "ready µops live in the ROB");
+        let front_seq = self.rob.seq_front();
         let mut issued_total = 0u32;
         let mut kept = 0usize;
         let mut i = 0usize;
@@ -1305,20 +1269,15 @@ impl<'a> Engine<'a> {
             }
             let seq = self.ready[i];
             let idx = (seq - front_seq) as usize;
-            let (cluster, class, gates_ok) = {
-                let slot = &self.rob[idx];
-                debug_assert_eq!(slot.seq, seq);
-                debug_assert!(!slot.is_done());
-                debug_assert!(slot.dispatch_cycle < self.cycle);
-                debug_assert!(self.srcs_ready(slot));
-                (
-                    slot.cluster as usize,
-                    slot.class,
-                    slot.mem_seq == MEM_NONE
-                        || slot.mem_seq == self.mem_next_issue[slot.thread as usize],
-                )
-            };
-            if !gates_ok || !self.clusters[cluster].try_issue(class, self.cycle) {
+            debug_assert_eq!(self.rob.seq_at(idx), seq);
+            debug_assert!(!self.rob.is_done(idx));
+            debug_assert!(self.rob.dispatch_cycle(idx) < self.cycle);
+            debug_assert!(self.srcs_ready(self.rob.srcs(idx), self.rob.cluster(idx)));
+            let cluster = self.rob.cluster(idx) as usize;
+            let mem_seq = self.rob.mem_seq(idx);
+            let gates_ok = mem_seq == MEM_NONE
+                || mem_seq == self.mem_next_issue[self.rob.thread(idx) as usize];
+            if !gates_ok || !self.clusters[cluster].try_issue(self.rob.class(idx), self.cycle) {
                 self.ready[kept] = seq;
                 kept += 1;
                 i += 1;
@@ -1350,15 +1309,13 @@ impl<'a> Engine<'a> {
                 let cseq = link >> 1;
                 let csrc = (link & 1) as usize;
                 let cidx = (cseq - front_seq) as usize;
-                let (pending, csrcs, ccluster) = {
-                    let slot = &mut self.rob[cidx];
-                    link = std::mem::replace(&mut slot.next_waiter[csrc], LINK_NONE);
-                    slot.pending_srcs -= 1;
-                    (slot.pending_srcs, slot.srcs, slot.cluster)
-                };
+                let (next, pending) = self.rob.take_waiter(cidx, csrc);
+                link = next;
                 if pending > 0 {
                     continue;
                 }
+                let csrcs = self.rob.srcs(cidx);
+                let ccluster = self.rob.cluster(cidx);
                 let mut ready_at = self.cycle + 1;
                 for s in csrcs {
                     if !s.is_some() {
@@ -1383,15 +1340,18 @@ impl<'a> Engine<'a> {
         if self.vp.is_none() {
             return;
         }
-        let slot = &self.rob[i];
-        if slot.is_done() || !slot.dst.is_some() {
+        if self.rob.is_done(i) {
+            return;
+        }
+        let dst = self.rob.dst(i);
+        if !dst.is_some() {
             return;
         }
         let subset = self
             .cfg
             .renamer
-            .phys_subset_of(slot.dst.class(), slot.dst.phys() as u32);
-        self.vp_reserved[slot.dst.class_index()][subset.index()] += 1;
+            .phys_subset_of(dst.class(), dst.phys() as u32);
+        self.vp_reserved[dst.class_index()][subset.index()] += 1;
     }
 
     /// Legacy O(window) selection scan, retained for virtual-physical
@@ -1410,30 +1370,27 @@ impl<'a> Engine<'a> {
         // Single in-order pass: per-cluster oldest-first selection.
         for i in 0..self.rob.len() {
             let ready = {
-                let slot = &self.rob[i];
-                !slot.is_done()
-                    && slot.dispatch_cycle < self.cycle
-                    && self.clusters[slot.cluster as usize].has_issue_slot()
-                    && self.srcs_ready(slot)
-                    && (slot.mem_seq == MEM_NONE
-                        || slot.mem_seq == self.mem_next_issue[slot.thread as usize])
-                    && self.vp_can_alloc(slot, Some(&self.vp_reserved))
+                !self.rob.is_done(i)
+                    && self.rob.dispatch_cycle(i) < self.cycle
+                    && self.clusters[self.rob.cluster(i) as usize].has_issue_slot()
+                    && self.srcs_ready(self.rob.srcs(i), self.rob.cluster(i))
+                    && (self.rob.mem_seq(i) == MEM_NONE
+                        || self.rob.mem_seq(i) == self.mem_next_issue[self.rob.thread(i) as usize])
+                    && self.vp_can_alloc(self.rob.dst(i), Some(&self.vp_reserved))
             };
             if !ready {
                 self.vp_reserve_slot(i);
                 continue;
             }
-            let (cluster, class) = {
-                let s = &self.rob[i];
-                (s.cluster as usize, s.class)
-            };
+            let cluster = self.rob.cluster(i) as usize;
+            let class = self.rob.class(i);
             if !self.clusters[cluster].try_issue(class, self.cycle) {
                 self.vp_reserve_slot(i);
                 continue;
             }
 
             self.complete_issue(i);
-            let dst = self.rob[i].dst;
+            let dst = self.rob.dst(i);
             if dst.is_some() {
                 if let Some(vp) = self.vp.as_mut() {
                     let subset = self
@@ -1464,15 +1421,15 @@ impl<'a> Engine<'a> {
         if self.vp.is_none() {
             return;
         }
-        let blocked = match self.rob.front() {
-            Some(head) if !head.is_done() => {
-                if self.vp_can_alloc(head, None) || !head.dst.is_some() {
-                    None
-                } else {
-                    Some((head.seq, head.dst.class(), head.dst.phys() as u32))
-                }
+        let blocked = if !self.rob.is_empty() && !self.rob.is_done(0) {
+            let dst = self.rob.dst(0);
+            if self.vp_can_alloc(dst, None) || !dst.is_some() {
+                None
+            } else {
+                Some((self.rob.seq_front(), dst.class(), dst.phys() as u32))
             }
-            _ => None,
+        } else {
+            None
         };
         let Some((seq, class, phys)) = blocked else {
             self.vp_blocked = (u64::MAX, 0);
@@ -1499,16 +1456,17 @@ impl<'a> Engine<'a> {
         // (Cold path — a recovery already costs a pipeline refill — so a
         // transient set is fine here.)
         let mut pinned: HashSet<u32> = HashSet::new();
-        for slot in &self.rob {
-            for s in slot.srcs {
+        for i in 0..self.rob.len() {
+            for s in self.rob.srcs(i) {
                 if s.is_some() && s.class_index() == ci {
                     pinned.insert(s.phys() as u32);
                 }
             }
-            if slot.dst.is_some() && slot.dst.class_index() == ci {
-                pinned.insert(slot.dst.phys() as u32);
+            let dst = self.rob.dst(i);
+            if dst.is_some() && dst.class_index() == ci {
+                pinned.insert(dst.phys() as u32);
                 // The old mapping shares the destination's class.
-                pinned.insert(slot.old_phys);
+                pinned.insert(self.rob.old_phys(i));
             }
         }
         let mut victims = std::mem::take(&mut self.victims_buf);
@@ -1565,29 +1523,29 @@ impl<'a> Engine<'a> {
     /// Execution latency for the µop in ROB slot `i`; returns
     /// `(latency, store_forwarded)`.
     fn exec_latency(&mut self, i: usize) -> (u32, bool) {
-        let slot = &self.rob[i];
-        let slow_read = self.reg_cache_penalty(slot);
-        if slot.is_load() {
-            let addr = slot.eff_addr;
-            match self.store_queues[slot.thread as usize].query(slot.seq, addr) {
+        let slow_read = self.reg_cache_penalty(i);
+        if self.rob.is_load(i) {
+            let addr = self.rob.eff_addr(i);
+            let thread = self.rob.thread(i) as usize;
+            match self.store_queues[thread].query(self.rob.seq_at(i), addr) {
                 StoreQueueQuery::ForwardFrom(_) => (latency::LOAD_LATENCY + slow_read, true),
                 StoreQueueQuery::NoConflict => {
-                    let tagged = addr | ((slot.thread as u64) << 40);
+                    let tagged = addr | ((thread as u64) << 40);
                     (self.hierarchy.load(tagged, self.cycle) + slow_read, false)
                 }
             }
         } else {
-            (latency::of(slot.class) + slow_read, false)
+            (latency::of(self.rob.class(i)) + slow_read, false)
         }
     }
 
     /// §6 \[4\]: operands older than the register cache's retention read
     /// from the slow full copy, adding latency to this µop.
-    fn reg_cache_penalty(&self, slot: &Slot) -> u32 {
+    fn reg_cache_penalty(&self, i: usize) -> u32 {
         let Some(rc) = self.cfg.reg_cache else {
             return 0;
         };
-        let stale = slot.srcs.iter().any(|s| {
+        let stale = self.rob.srcs(i).iter().any(|s| {
             if !s.is_some() {
                 return false;
             }

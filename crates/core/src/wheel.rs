@@ -14,17 +14,34 @@
 //! ring bucket is unambiguous: among the undrained cycles
 //! `[base, base + horizon)` no two share an index.
 
+/// Seqs a ring bucket stores inline. Sized for the common burst (a
+/// dispatch group's worth of same-cycle wakeups); rarer bursts spill to
+/// the overflow vector, which handles any due cycle, not only
+/// beyond-horizon ones.
+const BUCKET_CAP: usize = 8;
+
 /// Calendar wheel: `schedule(due, seq)` then `drain_due(cycle, out)` once
 /// per cycle with consecutive `cycle` values.
+///
+/// Buckets are stored *flat* — `BUCKET_CAP` slots per bucket in one
+/// contiguous allocation plus a byte of occupancy each — so schedule and
+/// drain touch exactly one line of the slot array and one of the count
+/// array, instead of chasing a per-bucket heap pointer that has gone cold
+/// by the time its cycle comes around.
 #[derive(Clone, Debug)]
 pub struct CalendarWheel {
-    /// Ring of buckets; `buckets[due & mask]` holds the seqs due then.
-    buckets: Vec<Vec<u64>>,
+    /// `BUCKET_CAP` inline slots per bucket: bucket `b` owns
+    /// `slots[b * BUCKET_CAP ..][..counts[b]]`.
+    slots: Vec<u64>,
+    /// Occupancy of each bucket's inline slots.
+    counts: Vec<u8>,
+    horizon: usize,
     mask: u64,
     /// Next cycle to drain; all ring entries are due in
     /// `[base, base + horizon)`.
     base: u64,
-    /// Bookings beyond the horizon: `(due, seq)`, unsorted.
+    /// Bookings beyond the horizon *or* spilled from a full bucket:
+    /// `(due, seq)`, unsorted.
     overflow: Vec<(u64, u64)>,
     /// Earliest due cycle in `overflow` (`u64::MAX` when empty), so the
     /// drain path touches the vector only when something is actually due.
@@ -43,7 +60,9 @@ impl CalendarWheel {
     pub fn new(horizon: usize) -> Self {
         assert!(horizon.is_power_of_two() && horizon >= 2);
         CalendarWheel {
-            buckets: vec![Vec::new(); horizon],
+            slots: vec![0; horizon * BUCKET_CAP],
+            counts: vec![0; horizon],
+            horizon,
             mask: horizon as u64 - 1,
             base: 0,
             overflow: Vec::new(),
@@ -55,7 +74,7 @@ impl CalendarWheel {
     /// Ring capacity in cycles.
     #[must_use]
     pub fn horizon(&self) -> usize {
-        self.buckets.len()
+        self.horizon
     }
 
     /// Events booked and not yet drained.
@@ -78,8 +97,16 @@ impl CalendarWheel {
             "due {due} before drain base {}",
             self.base
         );
-        if due - self.base < self.buckets.len() as u64 {
-            self.buckets[(due & self.mask) as usize].push(seq);
+        if due - self.base < self.horizon as u64 {
+            let b = (due & self.mask) as usize;
+            let n = self.counts[b] as usize;
+            if n < BUCKET_CAP {
+                self.slots[b * BUCKET_CAP + n] = seq;
+                self.counts[b] = n as u8 + 1;
+            } else {
+                self.overflow.push((due, seq));
+                self.overflow_min = self.overflow_min.min(due);
+            }
         } else {
             self.overflow.push((due, seq));
             self.overflow_min = self.overflow_min.min(due);
@@ -94,9 +121,12 @@ impl CalendarWheel {
     pub fn drain_due(&mut self, cycle: u64, out: &mut Vec<u64>) {
         debug_assert_eq!(cycle, self.base, "wheel drained out of order");
         self.base = cycle + 1;
-        let bucket = &mut self.buckets[(cycle & self.mask) as usize];
-        self.len -= bucket.len();
-        out.append(bucket);
+        let b = (cycle & self.mask) as usize;
+        let n = std::mem::replace(&mut self.counts[b], 0) as usize;
+        if n > 0 {
+            self.len -= n;
+            out.extend_from_slice(&self.slots[b * BUCKET_CAP..b * BUCKET_CAP + n]);
+        }
         if self.overflow_min <= cycle {
             let mut min = u64::MAX;
             let mut k = 0;
@@ -204,7 +234,7 @@ mod tests {
             out.clear();
             w.drain_due(cycle, &mut out);
         }
-        let caps: Vec<usize> = w.buckets.iter().map(Vec::capacity).collect();
+        let caps = (w.slots.capacity(), w.overflow.capacity());
         for cycle in 8..80 {
             w.schedule(cycle + 1, cycle);
             out.clear();
@@ -212,9 +242,25 @@ mod tests {
         }
         assert_eq!(
             caps,
-            w.buckets.iter().map(Vec::capacity).collect::<Vec<_>>(),
-            "bucket capacities must be stable in steady state"
+            (w.slots.capacity(), w.overflow.capacity()),
+            "wheel storage must be stable in steady state"
         );
+    }
+
+    #[test]
+    fn full_bucket_spills_to_overflow_and_still_fires() {
+        let mut w = CalendarWheel::new(8);
+        // More same-cycle events than one bucket holds inline.
+        let n = BUCKET_CAP + 5;
+        for seq in 0..n as u64 {
+            w.schedule(3, seq);
+        }
+        assert_eq!(w.len(), n);
+        assert_eq!(drained(&mut w, 0), vec![]);
+        assert_eq!(drained(&mut w, 1), vec![]);
+        assert_eq!(drained(&mut w, 2), vec![]);
+        assert_eq!(drained(&mut w, 3), (0..n as u64).collect::<Vec<_>>());
+        assert!(w.is_empty());
     }
 
     #[test]

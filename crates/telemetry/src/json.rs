@@ -60,6 +60,15 @@ impl Json {
         }
     }
 
+    /// The value as a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

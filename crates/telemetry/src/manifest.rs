@@ -92,6 +92,10 @@ pub struct CellRecord {
     pub l1_miss_rate: f64,
     pub l2_miss_rate: f64,
     pub store_forwards: u64,
+    /// Whether the cell was simulated on the batched lockstep path
+    /// (execution provenance; the results are bit-identical to scalar).
+    /// Absent in pre-batching manifests, which parse as `false`.
+    pub batched: bool,
     /// Full cycle attribution when telemetry was enabled for the run.
     pub attribution: Option<CycleAttribution>,
 }
@@ -128,6 +132,7 @@ impl CellRecord {
             ("l1_miss_rate".into(), Json::Float(self.l1_miss_rate)),
             ("l2_miss_rate".into(), Json::Float(self.l2_miss_rate)),
             ("store_forwards".into(), Json::UInt(self.store_forwards)),
+            ("batched".into(), Json::Bool(self.batched)),
         ];
         if let Some(attr) = &self.attribution {
             fields.push(("attribution".into(), attr.to_json()));
@@ -160,6 +165,8 @@ impl CellRecord {
             l1_miss_rate: v.get("l1_miss_rate")?.as_f64()?,
             l2_miss_rate: v.get("l2_miss_rate")?.as_f64()?,
             store_forwards: v.get("store_forwards")?.as_u64()?,
+            // Absent in manifests written before the batched harness.
+            batched: v.get("batched").and_then(Json::as_bool).unwrap_or(false),
             attribution: v.get("attribution").and_then(CycleAttribution::from_json),
         })
     }
@@ -559,6 +566,7 @@ mod tests {
             l1_miss_rate: 0.04,
             l2_miss_rate: 0.01,
             store_forwards: 7,
+            batched: false,
             attribution: None,
         }
     }
@@ -638,6 +646,22 @@ mod tests {
         storeless.traces[0].checksum = String::new();
         assert!(base.compare(&storeless, &Tolerances::default()).passed());
         assert!(storeless.compare(&base, &Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn batched_flag_roundtrips_and_defaults_false() {
+        let mut c = cell("gcc", "rr", 2.0);
+        c.batched = true;
+        let round = CellRecord::from_json(&c.to_json()).unwrap();
+        assert!(round.batched);
+        // Pre-batching manifests carry no "batched" key; they parse as
+        // scalar cells rather than failing.
+        let Json::Obj(fields) = c.to_json() else {
+            panic!("cell renders as an object");
+        };
+        let stripped = Json::Obj(fields.into_iter().filter(|(k, _)| k != "batched").collect());
+        let legacy = CellRecord::from_json(&stripped).unwrap();
+        assert!(!legacy.batched);
     }
 
     #[test]

@@ -47,15 +47,11 @@ fn emulator_traces_are_identical() {
     assert_eq!(t1, t2);
 }
 
-/// The parallel experiment harness must be a pure performance feature:
-/// fanning cells across workers (with the shared trace cache underneath)
-/// must leave every report byte-identical to the serial run.
-#[test]
-fn parallel_grid_matches_serial_byte_for_byte() {
-    use wsrs_bench::{run_grid_with_threads, RunParams};
-
-    let workloads = [Workload::Gzip, Workload::Wupwise];
-    let configs = [
+/// A three-column family every lane of which is single-threaded, VP-free
+/// and on the default predictor — the grid harness batches it into one
+/// lockstep unit per workload.
+fn grid_family() -> [(&'static str, SimConfig); 3] {
+    [
         ("conv", SimConfig::conventional_rr(256)),
         (
             "wsrs-rc",
@@ -69,18 +65,72 @@ fn parallel_grid_matches_serial_byte_for_byte() {
             "wsrs-rm",
             SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
         ),
-    ];
+    ]
+}
+
+/// The parallel experiment harness must be a pure performance feature:
+/// fanning work units across workers (with the shared trace cache
+/// underneath, and compatible columns batched into lockstep units) must
+/// leave every report byte-identical to the serial run.
+#[test]
+fn parallel_grid_matches_serial_byte_for_byte() {
+    use wsrs_bench::{run_grid_with_threads, RunParams};
+
+    let workloads = [Workload::Gzip, Workload::Wupwise];
+    let configs = grid_family();
     let params = RunParams {
         warmup: 20_000,
         measure: 40_000,
     };
     let serial = run_grid_with_threads(&workloads, &configs, params, 1, &|_, _, _, _| {});
     let parallel = run_grid_with_threads(&workloads, &configs, params, 4, &|_, _, _, _| {});
-    assert_eq!(serial.len(), 2);
-    assert_eq!(parallel[0].len(), 3);
+    assert_eq!(serial.reports.len(), 2);
+    assert_eq!(parallel.reports[0].len(), 3);
+    assert_eq!(
+        serial.batched, parallel.batched,
+        "plan is thread-independent"
+    );
     // A Report's Debug rendering covers every field, so string equality is
     // byte-for-byte equality of the results.
-    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    assert_eq!(
+        format!("{:?}", serial.reports),
+        format!("{:?}", parallel.reports)
+    );
+}
+
+/// The batched lockstep path must be a pure performance feature too: for
+/// any worker count, a grid whose columns batch into one lockstep unit
+/// per workload yields exactly the reports that cell-at-a-time scalar
+/// simulation of the same cached traces does.
+#[test]
+fn batched_grid_matches_scalar_cells_byte_for_byte() {
+    use wsrs_bench::{run_cell_cached, run_grid_with_threads, RunParams, TraceCache};
+
+    let workloads = [Workload::Gzip, Workload::Wupwise];
+    let configs = grid_family();
+    let params = RunParams {
+        warmup: 20_000,
+        measure: 40_000,
+    };
+    let cache = TraceCache::new(params);
+    for threads in [1, 3] {
+        let run = run_grid_with_threads(&workloads, &configs, params, threads, &|_, _, _, _| {});
+        assert!(
+            run.batched.iter().all(|&b| b),
+            "the family shares one predictor and no VP/SMT, so it batches"
+        );
+        for (w, row) in workloads.iter().zip(&run.reports) {
+            let trace = cache.checkout(*w);
+            for ((name, cfg), batched) in configs.iter().zip(row) {
+                let scalar = run_cell_cached(&trace, cfg, params);
+                assert_eq!(
+                    format!("{batched:?}"),
+                    format!("{scalar:?}"),
+                    "{w}/{name} diverged between batched and scalar ({threads} worker(s))"
+                );
+            }
+        }
+    }
 }
 
 /// The shared trace cache must feed the simulator the same µop stream the

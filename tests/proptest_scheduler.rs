@@ -1,12 +1,19 @@
-//! Differential property test for the allocation-free event scheduler:
-//! random (workload-slice × config × policy) triples must produce a
-//! `Report` identical to the retained O(window) ROB-scan oracle. The
-//! event engine (calendar wheel + intrusive waiter lists) is a pure
-//! restructuring of *when* readiness is discovered, never of what issues
-//! — so any divergence, down to a single stall counter, is a bug.
+//! Differential property tests for the engine's two restructurings:
+//!
+//! * **Event scheduler**: random (workload-slice × config × policy)
+//!   triples must produce a `Report` identical to the retained O(window)
+//!   ROB-scan oracle. The event engine (calendar wheel + intrusive waiter
+//!   lists) is a pure restructuring of *when* readiness is discovered,
+//!   never of what issues.
+//! * **Lockstep batching**: a random *family* of configurations advanced
+//!   in lockstep over one shared annotated trace must produce, per lane,
+//!   a `Report` identical to that lane's scalar run — including full
+//!   cycle-attribution telemetry, which must still conserve issue slots.
+//!
+//! Any divergence, down to a single stall counter, is a bug.
 
 use proptest::prelude::*;
-use wsrs::core::{AllocPolicy, SimConfig, Simulator};
+use wsrs::core::{lockstep_compatible, run_lockstep, AllocPolicy, SimConfig, Simulator};
 use wsrs::isa::DynInst;
 use wsrs::regfile::RenameStrategy;
 use wsrs::workloads::Workload;
@@ -73,5 +80,53 @@ proptest! {
             "schedulers diverge on {} × {:?} (len {}, warmup {})",
             name, w, len, warmup
         );
+    }
+
+    /// Lockstep differential fuzz: any non-empty subset of the config
+    /// pool (every member single-threaded, VP-free, default predictor —
+    /// hence lockstep-compatible), with telemetry flipped on for a random
+    /// sub-subset of lanes, batched over a random workload slice. Every
+    /// lane's report must be bit-identical to its scalar run, and every
+    /// telemetry-carrying lane must still conserve issue slots.
+    #[test]
+    fn lockstep_batch_matches_scalar_lanes(
+        widx in 0usize..12,
+        mask in 1u32..128,
+        telemetry_mask in 0u32..128,
+        len in 1_000usize..8_000,
+        warmup_frac in 0u64..4,
+    ) {
+        let w = Workload::all()[widx];
+        let family: Vec<(&'static str, SimConfig)> = config_pool()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(i, (n, mut c))| {
+                c.telemetry = telemetry_mask & (1 << i) != 0;
+                (n, c)
+            })
+            .collect();
+        let configs: Vec<SimConfig> = family.iter().map(|(_, c)| *c).collect();
+        prop_assert!(lockstep_compatible(&configs));
+        let trace = slice(w, len);
+        let warmup = warmup_frac * len as u64 / 8;
+        let measure = len as u64 - warmup;
+        let reports = run_lockstep(&configs, &trace, warmup, measure);
+        for ((name, cfg), batched) in family.iter().zip(&reports) {
+            let scalar = Simulator::new(*cfg)
+                .run_measured(trace.iter().copied(), warmup, measure);
+            prop_assert_eq!(
+                format!("{batched:?}"),
+                format!("{scalar:?}"),
+                "lockstep lane diverges from scalar on {} × {:?} (len {}, warmup {})",
+                name, w, len, warmup
+            );
+            if let Some(attr) = &batched.attribution {
+                prop_assert!(
+                    attr.conserved(),
+                    "lane {} attribution violates slot conservation", name
+                );
+            }
+        }
     }
 }

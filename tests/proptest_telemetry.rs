@@ -143,7 +143,15 @@ fn manifests_are_worker_count_invariant() {
     let manifest = |threads: usize| {
         let grid = run_grid_with_threads(&workloads, &configs, params, threads, &|_, _, _, _| {});
         grid_manifest(
-            "prop", &workloads, &configs, params, threads, 1.0, &grid, None,
+            "prop",
+            &workloads,
+            &configs,
+            params,
+            threads,
+            1.0,
+            &grid.reports,
+            &grid.batched,
+            None,
         )
         .normalized_json_string()
     };
