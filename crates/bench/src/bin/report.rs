@@ -7,6 +7,13 @@
 //! # compare a fresh run against the committed baselines; exit 1 on
 //! # IPC regression (>2%), conservation violation or determinism drift
 //! cargo run --release -p wsrs-bench --bin report -- gate
+//!
+//! # submit a whole grid to a running wsrs-serve and stream the results
+//! cargo run --release -p wsrs-bench --bin report -- submit figure4 \
+//!     --addr 127.0.0.1:8787 --check-baseline
+//!
+//! # re-stream an existing job
+//! cargo run --release -p wsrs-bench --bin report -- watch 1
 //! ```
 //!
 //! Both modes run the same reduced fixed grids (250 k warm-up + 500 k
@@ -18,54 +25,24 @@
 //! byte-identical normalized manifests — the determinism contract of the
 //! parallel harness.
 
+use std::io::Write;
 use std::time::Instant;
+use wsrs_bench::client;
 use wsrs_bench::manifest::{
     artifacts_dir, baseline_path, grid_manifest, load_baseline, repo_root, telemetry_on,
     write_manifest,
 };
 use wsrs_bench::windows::{gate_params, probe_params};
 use wsrs_bench::{
-    default_trace_store, figure4_configs, grid_threads, run_grid_full, run_grid_with_threads,
-    RunParams,
+    default_trace_store, figure4_configs, gate_experiments, grid_threads, run_grid_full,
+    run_grid_with_threads, RunParams,
 };
-use wsrs_core::{AllocPolicy, SimConfig};
-use wsrs_regfile::RenameStrategy;
-use wsrs_telemetry::{GateOutcome, RunManifest, Tolerances};
+use wsrs_core::SimConfig;
+use wsrs_telemetry::{GateOutcome, Json, RunManifest, Tolerances};
 use wsrs_workloads::Workload;
 
-/// One gated experiment: name, configurations, workloads.
-type Experiment = (&'static str, Vec<(&'static str, SimConfig)>, Vec<Workload>);
-
-/// The gated experiments: Figure 4's six configurations and Figure 5's
-/// two allocation policies, every config with telemetry switched on.
-fn experiments() -> Vec<Experiment> {
-    let figure4 = figure4_configs()
-        .into_iter()
-        .map(|(n, c)| (n, telemetry_on(&c)))
-        .collect();
-    let figure5 = vec![
-        (
-            "WSRS RC",
-            telemetry_on(&SimConfig::wsrs(
-                512,
-                AllocPolicy::RandomCommutative,
-                RenameStrategy::ExactCount,
-            )),
-        ),
-        (
-            "WSRS RM",
-            telemetry_on(&SimConfig::wsrs(
-                512,
-                AllocPolicy::RandomMonadic,
-                RenameStrategy::ExactCount,
-            )),
-        ),
-    ];
-    vec![
-        ("figure4", figure4, Workload::all().to_vec()),
-        ("figure5", figure5, Workload::all().to_vec()),
-    ]
-}
+/// Default `wsrs-serve` address for `submit`/`watch`.
+const DEFAULT_ADDR: &str = "127.0.0.1:8787";
 
 /// Runs one experiment grid and assembles its manifest.
 fn run_experiment(
@@ -118,7 +95,7 @@ fn run_experiment(
 /// Writes fresh baselines for every experiment at the repo root.
 fn write_baselines(params: RunParams) {
     let threads = grid_threads();
-    for (experiment, configs, workloads) in experiments() {
+    for (experiment, configs, workloads) in gate_experiments() {
         let m = run_experiment(experiment, &workloads, &configs, params, threads);
         let path = write_manifest(&m, &repo_root()).expect("write baseline");
         println!("wrote {}", path.display());
@@ -164,7 +141,7 @@ fn gate(params: RunParams) -> i32 {
     let fresh_dir = artifacts_dir();
     let mut outcome = GateOutcome::default();
 
-    for (experiment, configs, workloads) in experiments() {
+    for (experiment, configs, workloads) in gate_experiments() {
         let fresh = run_experiment(experiment, &workloads, &configs, params, threads);
         let path = write_manifest(&fresh, &fresh_dir).expect("write fresh manifest");
         eprintln!("wrote {}", path.display());
@@ -201,16 +178,204 @@ fn gate(params: RunParams) -> i32 {
     }
 }
 
+/// Streams `/v1/jobs/<id>/stream` from `addr` to stdout; returns the
+/// full stream body.
+fn stream_job(addr: &str, job: u64) -> std::io::Result<String> {
+    let mut out = std::io::stdout();
+    let resp = client::get_streaming(addr, &format!("/v1/jobs/{job}/stream"), &mut |chunk| {
+        let _ = out.write_all(chunk);
+        let _ = out.flush();
+    })?;
+    if resp.status != 200 {
+        eprintln!("stream failed: HTTP {} — {}", resp.status, resp.body_str());
+        std::process::exit(1);
+    }
+    Ok(resp.body_str())
+}
+
+/// Prints a finished job's origin counters (memoized / attached /
+/// simulated) to stderr.
+fn report_job_status(addr: &str, job: u64) {
+    let Ok(resp) = client::get(addr, &format!("/v1/jobs/{job}")) else {
+        return;
+    };
+    if let Ok(v) = Json::parse(&resp.body_str()) {
+        let n = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        eprintln!(
+            "job {job}: {} cell(s) — {} memoized, {} attached, {} simulated",
+            n("cells"),
+            n("memoized"),
+            n("attached"),
+            n("simulated")
+        );
+    }
+}
+
+/// Checks every streamed cell line against the committed baseline of
+/// `experiment`: the IPC of each (workload, config) cell must match
+/// exactly (the service and the local harness are byte-deterministic
+/// twins). Returns the exit code.
+fn check_stream_against_baseline(experiment: &str, streamed: &str) -> i32 {
+    let Some(baseline) = load_baseline(experiment) else {
+        eprintln!(
+            "no committed baseline at {}",
+            baseline_path(experiment).display()
+        );
+        return 1;
+    };
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+    for line in streamed.lines().filter(|l| !l.is_empty()) {
+        let Ok(v) = Json::parse(line) else {
+            eprintln!("malformed stream line: {line}");
+            failures += 1;
+            continue;
+        };
+        let (Some(w), Some(c)) = (
+            v.get("workload").and_then(Json::as_str),
+            v.get("config").and_then(Json::as_str),
+        ) else {
+            continue; // the stream header line
+        };
+        let Some(cell) = baseline.cell(w, c) else {
+            eprintln!("{w}/{c}: not in baseline");
+            failures += 1;
+            continue;
+        };
+        let ipc = v.get("ipc").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        if ipc != cell.ipc {
+            eprintln!(
+                "{w}/{c}: streamed IPC {ipc} != baseline {} — determinism drift",
+                cell.ipc
+            );
+            failures += 1;
+        }
+        checked += 1;
+    }
+    if checked != baseline.cells.len() {
+        eprintln!(
+            "stream covered {checked} cell(s), baseline has {}",
+            baseline.cells.len()
+        );
+        failures += 1;
+    }
+    if failures == 0 {
+        eprintln!("stream matches baseline: {checked} cell(s), IPC byte-exact");
+        0
+    } else {
+        eprintln!("stream/baseline mismatch: {failures} failure(s)");
+        1
+    }
+}
+
+/// `report submit <experiment>`: submit a whole grid to a running
+/// `wsrs-serve`, stream the results to stdout, and optionally verify
+/// them against the committed baseline.
+fn submit(experiment: &str, addr: &str, check_baseline: bool) -> i32 {
+    let body = Json::Obj(vec![(
+        "experiment".to_string(),
+        Json::Str(experiment.to_string()),
+    )])
+    .to_string_compact();
+    let resp = match client::post(addr, "/v1/jobs", &body) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot reach wsrs-serve at {addr}: {e}");
+            return 1;
+        }
+    };
+    if resp.status != 200 {
+        eprintln!("submit failed: HTTP {} — {}", resp.status, resp.body_str());
+        return 1;
+    }
+    let Some(job) = Json::parse(&resp.body_str())
+        .ok()
+        .and_then(|v| v.get("job").and_then(Json::as_u64))
+    else {
+        eprintln!("malformed submit response: {}", resp.body_str());
+        return 1;
+    };
+    eprintln!("submitted {experiment} as job {job}");
+    let streamed = match stream_job(addr, job) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stream failed: {e}");
+            return 1;
+        }
+    };
+    report_job_status(addr, job);
+    if check_baseline {
+        check_stream_against_baseline(experiment, &streamed)
+    } else {
+        0
+    }
+}
+
+/// `report watch <job>`: stream an existing job to stdout.
+fn watch(job: &str, addr: &str) -> i32 {
+    let Ok(job) = job.parse::<u64>() else {
+        eprintln!("watch needs a numeric job id, got '{job}'");
+        return 2;
+    };
+    match stream_job(addr, job) {
+        Ok(_) => {
+            report_job_status(addr, job);
+            0
+        }
+        Err(e) => {
+            eprintln!("stream failed: {e}");
+            1
+        }
+    }
+}
+
+/// Extracts `--addr HOST:PORT` from `args` (mutating them), defaulting
+/// to [`DEFAULT_ADDR`].
+fn take_addr(args: &mut Vec<String>) -> String {
+    if let Some(i) = args.iter().position(|a| a == "--addr") {
+        if i + 1 < args.len() {
+            let addr = args.remove(i + 1);
+            args.remove(i);
+            return addr;
+        }
+        eprintln!("--addr needs a value");
+        std::process::exit(2);
+    }
+    DEFAULT_ADDR.to_string()
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
     let params = gate_params();
     match args.get(1).map(String::as_str) {
         None | Some("baseline") => write_baselines(params),
         Some("gate") => std::process::exit(gate(params)),
+        Some("submit") => {
+            let addr = take_addr(&mut args);
+            let check = if let Some(i) = args.iter().position(|a| a == "--check-baseline") {
+                args.remove(i);
+                true
+            } else {
+                false
+            };
+            let experiment = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| "figure4".to_string());
+            std::process::exit(submit(&experiment, &addr, check));
+        }
+        Some("watch") => {
+            let addr = take_addr(&mut args);
+            let Some(job) = args.get(2).cloned() else {
+                eprintln!("usage: report watch <job-id> [--addr HOST:PORT]");
+                std::process::exit(2);
+            };
+            std::process::exit(watch(&job, &addr));
+        }
         Some("check") => {
             // Parse-only sanity check of the committed baselines.
             let mut ok = true;
-            for (experiment, _, _) in experiments() {
+            for (experiment, _, _) in gate_experiments() {
                 let path = baseline_path(experiment);
                 match load_baseline(experiment) {
                     Some(m) => println!(
@@ -230,7 +395,10 @@ fn main() {
             }
         }
         Some(other) => {
-            eprintln!("usage: report [baseline|gate|check]  (got '{other}')");
+            eprintln!(
+                "usage: report [baseline|gate|check|submit <experiment>|watch <job>]  \
+                 (got '{other}')"
+            );
             std::process::exit(2);
         }
     }

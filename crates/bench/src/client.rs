@@ -1,0 +1,142 @@
+//! Minimal std-only HTTP/1.1 client for the `wsrs-serve` job API.
+//!
+//! `report submit`/`report watch` and the server integration tests talk
+//! to the service through this module: plain `TcpStream` requests, fixed
+//! `Content-Length` responses, and incremental chunked-transfer decoding
+//! for result streams. One request per connection (the server closes
+//! after each response), so there is no connection state to manage.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A finished HTTP exchange.
+#[derive(Debug)]
+pub struct Response {
+    /// Numeric status code (200, 404, …).
+    pub status: u16,
+    /// Full response body (for chunked responses, every chunk
+    /// concatenated).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Body as UTF-8, lossy.
+    #[must_use]
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// `POST`s `body` to `http://<addr><path>`.
+///
+/// # Errors
+///
+/// Propagates connection and framing errors.
+pub fn post(addr: &str, path: &str, body: &str) -> std::io::Result<Response> {
+    exchange(addr, "POST", path, body, &mut |_| {})
+}
+
+/// `GET`s `http://<addr><path>`.
+///
+/// # Errors
+///
+/// Propagates connection and framing errors.
+pub fn get(addr: &str, path: &str) -> std::io::Result<Response> {
+    exchange(addr, "GET", path, "", &mut |_| {})
+}
+
+/// `GET`s a chunked stream, handing each decoded chunk to `on_chunk` as
+/// it arrives (the full body is also returned).
+///
+/// # Errors
+///
+/// Propagates connection and framing errors.
+pub fn get_streaming(
+    addr: &str,
+    path: &str,
+    on_chunk: &mut dyn FnMut(&[u8]),
+) -> std::io::Result<Response> {
+    exchange(addr, "GET", path, "", on_chunk)
+}
+
+fn bad_data(what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
+}
+
+fn exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    on_chunk: &mut dyn FnMut(&[u8]),
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_data("malformed status line"))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad_data("connection closed inside headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            if reader.read_line(&mut size_line)? == 0 {
+                return Err(bad_data("connection closed inside chunked body"));
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad_data("malformed chunk size"))?;
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+            on_chunk(&chunk);
+            body.extend_from_slice(&chunk);
+        }
+    } else if let Some(n) = content_length {
+        body.resize(n, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    Ok(Response { status, body })
+}

@@ -24,6 +24,7 @@
 //! Figure 4 grid runs in about a minute. Override with the environment
 //! variables `WSRS_WARMUP` and `WSRS_MEASURE` for paper-scale runs.
 
+pub mod client;
 pub mod manifest;
 pub mod windows;
 
@@ -34,6 +35,7 @@ use std::time::{Duration, Instant};
 use wsrs_core::{lockstep_compatible, run_lockstep, AllocPolicy, Report, SimConfig, Simulator};
 use wsrs_isa::DynInst;
 use wsrs_regfile::RenameStrategy;
+use wsrs_telemetry::Json;
 use wsrs_trace::{TraceKey, TraceStore};
 use wsrs_workloads::Workload;
 
@@ -111,6 +113,61 @@ pub fn figure4_configs() -> Vec<(&'static str, SimConfig)> {
             SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
         ),
     ]
+}
+
+/// One gated experiment: name, configurations, workloads.
+pub type Experiment = (&'static str, Vec<(&'static str, SimConfig)>, Vec<Workload>);
+
+/// The gated experiments: Figure 4's six configurations and Figure 5's
+/// two allocation policies, every configuration with telemetry switched
+/// on. Shared by the `report` binary (baselines + regression gate) and
+/// `wsrs-serve` (whole-grid job submission).
+#[must_use]
+pub fn gate_experiments() -> Vec<Experiment> {
+    let telemetry_on = manifest::telemetry_on;
+    let figure4 = figure4_configs()
+        .into_iter()
+        .map(|(n, c)| (n, telemetry_on(&c)))
+        .collect();
+    let figure5 = vec![
+        (
+            "WSRS RC",
+            telemetry_on(&SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            )),
+        ),
+        (
+            "WSRS RM",
+            telemetry_on(&SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomMonadic,
+                RenameStrategy::ExactCount,
+            )),
+        ),
+    ];
+    vec![
+        ("figure4", figure4, Workload::all().to_vec()),
+        ("figure5", figure5, Workload::all().to_vec()),
+    ]
+}
+
+/// Name → configuration registry over every gated experiment — the
+/// namespace [`CellJob`] wire forms resolve against. First binding of a
+/// name wins (names are unique across the gate today; the rule keeps the
+/// registry stable if experiments ever overlap).
+#[must_use]
+pub fn config_registry() -> Vec<(String, SimConfig)> {
+    let mut out: Vec<(String, SimConfig)> = Vec::new();
+    for (_, configs, _) in gate_experiments() {
+        for (name, cfg) in configs {
+            if !out.iter().any(|(n, _)| n == name) {
+                out.push((name.to_string(), cfg));
+            }
+        }
+    }
+    out
 }
 
 /// Runs one (workload, configuration) cell, emulating the workload's trace
@@ -232,6 +289,18 @@ enum TraceEntry {
     },
 }
 
+/// How long a [`TraceCache`] keeps each workload's in-memory trace.
+enum Retention {
+    /// Entries live for the cache's lifetime.
+    Retain,
+    /// Every workload is checked out exactly this many times; its entry
+    /// is dropped after the last checkout/release pair.
+    Uniform(usize),
+    /// Per-workload expected checkout counts (heterogeneous queues, e.g.
+    /// a `wsrs-serve` job whose cells cover workloads unevenly).
+    PerWorkload(HashMap<Workload, usize>),
+}
+
 /// Two-tier shared store of dynamic µop traces.
 ///
 /// **Memory tier**: each workload is materialized **once** per cache
@@ -256,7 +325,7 @@ enum TraceEntry {
 pub struct TraceCache {
     params: RunParams,
     /// Checkouts expected per workload before its entry can be evicted.
-    uses_per_workload: Option<usize>,
+    retention: Retention,
     /// The disk tier, when attached.
     store: Option<TraceStore>,
     entries: Mutex<HashMap<Workload, TraceEntry>>,
@@ -272,7 +341,7 @@ impl TraceCache {
     pub fn new(params: RunParams) -> Self {
         TraceCache {
             params,
-            uses_per_workload: None,
+            retention: Retention::Retain,
             store: None,
             entries: Mutex::new(HashMap::new()),
             built: Condvar::new(),
@@ -286,8 +355,32 @@ impl TraceCache {
     #[must_use]
     pub fn evicting(params: RunParams, uses_per_workload: usize) -> Self {
         TraceCache {
-            uses_per_workload: Some(uses_per_workload),
+            retention: Retention::Uniform(uses_per_workload),
             ..TraceCache::new(params)
+        }
+    }
+
+    /// A cache with per-workload expected checkout counts — the retention
+    /// a [`CellQueue`] derives when its cells cover workloads unevenly.
+    /// Checking out a workload absent from `uses` panics (the queue did
+    /// not plan it).
+    #[must_use]
+    pub fn evicting_per_workload(params: RunParams, uses: HashMap<Workload, usize>) -> Self {
+        TraceCache {
+            retention: Retention::PerWorkload(uses),
+            ..TraceCache::new(params)
+        }
+    }
+
+    /// Expected checkouts of `w`, `None` on a retaining cache.
+    fn expected_uses(&self, w: Workload) -> Option<usize> {
+        match &self.retention {
+            Retention::Retain => None,
+            Retention::Uniform(n) => Some(*n),
+            Retention::PerWorkload(m) => Some(
+                *m.get(&w)
+                    .unwrap_or_else(|| panic!("checkout of unplanned workload {w}")),
+            ),
         }
     }
 
@@ -429,7 +522,7 @@ impl TraceCache {
                         w,
                         TraceEntry::Ready {
                             trace: Arc::clone(&trace),
-                            remaining: self.uses_per_workload.map(|n| n - 1),
+                            remaining: self.expected_uses(w).map(|n| n - 1),
                         },
                     );
                     self.built.notify_all();
@@ -460,7 +553,7 @@ impl TraceCache {
     ///
     /// Panics if the cache lock is poisoned.
     pub fn release(&self, w: Workload) {
-        if self.uses_per_workload.is_none() {
+        if matches!(self.retention, Retention::Retain) {
             return;
         }
         let mut entries = self.entries.lock().unwrap();
@@ -516,13 +609,111 @@ pub struct GridRun {
     pub provenance: TraceProvenance,
 }
 
-/// One schedulable unit of grid work under one workload's trace, claimed
-/// atomically by exactly one worker.
-enum WorkUnit {
-    /// ≥ 2 compatible configuration columns simulated together by one
+/// One (configuration, workload, window) cell of the design space — the
+/// unit of work everything schedules: grid binaries build one per grid
+/// cell, and `wsrs-serve` deserializes them straight off the job API.
+/// Serializable via [`CellJob::to_json`]/[`CellJob::from_json`] (configs
+/// travel by registry name; the resolved [`SimConfig`] rides along in
+/// memory).
+#[derive(Clone, Debug)]
+pub struct CellJob {
+    /// The workload whose trace the cell simulates.
+    pub workload: Workload,
+    /// Registry name of the configuration (e.g. `"RR 256"`).
+    pub config_name: String,
+    /// The resolved configuration.
+    pub config: SimConfig,
+    /// Warmup/measure window.
+    pub params: RunParams,
+    /// Whether this cell may join a lockstep batch with compatible
+    /// sibling cells of the same workload. Purely an execution hint —
+    /// results are bit-identical either way.
+    pub batch_hint: bool,
+}
+
+impl CellJob {
+    /// A batchable cell.
+    #[must_use]
+    pub fn new(
+        workload: Workload,
+        config_name: &str,
+        config: SimConfig,
+        params: RunParams,
+    ) -> Self {
+        CellJob {
+            workload,
+            config_name: config_name.to_string(),
+            config,
+            params,
+            batch_hint: true,
+        }
+    }
+
+    /// Wire form: the configuration travels by registry name.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.name().into())),
+            ("config".into(), Json::Str(self.config_name.clone())),
+            ("warmup".into(), Json::UInt(self.params.warmup)),
+            ("measure".into(), Json::UInt(self.params.measure)),
+            ("batch".into(), Json::Bool(self.batch_hint)),
+        ])
+    }
+
+    /// Parses the wire form, resolving `config` against `registry` (see
+    /// [`config_registry`]) and defaulting an absent window to `params`.
+    /// `None` on unknown workload/config names or malformed fields.
+    #[must_use]
+    pub fn from_json(
+        v: &Json,
+        registry: &[(String, SimConfig)],
+        params: RunParams,
+    ) -> Option<CellJob> {
+        let workload: Workload = v.get("workload")?.as_str()?.parse().ok()?;
+        let name = v.get("config")?.as_str()?;
+        let config = registry.iter().find(|(n, _)| n == name).map(|(_, c)| *c)?;
+        Some(CellJob {
+            workload,
+            config_name: name.to_string(),
+            config,
+            params: RunParams {
+                warmup: v
+                    .get("warmup")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(params.warmup),
+                measure: v
+                    .get("measure")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(params.measure),
+            },
+            batch_hint: v.get("batch").and_then(Json::as_bool).unwrap_or(true),
+        })
+    }
+}
+
+/// One finished cell, as handed to a [`CellQueue`] result sink.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Index into [`CellQueue::cells`] of the cell this report belongs to.
+    pub cell: usize,
+    /// The simulation result.
+    pub report: Report,
+    /// Whether the cell ran on the lockstep batch path.
+    pub batched: bool,
+    /// Wall time attributed to the cell (an even share of its unit).
+    pub elapsed: Duration,
+}
+
+/// One schedulable unit of work under one workload's trace, claimed
+/// atomically by exactly one worker. Indices refer to the owning
+/// [`CellQueue`]'s cell list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkUnit {
+    /// ≥ 2 compatible cells simulated together by one
     /// [`wsrs_core::run_lockstep`] call over the shared trace.
     Batch(Vec<usize>),
-    /// One configuration column simulated by the scalar engine.
+    /// One cell simulated by the scalar engine.
     Scalar(usize),
 }
 
@@ -534,35 +725,189 @@ pub fn batching_enabled() -> bool {
     std::env::var("WSRS_BATCH").map_or(true, |v| v != "0")
 }
 
-/// Partitions a grid's configuration columns into work units. Columns
-/// that can share a lockstep batch — single-threaded, no virtual-physical
-/// registers, same predictor (see [`wsrs_core::lockstep_compatible`]) —
-/// are grouped by predictor kind; everything else, and any group of one,
-/// runs scalar. The plan depends only on the configurations, so the same
-/// plan serves every workload row.
-fn plan_units(configs: &[(&str, SimConfig)], batching: bool) -> Vec<WorkUnit> {
-    let mut units = Vec::new();
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    for (i, (_, cfg)) in configs.iter().enumerate() {
-        if !batching || !lockstep_compatible(std::slice::from_ref(cfg)) {
-            units.push(WorkUnit::Scalar(i));
-        } else if let Some(g) = groups
-            .iter_mut()
-            .find(|g| configs[g[0]].1.predictor == cfg.predictor)
-        {
-            g.push(i);
-        } else {
-            groups.push(vec![i]);
+/// A planned batch of cells with a single claim cursor — the queue type
+/// every executor shares: `run_grid_full` workers on bench binaries and
+/// `wsrs-serve`'s server-side worker pool claim [`WorkUnit`]s from the
+/// same structure, so the lockstep-batching plan and the
+/// claim-exactly-once discipline cannot drift between the two.
+///
+/// Planning groups cells by workload (first-seen order). Within a
+/// workload, cells that can share a lockstep batch — `batch_hint` set,
+/// single-threaded, no virtual-physical registers, one common predictor
+/// (see [`wsrs_core::lockstep_compatible`]) — are grouped by predictor
+/// kind; everything else, and any group of one, runs scalar. Units of a
+/// workload are contiguous, so an evicting [`TraceCache`] holds at most
+/// the traces of workloads actually in flight.
+pub struct CellQueue {
+    cells: Vec<CellJob>,
+    units: Vec<WorkUnit>,
+    next: AtomicUsize,
+}
+
+impl CellQueue {
+    /// Plans `cells` into claimable units. All cells must share one
+    /// warmup/measure window (one trace per workload; heterogeneous
+    /// windows belong in separate queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if cells disagree on the window.
+    #[must_use]
+    pub fn plan(cells: Vec<CellJob>, batching: bool) -> CellQueue {
+        if let Some(first) = cells.first() {
+            assert!(
+                cells.iter().all(|c| (c.params.warmup, c.params.measure)
+                    == (first.params.warmup, first.params.measure)),
+                "a CellQueue holds one window; split heterogeneous windows into separate queues"
+            );
+        }
+        let mut workload_order: Vec<Workload> = Vec::new();
+        for c in &cells {
+            if !workload_order.contains(&c.workload) {
+                workload_order.push(c.workload);
+            }
+        }
+        let mut units = Vec::new();
+        for w in workload_order {
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for (i, c) in cells.iter().enumerate() {
+                if c.workload != w {
+                    continue;
+                }
+                if !batching
+                    || !c.batch_hint
+                    || !lockstep_compatible(std::slice::from_ref(&c.config))
+                {
+                    units.push(WorkUnit::Scalar(i));
+                } else if let Some(g) = groups
+                    .iter_mut()
+                    .find(|g| cells[g[0]].config.predictor == c.config.predictor)
+                {
+                    g.push(i);
+                } else {
+                    groups.push(vec![i]);
+                }
+            }
+            for g in groups {
+                if g.len() >= 2 {
+                    units.push(WorkUnit::Batch(g));
+                } else {
+                    units.push(WorkUnit::Scalar(g[0]));
+                }
+            }
+        }
+        CellQueue {
+            cells,
+            units,
+            next: AtomicUsize::new(0),
         }
     }
-    for g in groups {
-        if g.len() >= 2 {
-            units.push(WorkUnit::Batch(g));
-        } else {
-            units.push(WorkUnit::Scalar(g[0]));
+
+    /// The planned cells, in submission order.
+    #[must_use]
+    pub fn cells(&self) -> &[CellJob] {
+        &self.cells
+    }
+
+    /// The planned units, in claim order.
+    #[must_use]
+    pub fn units(&self) -> &[WorkUnit] {
+        &self.units
+    }
+
+    /// Per-cell execution path: `true` when the cell is planned into a
+    /// lockstep batch.
+    #[must_use]
+    pub fn batched_cells(&self) -> Vec<bool> {
+        let mut out = vec![false; self.cells.len()];
+        for u in &self.units {
+            if let WorkUnit::Batch(g) = u {
+                for &i in g {
+                    out[i] = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Expected trace checkouts per workload — the retention map for
+    /// [`TraceCache::evicting_per_workload`]. One checkout per unit.
+    #[must_use]
+    pub fn uses_per_workload(&self) -> HashMap<Workload, usize> {
+        let mut out = HashMap::new();
+        for u in &self.units {
+            let cell = match u {
+                WorkUnit::Batch(g) => g[0],
+                WorkUnit::Scalar(i) => *i,
+            };
+            *out.entry(self.cells[cell].workload).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Atomically claims the next unclaimed unit; `None` once the queue
+    /// is drained. Each unit is returned to exactly one caller, across
+    /// any number of claiming threads.
+    #[must_use]
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.units.len()).then_some(i)
+    }
+
+    /// Executes one claimed unit: checks the workload's trace out of
+    /// `cache`, simulates (lockstep for a batch, scalar otherwise),
+    /// releases the trace and hands each finished cell to `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn run_unit(&self, unit: usize, cache: &TraceCache, sink: &(dyn Fn(CellResult) + Sync)) {
+        match &self.units[unit] {
+            WorkUnit::Scalar(i) => {
+                let c = &self.cells[*i];
+                let trace = cache.checkout(c.workload);
+                let t0 = Instant::now();
+                let report = run_cell_cached(&trace, &c.config, c.params);
+                drop(trace);
+                cache.release(c.workload);
+                sink(CellResult {
+                    cell: *i,
+                    report,
+                    batched: false,
+                    elapsed: t0.elapsed(),
+                });
+            }
+            WorkUnit::Batch(group) => {
+                let lead = &self.cells[group[0]];
+                let family: Vec<SimConfig> = group.iter().map(|&i| self.cells[i].config).collect();
+                let trace = cache.checkout(lead.workload);
+                let t0 = Instant::now();
+                let reports =
+                    run_lockstep(&family, &trace, lead.params.warmup, lead.params.measure);
+                // The batch's wall time is shared; attribute an even
+                // share to each cell so sink-side totals stay meaningful.
+                let per_cell = t0.elapsed() / group.len() as u32;
+                drop(trace);
+                cache.release(lead.workload);
+                for (&i, report) in group.iter().zip(reports) {
+                    sink(CellResult {
+                        cell: i,
+                        report,
+                        batched: true,
+                        elapsed: per_cell,
+                    });
+                }
+            }
         }
     }
-    units
+
+    /// Claims and executes units until the queue is drained — the worker
+    /// body shared by grid binaries and server worker threads.
+    pub fn run_worker(&self, cache: &TraceCache, sink: &(dyn Fn(CellResult) + Sync)) {
+        while let Some(u) = self.claim() {
+            self.run_unit(u, cache, sink);
+        }
+    }
 }
 
 /// The disk trace store grid experiments use by default:
@@ -643,68 +988,46 @@ pub fn run_grid_full(
     store: Option<TraceStore>,
     on_cell: CellHook<'_>,
 ) -> GridRun {
-    let n_cells = workloads.len() * configs.len();
-    let units = plan_units(configs, batching_enabled());
+    // Workload-major cell list: row w's cells are contiguous, matching
+    // the serial iteration order (and the returned [workload][config]
+    // report shape).
+    let jobs: Vec<CellJob> = workloads
+        .iter()
+        .flat_map(|&w| {
+            configs
+                .iter()
+                .map(move |(name, cfg)| CellJob::new(w, name, *cfg, params))
+        })
+        .collect();
+    let queue = CellQueue::plan(jobs, batching_enabled());
+    let batched_cells = queue.batched_cells();
+    // Column batching is workload-independent: read it off the first row
+    // (all-false when there are no rows).
     let mut batched = vec![false; configs.len()];
-    for u in &units {
-        if let WorkUnit::Batch(g) = u {
-            for &ci in g {
-                batched[ci] = true;
-            }
-        }
-    }
-    let n_units = workloads.len() * units.len();
-    let cache = TraceCache::evicting(params, units.len()).with_store(store);
-    let next = AtomicUsize::new(0);
-    let cells: Vec<Mutex<Option<Report>>> = (0..n_cells).map(|_| Mutex::new(None)).collect();
+    batched
+        .iter_mut()
+        .zip(&batched_cells)
+        .for_each(|(b, &c)| *b = c);
+    let cache =
+        TraceCache::evicting_per_workload(params, queue.uses_per_workload()).with_store(store);
+    let cells: Vec<Mutex<Option<Report>>> =
+        (0..queue.cells().len()).map(|_| Mutex::new(None)).collect();
 
-    // Workers claim flat unit indices (workload-major, matching the
-    // serial iteration order) until none remain; a whole lockstep batch
-    // is one claim.
-    let worker = || loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= n_units {
-            break;
-        }
-        let w = workloads[i / units.len()];
-        let row = (i / units.len()) * configs.len();
-        let unit = &units[i % units.len()];
-        let trace = cache.checkout(w);
-        match unit {
-            WorkUnit::Scalar(ci) => {
-                let (name, cfg) = &configs[*ci];
-                let t0 = Instant::now();
-                let report = run_cell_cached(&trace, cfg, params);
-                drop(trace);
-                cache.release(w);
-                on_cell(w, name, &report, t0.elapsed());
-                *cells[row + ci].lock().unwrap() = Some(report);
-            }
-            WorkUnit::Batch(group) => {
-                let family: Vec<SimConfig> = group.iter().map(|&ci| configs[ci].1).collect();
-                let t0 = Instant::now();
-                let reports = run_lockstep(&family, &trace, params.warmup, params.measure);
-                // The batch's wall time is shared; attribute an even
-                // share to each cell so hook-side totals stay meaningful.
-                let per_cell = t0.elapsed() / group.len() as u32;
-                drop(trace);
-                cache.release(w);
-                for (&ci, report) in group.iter().zip(reports) {
-                    on_cell(w, configs[ci].0, &report, per_cell);
-                    *cells[row + ci].lock().unwrap() = Some(report);
-                }
-            }
-        }
+    let sink = |r: CellResult| {
+        let job = &queue.cells()[r.cell];
+        on_cell(job.workload, &job.config_name, &r.report, r.elapsed);
+        *cells[r.cell].lock().unwrap() = Some(r.report);
     };
+    let n_units = queue.units().len();
     if threads <= 1 || n_units <= 1 {
-        worker();
+        queue.run_worker(&cache, &sink);
     } else {
         std::thread::scope(|s| {
             // The calling thread is worker 0.
             for _ in 1..threads.min(n_units) {
-                s.spawn(worker);
+                s.spawn(|| queue.run_worker(&cache, &sink));
             }
-            worker();
+            queue.run_worker(&cache, &sink);
         });
     }
 
@@ -835,26 +1158,41 @@ mod tests {
         assert!(maybe_write_csv("x", "y").is_none());
     }
 
+    fn row(w: Workload, configs: &[(&str, SimConfig)], params: RunParams) -> Vec<CellJob> {
+        configs
+            .iter()
+            .map(|(name, cfg)| CellJob::new(w, name, *cfg, params))
+            .collect()
+    }
+
     #[test]
     fn figure4_plans_as_one_lockstep_batch() {
+        let params = RunParams::from_env();
         let configs = figure4_configs();
-        let units = plan_units(&configs, true);
-        assert_eq!(units.len(), 1, "six sibling configs share one batch");
-        match &units[0] {
-            WorkUnit::Batch(g) => assert_eq!(g, &[0, 1, 2, 3, 4, 5]),
-            WorkUnit::Scalar(_) => panic!("expected a batch unit"),
-        }
-        let scalar = plan_units(&configs, false);
+        let queue = CellQueue::plan(row(Workload::Gzip, &configs, params), true);
         assert_eq!(
-            scalar.len(),
+            queue.units().len(),
+            1,
+            "six sibling configs share one batch"
+        );
+        assert_eq!(queue.units()[0], WorkUnit::Batch(vec![0, 1, 2, 3, 4, 5]));
+        assert_eq!(queue.batched_cells(), vec![true; 6]);
+
+        let scalar = CellQueue::plan(row(Workload::Gzip, &configs, params), false);
+        assert_eq!(
+            scalar.units().len(),
             configs.len(),
             "batching off: one unit per cell"
         );
-        assert!(scalar.iter().all(|u| matches!(u, WorkUnit::Scalar(_))));
+        assert!(scalar
+            .units()
+            .iter()
+            .all(|u| matches!(u, WorkUnit::Scalar(_))));
     }
 
     #[test]
     fn incompatible_columns_fall_back_to_scalar_units() {
+        let params = RunParams::from_env();
         let mut smt = SimConfig::conventional_rr(256);
         smt.threads = 2;
         let mut vp = SimConfig::conventional_rr(256);
@@ -865,10 +1203,11 @@ mod tests {
             ("b", SimConfig::conventional_rr(512)),
             ("vp", vp),
         ];
-        let units = plan_units(&configs, true);
+        let queue = CellQueue::plan(row(Workload::Gzip, &configs, params), true);
         // smt and vp run scalar; a and b share a batch.
-        assert_eq!(units.len(), 3);
-        let batched: Vec<_> = units
+        assert_eq!(queue.units().len(), 3);
+        let batched: Vec<_> = queue
+            .units()
             .iter()
             .filter_map(|u| match u {
                 WorkUnit::Batch(g) => Some(g.clone()),
@@ -876,6 +1215,74 @@ mod tests {
             })
             .collect();
         assert_eq!(batched, vec![vec![0, 2]]);
+        assert_eq!(queue.batched_cells(), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn multi_workload_queue_keeps_workloads_contiguous() {
+        let params = RunParams::from_env();
+        let configs = [
+            ("a", SimConfig::conventional_rr(256)),
+            ("b", SimConfig::conventional_rr(512)),
+        ];
+        let mut cells = row(Workload::Gzip, &configs, params);
+        cells.extend(row(Workload::Mcf, &configs, params));
+        let queue = CellQueue::plan(cells, true);
+        assert_eq!(
+            queue.units(),
+            &[WorkUnit::Batch(vec![0, 1]), WorkUnit::Batch(vec![2, 3])]
+        );
+        let uses = queue.uses_per_workload();
+        assert_eq!(uses[&Workload::Gzip], 1);
+        assert_eq!(uses[&Workload::Mcf], 1);
+    }
+
+    #[test]
+    fn batch_hint_false_forces_scalar() {
+        let params = RunParams::from_env();
+        let configs = [
+            ("a", SimConfig::conventional_rr(256)),
+            ("b", SimConfig::conventional_rr(512)),
+        ];
+        let mut cells = row(Workload::Gzip, &configs, params);
+        cells[1].batch_hint = false;
+        let queue = CellQueue::plan(cells, true);
+        assert_eq!(
+            queue.units(),
+            &[WorkUnit::Scalar(1), WorkUnit::Scalar(0)],
+            "hinted-off cell scalar inline; singleton group degrades to scalar"
+        );
+    }
+
+    #[test]
+    fn cell_job_round_trips_through_json() {
+        let params = RunParams {
+            warmup: 1_000,
+            measure: 2_000,
+        };
+        let registry = config_registry();
+        // Registry entries carry telemetry switched on; the round trip
+        // must resolve to exactly that configuration.
+        let rr256 = registry.iter().find(|(n, _)| n == "RR 256").unwrap().1;
+        let job = CellJob::new(Workload::Swim, "RR 256", rr256, params);
+        let wire = job.to_json().to_string_compact();
+        let parsed = CellJob::from_json(&Json::parse(&wire).unwrap(), &registry, params).unwrap();
+        assert_eq!(parsed.workload, job.workload);
+        assert_eq!(parsed.config_name, job.config_name);
+        assert_eq!(parsed.config, job.config);
+        assert_eq!(
+            (parsed.params.warmup, parsed.params.measure),
+            (1_000, 2_000)
+        );
+        assert!(parsed.batch_hint);
+
+        assert_eq!(rr256.content_hash(), parsed.config.content_hash());
+        assert!(CellJob::from_json(
+            &Json::parse("{\"workload\":\"gzip\",\"config\":\"nonesuch\"}").unwrap(),
+            &registry,
+            params
+        )
+        .is_none());
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub fn cell_record(
         workload: w.name().to_string(),
         config: config_name.to_string(),
         config_hash: config_hash(&format!("{cfg:?}")),
+        config_content_hash: format!("{:016x}", cfg.content_hash()),
         ipc: r.ipc(),
         cycles: r.cycles,
         uops: r.uops,
@@ -216,8 +217,17 @@ mod tests {
         assert!(attr.conserved());
         let parsed = RunManifest::parse(&m.to_json_string()).expect("roundtrip");
         assert_eq!(parsed, m);
-        // The two configs must fingerprint differently.
+        // The two configs must fingerprint differently, under both the
+        // Debug-rendering hash and the canonical content hash.
         assert_ne!(m.cells[0].config_hash, m.cells[1].config_hash);
+        assert_ne!(
+            m.cells[0].config_content_hash,
+            m.cells[1].config_content_hash
+        );
+        assert_eq!(
+            m.cells[0].config_content_hash,
+            format!("{:016x}", configs[0].1.content_hash())
+        );
         // Environment fields disappear under normalization.
         let mut other = m.clone();
         other.workers = 7;

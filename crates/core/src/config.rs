@@ -46,7 +46,7 @@ impl FastForward {
 }
 
 /// Full configuration of the timing simulator.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct SimConfig {
     /// Number of execution domains — symmetric clusters, or pools in the
     /// Figure 2b organization (the paper's geometry is 4 either way).
@@ -329,6 +329,97 @@ impl SimConfig {
         (worst as usize).next_power_of_two().clamp(64, 1024)
     }
 
+    /// Canonical content hash of this configuration: a stable
+    /// field-order FNV-1a digest covering **every timing-relevant field**
+    /// (two configurations compare equal iff their hashes match, up to
+    /// FNV collisions). Unlike the `Debug`-rendering fingerprint in run
+    /// manifests, the field order and encoding here are explicit and
+    /// versioned (`wsrs-simconfig-v1`), so the digest is safe to use as a
+    /// persistent cache key — `wsrs-serve` keys its memoized cell results
+    /// on (this hash, trace checksum, [`crate::sim_revision`]).
+    ///
+    /// Adding a field to [`SimConfig`] must extend this digest; the
+    /// `content_hash_covers_every_field` test enumerates one mutation per
+    /// field and fails when a new field is left out of the hash.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = wsrs_isa::Fnv1a::new();
+        h.write(b"wsrs-simconfig-v1;");
+        h.write_u64(self.clusters as u64);
+        for r in &self.resources {
+            h.write_u64(u64::from(r.issue_width));
+            h.write_u64(u64::from(r.alus));
+            h.write_u64(u64::from(r.ldsts));
+            h.write_u64(u64::from(r.fps));
+            h.write_u64(u64::from(r.muldivs));
+            h.write_u64(u64::from(r.fpdivs));
+        }
+        h.write_u64(self.window_per_cluster as u64);
+        h.write_u64(self.rob as u64);
+        h.write_u64(self.fetch_width as u64);
+        h.write_u64(self.min_mispredict_penalty);
+        h.write_u8(match self.mode {
+            RegFileMode::Conventional => 0,
+            RegFileMode::WriteSpecialized => 1,
+            RegFileMode::Wsrs => 2,
+        });
+        h.write_u8(match self.policy {
+            AllocPolicy::RoundRobin => 0,
+            AllocPolicy::RandomMonadic => 1,
+            AllocPolicy::RandomCommutative => 2,
+            AllocPolicy::LoadBalance => 3,
+            AllocPolicy::ByKind => 4,
+        });
+        h.write_u64(self.renamer.subsets as u64);
+        h.write_u64(self.renamer.int_regs as u64);
+        h.write_u64(self.renamer.fp_regs as u64);
+        h.write_u8(match self.renamer.strategy {
+            RenameStrategy::Recycling => 0,
+            RenameStrategy::ExactCount => 1,
+        });
+        h.write_u64(self.renamer.recycle_delay);
+        h.write_u64(self.renamer.rename_width as u64);
+        h.write_u64(self.renamer.threads as u64);
+        for c in [self.hierarchy.l1, self.hierarchy.l2] {
+            h.write_u64(c.size_bytes as u64);
+            h.write_u64(c.line_bytes as u64);
+            h.write_u64(c.associativity as u64);
+            h.write_u64(u64::from(c.hit_latency));
+        }
+        h.write_u64(u64::from(self.hierarchy.l1_miss_penalty));
+        h.write_u64(u64::from(self.hierarchy.l2_miss_penalty));
+        h.write_u64(u64::from(self.hierarchy.l1_ports_per_cycle));
+        h.write_u64(u64::from(self.hierarchy.l2_bytes_per_cycle));
+        h.write_u8(match self.fast_forward {
+            FastForward::IntraCluster => 0,
+            FastForward::AdjacentPair => 1,
+            FastForward::Complete => 2,
+        });
+        h.write_u8(match self.predictor {
+            wsrs_frontend::PredictorKind::TwoBcGskew512K => 0,
+            wsrs_frontend::PredictorKind::Gshare64K => 1,
+            wsrs_frontend::PredictorKind::Bimodal64K => 2,
+            wsrs_frontend::PredictorKind::AlwaysTaken => 3,
+            wsrs_frontend::PredictorKind::Perfect => 4,
+        });
+        h.write_u64(self.seed);
+        h.write_u8(u8::from(self.deadlock_recovery));
+        // Options hash a presence byte so `None` can never alias a value.
+        h.write_u8(u8::from(self.vp_phys_per_subset.is_some()));
+        h.write_u64(self.vp_phys_per_subset.unwrap_or(0) as u64);
+        h.write_u8(u8::from(self.avoid_exhaustion));
+        h.write_u64(self.threads as u64);
+        h.write_u8(u8::from(self.reg_cache.is_some()));
+        let rc = self.reg_cache.unwrap_or(RegCache {
+            retention_cycles: 0,
+            slow_read_penalty: 0,
+        });
+        h.write_u64(rc.retention_cycles);
+        h.write_u64(u64::from(rc.slow_read_penalty));
+        h.write_u8(u8::from(self.telemetry));
+        h.finish()
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -598,5 +689,136 @@ mod tests {
         let mut c = SimConfig::conventional_rr(256);
         c.mode = RegFileMode::Wsrs;
         c.validate();
+    }
+
+    /// One mutation per [`SimConfig`] field (including every nested
+    /// field), asserting each changes the content hash. A new field left
+    /// out of [`SimConfig::content_hash`] shows up here as soon as a
+    /// mutator for it is added — and the struct-literal exhaustiveness of
+    /// `field_mutations` forces that addition at compile time for flat
+    /// fields.
+    fn field_mutations() -> Vec<(&'static str, SimConfig)> {
+        use wsrs_frontend::PredictorKind;
+        let b = SimConfig::conventional_rr(256);
+        let mut out: Vec<(&'static str, SimConfig)> = Vec::new();
+        let mut push = |name, f: &dyn Fn(&mut SimConfig)| {
+            let mut c = b;
+            f(&mut c);
+            out.push((name, c));
+        };
+        push("clusters", &|c| c.clusters += 1);
+        push("resources.issue_width", &|c| {
+            c.resources[1].issue_width += 1;
+        });
+        push("resources.alus", &|c| c.resources[2].alus += 1);
+        push("resources.ldsts", &|c| c.resources[0].ldsts += 1);
+        push("resources.fps", &|c| c.resources[3].fps += 1);
+        push("resources.muldivs", &|c| c.resources[0].muldivs += 1);
+        push("resources.fpdivs", &|c| c.resources[0].fpdivs += 1);
+        push("window_per_cluster", &|c| c.window_per_cluster += 1);
+        push("rob", &|c| c.rob += 1);
+        push("fetch_width", &|c| c.fetch_width += 1);
+        push("min_mispredict_penalty", &|c| {
+            c.min_mispredict_penalty += 1;
+        });
+        push("mode", &|c| c.mode = RegFileMode::WriteSpecialized);
+        push("policy", &|c| c.policy = AllocPolicy::LoadBalance);
+        push("renamer.subsets", &|c| c.renamer.subsets += 1);
+        push("renamer.int_regs", &|c| c.renamer.int_regs += 1);
+        push("renamer.fp_regs", &|c| c.renamer.fp_regs += 1);
+        push("renamer.strategy", &|c| {
+            c.renamer.strategy = RenameStrategy::Recycling;
+        });
+        push("renamer.recycle_delay", &|c| c.renamer.recycle_delay += 1);
+        push("renamer.rename_width", &|c| c.renamer.rename_width += 1);
+        push("renamer.threads", &|c| c.renamer.threads += 1);
+        push("hierarchy.l1.size_bytes", &|c| {
+            c.hierarchy.l1.size_bytes *= 2;
+        });
+        push("hierarchy.l1.line_bytes", &|c| {
+            c.hierarchy.l1.line_bytes *= 2;
+        });
+        push("hierarchy.l1.associativity", &|c| {
+            c.hierarchy.l1.associativity += 1;
+        });
+        push("hierarchy.l1.hit_latency", &|c| {
+            c.hierarchy.l1.hit_latency += 1;
+        });
+        push("hierarchy.l2.size_bytes", &|c| {
+            c.hierarchy.l2.size_bytes *= 2;
+        });
+        push("hierarchy.l1_miss_penalty", &|c| {
+            c.hierarchy.l1_miss_penalty += 1;
+        });
+        push("hierarchy.l2_miss_penalty", &|c| {
+            c.hierarchy.l2_miss_penalty += 1;
+        });
+        push("hierarchy.l1_ports_per_cycle", &|c| {
+            c.hierarchy.l1_ports_per_cycle += 1;
+        });
+        push("hierarchy.l2_bytes_per_cycle", &|c| {
+            c.hierarchy.l2_bytes_per_cycle += 1;
+        });
+        push("fast_forward", &|c| {
+            c.fast_forward = FastForward::Complete;
+        });
+        push("predictor", &|c| c.predictor = PredictorKind::Gshare64K);
+        push("seed", &|c| c.seed ^= 1);
+        push("deadlock_recovery", &|c| c.deadlock_recovery = true);
+        push("vp_phys_per_subset", &|c| {
+            c.vp_phys_per_subset = Some(96);
+        });
+        push("avoid_exhaustion", &|c| c.avoid_exhaustion = true);
+        push("threads", &|c| c.threads += 1);
+        push("reg_cache", &|c| {
+            c.reg_cache = Some(RegCache {
+                retention_cycles: 4,
+                slow_read_penalty: 1,
+            });
+        });
+        push("reg_cache.retention_cycles", &|c| {
+            c.reg_cache = Some(RegCache {
+                retention_cycles: 5,
+                slow_read_penalty: 1,
+            });
+        });
+        push("telemetry", &|c| c.telemetry = true);
+        out
+    }
+
+    #[test]
+    fn content_hash_covers_every_field() {
+        let base = SimConfig::conventional_rr(256);
+        assert_eq!(base.content_hash(), base.content_hash(), "stable");
+        let muts = field_mutations();
+        for (name, m) in &muts {
+            assert_ne!(*m, base, "{name}: mutation must change the config");
+            assert_ne!(
+                m.content_hash(),
+                base.content_hash(),
+                "{name}: field is not covered by content_hash"
+            );
+        }
+        // Distinct mutations must not collide with each other either.
+        for (i, (na, a)) in muts.iter().enumerate() {
+            for (nb, b) in &muts[i + 1..] {
+                assert_ne!(
+                    a.content_hash(),
+                    b.content_hash(),
+                    "collision between {na} and {nb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn content_hash_none_does_not_alias_zero_value() {
+        let base = SimConfig::conventional_rr(256);
+        let mut zeroed = base;
+        zeroed.reg_cache = Some(RegCache {
+            retention_cycles: 0,
+            slow_read_penalty: 0,
+        });
+        assert_ne!(base.content_hash(), zeroed.content_hash());
     }
 }

@@ -51,6 +51,22 @@ pub mod sim;
 mod slots;
 pub mod wheel;
 
+/// Timing-model revision tag. Bump whenever a change can alter any
+/// `Report` field for some (config, trace) cell — new timing semantics,
+/// bucket accounting, policy RNG usage — so persistently memoized cell
+/// results ([`sim_revision`] is one third of `wsrs-serve`'s memo key) are
+/// invalidated instead of silently replayed. Pure restructurings that are
+/// proven bit-identical (event scheduler, lockstep batching) do NOT bump
+/// it.
+pub const SIM_REVISION_TAG: &str = "wsrs-sim-v1";
+
+/// FNV-1a digest of [`SIM_REVISION_TAG`] — the simulator-revision
+/// component of content-addressed cell-result keys.
+#[must_use]
+pub fn sim_revision() -> u64 {
+    wsrs_isa::fnv1a_64(SIM_REVISION_TAG.as_bytes())
+}
+
 pub use alloc::{AllocPolicy, ClusterChoice};
 pub use batch::{lockstep_compatible, run_lockstep};
 pub use cluster::{ClusterId, FuKind, Resources};

@@ -5,7 +5,7 @@ use crate::cache::{Cache, CacheConfig, CacheStats};
 use wsrs_telemetry::Histogram;
 
 /// Full hierarchy configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct HierarchyConfig {
     /// L1 data cache geometry/latency.
     pub l1: CacheConfig,

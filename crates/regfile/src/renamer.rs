@@ -28,7 +28,7 @@ use wsrs_isa::{RegClass, RegRef};
 pub const DEFAULT_RECYCLE_DELAY: u64 = 4;
 
 /// Renamer configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RenamerConfig {
     /// Number of register-file subsets (1 = conventional).
     pub subsets: usize,

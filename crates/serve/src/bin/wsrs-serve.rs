@@ -1,0 +1,60 @@
+//! The `wsrs-serve` daemon: bind, serve, exit 0 on SIGTERM.
+//!
+//! ```sh
+//! wsrs-serve [--addr HOST:PORT] [--workers N] [--memo-dir DIR] \
+//!            [--trace-dir DIR] [--paused]
+//! ```
+//!
+//! Defaults: `127.0.0.1:8787`, one worker per `WSRS_THREADS`/CPU slot,
+//! stores under `artifacts/memo` and `artifacts/traces`.
+
+use wsrs_serve::{install_signal_handlers, Server, ServerOptions};
+
+fn main() {
+    let mut opts = ServerOptions::default_dirs();
+    let mut addr = "127.0.0.1:8787".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => {
+                opts.workers = value("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("--workers needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--memo-dir" => opts.memo_dir = value("--memo-dir").into(),
+            "--trace-dir" => opts.trace_dir = value("--trace-dir").into(),
+            "--paused" => opts.paused = true,
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'\nusage: wsrs-serve [--addr HOST:PORT] \
+                     [--workers N] [--memo-dir DIR] [--trace-dir DIR] [--paused]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    install_signal_handlers();
+    let server = Server::bind(addr.as_str(), &opts).unwrap_or_else(|e| {
+        eprintln!("wsrs-serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wsrs-serve: listening on {} ({} worker(s), memo {}, traces {})",
+        server.addr(),
+        opts.workers,
+        opts.memo_dir.display(),
+        opts.trace_dir.display()
+    );
+    let workers = opts.workers;
+    server.run(workers);
+    eprintln!("wsrs-serve: graceful shutdown complete");
+}

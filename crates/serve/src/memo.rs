@@ -1,0 +1,206 @@
+//! The content-addressed cell-result store.
+//!
+//! A finished cell is a pure function of three identities: the canonical
+//! configuration content hash ([`wsrs_core::SimConfig::content_hash`]),
+//! the content checksum of the trace file the cell consumed, and the
+//! timing-model revision ([`wsrs_core::sim_revision`]). The memo store
+//! maps that triple to the cell's finished JSON line, so resubmitting a
+//! grid replays bytes from disk instead of re-simulating — and any change
+//! to a configuration, a workload kernel, the emulator, or the timing
+//! model changes a key component and simply misses.
+//!
+//! Entries are one file per cell, named by the key, written atomically
+//! (temp file + rename) so a killed server never leaves a partial entry
+//! behind: a `.json` file either exists with complete contents or does
+//! not exist.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The content-addressed identity of one finished cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// `SimConfig::content_hash()` of the cell's configuration.
+    pub config: u64,
+    /// Content checksum of the trace file the cell consumed.
+    pub trace: u64,
+    /// `wsrs_core::sim_revision()` of the simulator that ran it.
+    pub sim: u64,
+}
+
+impl MemoKey {
+    /// The entry filename this key maps to.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!(
+            "{:016x}-{:016x}-{:016x}.json",
+            self.config, self.trace, self.sim
+        )
+    }
+
+    /// Parses an entry filename back into its key; `None` for foreign
+    /// files.
+    #[must_use]
+    pub fn parse_file_name(name: &str) -> Option<MemoKey> {
+        let stem = name.strip_suffix(".json")?;
+        let mut parts = stem.split('-');
+        let config = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let trace = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let sim = u64::from_str_radix(parts.next()?, 16).ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(MemoKey { config, trace, sim })
+    }
+}
+
+/// Aggregate memo-store counters (served by `GET /v1/stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that fell through to simulation.
+    pub misses: u64,
+    /// Entries written this run.
+    pub writes: u64,
+}
+
+/// A directory of memoized cell results addressed by [`MemoKey`].
+#[derive(Debug)]
+pub struct MemoStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl MemoStore {
+    /// A store rooted at `dir`, created lazily on first write.
+    pub fn at(dir: impl Into<PathBuf>) -> MemoStore {
+        MemoStore {
+            dir: dir.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks `key` up; returns the memoized cell line on a hit.
+    #[must_use]
+    pub fn load(&self, key: MemoKey) -> Option<String> {
+        match std::fs::read_to_string(self.dir.join(key.file_name())) {
+            Ok(line) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(line)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Atomically writes `line` under `key` (temp file + rename —
+    /// concurrent writers and abrupt kills never expose partial entries).
+    pub fn store(&self, key: MemoKey, line: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let name = key.file_name();
+        let tmp = self.dir.join(format!("{name}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, line)?;
+        std::fs::rename(&tmp, self.dir.join(name))?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Number of complete entries on disk (a missing directory is an
+    /// empty store).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        rd.filter_map(Result::ok)
+            .filter(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| MemoKey::parse_file_name(n).is_some())
+            })
+            .count()
+    }
+
+    /// This run's counters.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wsrs-memo-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn key_file_name_round_trips() {
+        let key = MemoKey {
+            config: 0xdead_beef_0123_4567,
+            trace: 1,
+            sim: u64::MAX,
+        };
+        assert_eq!(MemoKey::parse_file_name(&key.file_name()), Some(key));
+        assert_eq!(MemoKey::parse_file_name("stray.json"), None);
+        assert_eq!(MemoKey::parse_file_name("a-b-c-d.json"), None);
+        assert_eq!(
+            MemoKey::parse_file_name(&format!("{}.tmp.123", key.file_name())),
+            None
+        );
+    }
+
+    #[test]
+    fn store_round_trips_and_counts() {
+        let dir = temp_dir("roundtrip");
+        let store = MemoStore::at(&dir);
+        let key = MemoKey {
+            config: 7,
+            trace: 8,
+            sim: 9,
+        };
+        assert_eq!(store.load(key), None);
+        store.store(key, "{\"ipc\":1.5}").unwrap();
+        assert_eq!(store.load(key), Some("{\"ipc\":1.5}".to_string()));
+        assert_eq!(store.entry_count(), 1);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_files_are_not_entries() {
+        let dir = temp_dir("tmp");
+        let store = MemoStore::at(&dir);
+        let key = MemoKey {
+            config: 1,
+            trace: 2,
+            sim: 3,
+        };
+        store.store(key, "x").unwrap();
+        std::fs::write(dir.join(format!("{}.tmp.999", key.file_name())), "partial").unwrap();
+        assert_eq!(store.entry_count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,221 @@
+//! End-to-end test of the job service on a live ephemeral-port server:
+//! concurrent identical submissions dedupe onto one simulation per
+//! distinct cell, every client streams byte-identical manifests,
+//! resubmission is pure memo replay, and graceful shutdown leaves no
+//! partial memo entries behind.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use wsrs_bench::client;
+use wsrs_serve::{MemoKey, Server, ServerOptions};
+use wsrs_telemetry::Json;
+
+/// A tiny two-cell grid (distinct workloads, so two scalar units).
+const GRID: &str = "{\"warmup\": 2000, \"measure\": 4000, \"cells\": [\
+    {\"workload\": \"gzip\", \"config\": \"RR 256\"},\
+    {\"workload\": \"mcf\", \"config\": \"WSRS RC S 512\"}]}";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wsrs-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn submit(addr: &str, body: &str) -> u64 {
+    let resp = client::post(addr, "/v1/jobs", body).expect("submit");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    Json::parse(&resp.body_str())
+        .unwrap()
+        .get("job")
+        .and_then(Json::as_u64)
+        .expect("job id")
+}
+
+fn status(addr: &str, job: u64) -> Json {
+    let resp = client::get(addr, &format!("/v1/jobs/{job}")).expect("status");
+    assert_eq!(resp.status, 200);
+    Json::parse(&resp.body_str()).unwrap()
+}
+
+fn status_field(addr: &str, job: u64, field: &str) -> u64 {
+    status(addr, job).get(field).and_then(Json::as_u64).unwrap()
+}
+
+fn stream(addr: &str, job: u64) -> String {
+    let resp = client::get(addr, &format!("/v1/jobs/{job}/stream")).expect("stream");
+    assert_eq!(resp.status, 200);
+    resp.body_str()
+}
+
+fn wait_done(addr: &str, job: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let s = status(addr, job);
+        if s.get("done").and_then(Json::as_bool) == Some(true) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "job {job} never finished: {s:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn concurrent_clients_dedup_memoize_and_shut_down_cleanly() {
+    let memo_dir = temp_dir("memo");
+    let trace_dir = temp_dir("traces");
+    let opts = ServerOptions {
+        workers: 2,
+        paused: true, // hold the pool so all four jobs land before any cell runs
+        memo_dir: memo_dir.clone(),
+        trace_dir: trace_dir.clone(),
+    };
+    let server = Server::bind("127.0.0.1:0", &opts).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run(2));
+
+    // Four identical grids while the workers are paused: the first
+    // submission owns both cells, the other three attach to its
+    // in-flight simulations.
+    let jobs: Vec<u64> = (0..4).map(|_| submit(&addr, GRID)).collect();
+    assert_eq!(status_field(&addr, jobs[0], "simulated"), 2);
+    assert_eq!(status_field(&addr, jobs[0], "attached"), 0);
+    for &job in &jobs[1..] {
+        assert_eq!(status_field(&addr, job, "simulated"), 0);
+        assert_eq!(status_field(&addr, job, "attached"), 2);
+        assert_eq!(status_field(&addr, job, "memoized"), 0);
+    }
+
+    let resume = client::post(&addr, "/v1/control/resume", "").unwrap();
+    assert_eq!(resume.status, 200);
+
+    // All four clients stream concurrently; every manifest must be
+    // byte-identical regardless of which job owned the simulations.
+    let manifests: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&job| {
+                let addr = addr.clone();
+                s.spawn(move || stream(&addr, job))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for m in &manifests[1..] {
+        assert_eq!(m, &manifests[0], "streams diverged between clients");
+    }
+    // Header + one line per cell, all complete JSON.
+    let lines: Vec<&str> = manifests[0].lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert_eq!(
+        Json::parse(lines[0])
+            .unwrap()
+            .get("cells")
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    for line in &lines[1..] {
+        let v = Json::parse(line).expect("complete JSON line");
+        assert!(v.get("ipc").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(
+            v.get("sim_rev").and_then(Json::as_str).unwrap(),
+            format!("{:016x}", wsrs_core::sim_revision())
+        );
+        assert_eq!(
+            v.get("config_content_hash")
+                .and_then(Json::as_str)
+                .unwrap()
+                .len(),
+            16
+        );
+        assert_eq!(
+            v.get("trace_checksum")
+                .and_then(Json::as_str)
+                .unwrap()
+                .len(),
+            16,
+            "cells must carry their memo-key trace checksum"
+        );
+    }
+
+    // Exactly two simulations ran across all four jobs (one unit per
+    // distinct cell), and both results were flushed to the memo store.
+    let stats = Json::parse(&client::get(&addr, "/v1/stats").unwrap().body_str()).unwrap();
+    assert_eq!(stats.get("units_run").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        stats
+            .get("memo")
+            .unwrap()
+            .get("writes")
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    assert_eq!(stats.get("inflight").and_then(Json::as_u64), Some(0));
+
+    // Resubmission replays purely from the memo store — no new
+    // simulation, byte-identical stream.
+    let rerun = submit(&addr, GRID);
+    assert_eq!(status_field(&addr, rerun, "memoized"), 2);
+    assert_eq!(status_field(&addr, rerun, "simulated"), 0);
+    wait_done(&addr, rerun);
+    assert_eq!(stream(&addr, rerun), manifests[0]);
+    let stats = Json::parse(&client::get(&addr, "/v1/stats").unwrap().body_str()).unwrap();
+    assert_eq!(stats.get("units_run").and_then(Json::as_u64), Some(2));
+
+    // Graceful shutdown: the run loop exits and the memo directory holds
+    // exactly the two complete entries — no temp files, no partials.
+    shutdown();
+    server_thread.join().expect("server thread");
+    let entries: Vec<String> = std::fs::read_dir(&memo_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(entries.len(), 2, "{entries:?}");
+    for name in &entries {
+        assert!(
+            MemoKey::parse_file_name(name).is_some(),
+            "stray file in memo dir: {name}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&memo_dir);
+    let _ = std::fs::remove_dir_all(&trace_dir);
+}
+
+#[test]
+fn bad_submissions_and_unknown_jobs_are_rejected() {
+    let memo_dir = temp_dir("memo-errs");
+    let trace_dir = temp_dir("traces-errs");
+    let opts = ServerOptions {
+        workers: 1,
+        paused: false,
+        memo_dir: memo_dir.clone(),
+        trace_dir: trace_dir.clone(),
+    };
+    let server = Server::bind("127.0.0.1:0", &opts).expect("bind");
+    let addr = server.addr().to_string();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run(1));
+
+    for bad in [
+        "{}",
+        "{\"experiment\": \"nonesuch\"}",
+        "{\"cells\": []}",
+        "{\"cells\": [{\"workload\": \"gzip\", \"config\": \"nonesuch\"}]}",
+    ] {
+        let resp = client::post(&addr, "/v1/jobs", bad).unwrap();
+        assert_eq!(resp.status, 400, "{bad}");
+    }
+    assert_eq!(client::get(&addr, "/v1/jobs/999").unwrap().status, 404);
+    assert_eq!(
+        client::get(&addr, "/v1/jobs/999/stream").unwrap().status,
+        404
+    );
+    assert_eq!(client::get(&addr, "/v1/nonesuch").unwrap().status, 404);
+
+    shutdown();
+    server_thread.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&memo_dir);
+    let _ = std::fs::remove_dir_all(&trace_dir);
+}

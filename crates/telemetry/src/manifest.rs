@@ -76,6 +76,15 @@ pub struct CellRecord {
     /// [`config_hash`] of the configuration — detects silent config drift
     /// between a baseline and a fresh run.
     pub config_hash: String,
+    /// Canonical field-order content hash of the configuration
+    /// (`SimConfig::content_hash`, 16 hex digits) — the config component
+    /// of `wsrs-serve`'s persistent memo key, recorded so a streamed or
+    /// memoized cell can be traced back to the exact configuration
+    /// identity it was keyed under. Unlike [`Self::config_hash`] (a
+    /// `Debug`-rendering fingerprint that moves with cosmetic renames),
+    /// this hash is stable across formatting changes. Empty in manifests
+    /// written before content addressing.
+    pub config_content_hash: String,
     pub ipc: f64,
     pub cycles: u64,
     pub uops: u64,
@@ -107,6 +116,10 @@ impl CellRecord {
             ("workload".into(), Json::Str(self.workload.clone())),
             ("config".into(), Json::Str(self.config.clone())),
             ("config_hash".into(), Json::Str(self.config_hash.clone())),
+            (
+                "config_content_hash".into(),
+                Json::Str(self.config_content_hash.clone()),
+            ),
             ("ipc".into(), Json::Float(self.ipc)),
             ("cycles".into(), Json::UInt(self.cycles)),
             ("uops".into(), Json::UInt(self.uops)),
@@ -146,6 +159,12 @@ impl CellRecord {
             workload: v.get("workload")?.as_str()?.to_string(),
             config: v.get("config")?.as_str()?.to_string(),
             config_hash: v.get("config_hash")?.as_str()?.to_string(),
+            // Absent in manifests written before content addressing.
+            config_content_hash: v
+                .get("config_content_hash")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
             ipc: v.get("ipc")?.as_f64()?,
             cycles: v.get("cycles")?.as_u64()?,
             uops: v.get("uops")?.as_u64()?,
@@ -552,6 +571,7 @@ mod tests {
             workload: workload.to_string(),
             config: config.to_string(),
             config_hash: config_hash("cfg-v1"),
+            config_content_hash: "00000000cafef00d".to_string(),
             ipc,
             cycles: 1000,
             uops: (ipc * 1000.0) as u64,
@@ -659,9 +679,16 @@ mod tests {
         let Json::Obj(fields) = c.to_json() else {
             panic!("cell renders as an object");
         };
-        let stripped = Json::Obj(fields.into_iter().filter(|(k, _)| k != "batched").collect());
+        let stripped = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "batched" && k != "config_content_hash")
+                .collect(),
+        );
         let legacy = CellRecord::from_json(&stripped).unwrap();
         assert!(!legacy.batched);
+        // Pre-content-addressing manifests parse with an empty hash.
+        assert!(legacy.config_content_hash.is_empty());
     }
 
     #[test]

@@ -197,14 +197,26 @@ impl Workload {
     /// traces are keyed on this hash, so editing a kernel — or the
     /// emulator — invalidates its stale trace files instead of silently
     /// replaying them.
+    ///
+    /// Deriving the hash assembles the kernel, so the result is memoized
+    /// process-wide: trace-store keys are looked up once per workload and
+    /// shared by every grid cell, bench binary sweep and `wsrs-serve` job
+    /// in the process, instead of re-assembling the kernel per derivation.
+    /// The memoized and direct paths are byte-identical by construction
+    /// (the fingerprint inputs are compile-time constants), which the
+    /// cold-vs-warm trace determinism test exercises end to end.
     #[must_use]
     pub fn trace_fingerprint(self) -> u64 {
-        let mut h = wsrs_isa::Fnv1a::new();
-        h.write(b"wsrs-trace-key-v1;");
-        h.write_u64(wsrs_isa::emulator_revision());
-        h.write_u64(self.program(UNBOUNDED).fingerprint());
-        h.write_u64(DEFAULT_MEM_BYTES as u64);
-        h.finish()
+        use std::sync::OnceLock;
+        static FINGERPRINTS: [OnceLock<u64>; 12] = [const { OnceLock::new() }; 12];
+        *FINGERPRINTS[self as usize].get_or_init(|| {
+            let mut h = wsrs_isa::Fnv1a::new();
+            h.write(b"wsrs-trace-key-v1;");
+            h.write_u64(wsrs_isa::emulator_revision());
+            h.write_u64(self.program(UNBOUNDED).fingerprint());
+            h.write_u64(DEFAULT_MEM_BYTES as u64);
+            h.finish()
+        })
     }
 
     /// An emulator over a short, terminating run (functional tests).
