@@ -58,9 +58,10 @@ fn sweep(
         .collect();
     let run = run_grid(&SUBSET, &refs, params, &|_, _, _, _| {});
     provenance.absorb(run.provenance);
-    for (w, reports) in SUBSET.iter().zip(&run.reports) {
+    for (wi, (w, reports)) in SUBSET.iter().zip(&run.reports).enumerate() {
         for (ci, ((name, cfg), r)) in refs.iter().zip(reports).enumerate() {
-            cells.push(cell_record(*w, name, cfg, r, run.batched[ci]));
+            let sample = run.samples.get(wi).and_then(|row| row.get(ci)?.as_ref());
+            cells.push(cell_record(*w, name, cfg, r, run.batched[ci], sample));
         }
     }
     let rows: Vec<(String, Vec<f64>)> = SUBSET

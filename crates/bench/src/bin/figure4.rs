@@ -89,6 +89,9 @@ fn main() {
         eprintln!("wrote {}", path.display());
     }
 
+    if let Some(summary) = run.sample_summary() {
+        eprintln!("{summary}");
+    }
     let m = grid_manifest(
         "figure4",
         &workloads,
@@ -98,6 +101,7 @@ fn main() {
         t0.elapsed().as_secs_f64(),
         grid,
         &run.batched,
+        &run.samples,
         Some(&run.provenance),
     );
     match write_manifest(&m, &artifacts_dir()) {

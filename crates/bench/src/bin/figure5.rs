@@ -89,6 +89,7 @@ fn main() {
         t0.elapsed().as_secs_f64(),
         grid,
         &run.batched,
+        &run.samples,
         Some(&run.provenance),
     );
     match write_manifest(&m, &artifacts_dir()) {

@@ -37,20 +37,25 @@ use wsrs_bench::{
     default_trace_store, figure4_configs, gate_experiments, grid_threads, run_grid_full,
     run_grid_with_threads, RunParams,
 };
-use wsrs_core::SimConfig;
+use wsrs_core::{SampleSpec, SimConfig};
 use wsrs_telemetry::{GateOutcome, Json, RunManifest, Tolerances};
 use wsrs_workloads::Workload;
 
 /// Default `wsrs-serve` address for `submit`/`watch`.
 const DEFAULT_ADDR: &str = "127.0.0.1:8787";
 
-/// Runs one experiment grid and assembles its manifest.
+/// Runs one experiment grid and assembles its manifest. `sample` is
+/// `None` for the exact path (baselines, the gate); `Some` runs every
+/// cell interval-sampled — the manifest then carries the
+/// `<experiment>-sampled` name and a greppable `sampled:` summary line
+/// goes to stdout.
 fn run_experiment(
     experiment: &str,
     workloads: &[Workload],
     configs: &[(&str, SimConfig)],
     params: RunParams,
     threads: usize,
+    sample: Option<SampleSpec>,
 ) -> RunManifest {
     eprintln!(
         "{experiment}: {} cells, {}+{} µops, {threads} worker(s)",
@@ -65,6 +70,7 @@ fn run_experiment(
         params,
         threads,
         default_trace_store(),
+        sample,
         &|w, name, r, _| {
             eprintln!("  {:<8} {:<14} ipc {:>6.3}", w.name(), name, r.ipc());
         },
@@ -79,6 +85,11 @@ fn run_experiment(
     } else {
         eprintln!("{experiment}: path: scalar (batching off or incompatible configs)");
     }
+    if let Some(summary) = run.sample_summary() {
+        // Stdout on purpose: CI's sample-smoke step greps this line to
+        // assert a warm store replays with zero fast-forwarded µops.
+        println!("{summary}");
+    }
     grid_manifest(
         experiment,
         workloads,
@@ -88,6 +99,7 @@ fn run_experiment(
         t0.elapsed().as_secs_f64(),
         &run.reports,
         &run.batched,
+        &run.samples,
         Some(&run.provenance),
     )
 }
@@ -96,7 +108,7 @@ fn run_experiment(
 fn write_baselines(params: RunParams) {
     let threads = grid_threads();
     for (experiment, configs, workloads) in gate_experiments() {
-        let m = run_experiment(experiment, &workloads, &configs, params, threads);
+        let m = run_experiment(experiment, &workloads, &configs, params, threads, None);
         let path = write_manifest(&m, &repo_root()).expect("write baseline");
         println!("wrote {}", path.display());
     }
@@ -123,6 +135,7 @@ fn determinism_drift(params: RunParams) -> Option<String> {
             0.0,
             &grid.reports,
             &grid.batched,
+            &grid.samples,
             None,
         )
         .normalized_json_string()
@@ -142,7 +155,7 @@ fn gate(params: RunParams) -> i32 {
     let mut outcome = GateOutcome::default();
 
     for (experiment, configs, workloads) in gate_experiments() {
-        let fresh = run_experiment(experiment, &workloads, &configs, params, threads);
+        let fresh = run_experiment(experiment, &workloads, &configs, params, threads, None);
         let path = write_manifest(&fresh, &fresh_dir).expect("write fresh manifest");
         eprintln!("wrote {}", path.display());
         match load_baseline(experiment) {
@@ -176,6 +189,107 @@ fn gate(params: RunParams) -> i32 {
         );
         1
     }
+}
+
+/// `report sample-error <experiment>`: runs the experiment grid
+/// interval-sampled (spec from `WSRS_SAMPLE_*`, defaults otherwise) and
+/// compares every cell's IPC estimate against the committed **exact**
+/// baseline. The sampled manifest lands under `artifacts/` only — the
+/// `<experiment>-sampled` rename inside [`grid_manifest`] guarantees it
+/// can never shadow the exact baseline. Returns the exit code.
+///
+/// Pass/fail criteria (the EXPERIMENTS.md accuracy contract):
+/// * each cell: `|estimate − exact| ≤ max(3 × error_bound, 2% × exact)`,
+/// * overall: mean absolute relative error ≤ 2%.
+fn sample_error(experiment: &str, params: RunParams) -> i32 {
+    let Some((exp, configs, workloads)) = gate_experiments()
+        .into_iter()
+        .find(|(e, _, _)| *e == experiment)
+    else {
+        eprintln!(
+            "unknown experiment '{experiment}' (have: {})",
+            gate_experiments()
+                .iter()
+                .map(|(e, _, _)| *e)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return 2;
+    };
+    let Some(baseline) = load_baseline(exp) else {
+        eprintln!(
+            "no committed exact baseline at {} — run `report` and commit it",
+            baseline_path(exp).display()
+        );
+        return 1;
+    };
+    let spec = SampleSpec::from_env().unwrap_or_default();
+    eprintln!(
+        "{exp}: sampling {} interval(s) × {} µops, {} µops detailed warmup each",
+        spec.intervals, spec.interval_uops, spec.detail_warmup
+    );
+    let fresh = run_experiment(
+        exp,
+        &workloads,
+        &configs,
+        params,
+        grid_threads(),
+        Some(spec),
+    );
+    let path = write_manifest(&fresh, &artifacts_dir()).expect("write sampled manifest");
+    eprintln!("wrote {}", path.display());
+
+    let mut failures = 0usize;
+    let mut abs_rel_sum = 0.0f64;
+    let mut checked = 0usize;
+    for cell in &fresh.cells {
+        let Some(s) = cell.sampled else {
+            eprintln!(
+                "{}/{}: ran exact, expected sampled",
+                cell.workload, cell.config
+            );
+            failures += 1;
+            continue;
+        };
+        let Some(exact) = baseline.cell(&cell.workload, &cell.config) else {
+            eprintln!("{}/{}: not in exact baseline", cell.workload, cell.config);
+            failures += 1;
+            continue;
+        };
+        let err = (s.ipc_estimate - exact.ipc).abs();
+        let rel = err / exact.ipc;
+        abs_rel_sum += rel;
+        checked += 1;
+        let budget = (3.0 * s.error_bound).max(0.02 * exact.ipc);
+        let verdict = if err <= budget { "ok" } else { "FAIL" };
+        if err > budget {
+            failures += 1;
+        }
+        println!(
+            "  {:<8} {:<14} sampled {:>6.4} ± {:>6.4}  exact {:>6.4}  err {:>5.2}%  {}",
+            cell.workload,
+            cell.config,
+            s.ipc_estimate,
+            s.error_bound,
+            exact.ipc,
+            100.0 * rel,
+            verdict
+        );
+    }
+    let mean_rel = if checked == 0 {
+        f64::NAN
+    } else {
+        abs_rel_sum / checked as f64
+    };
+    println!(
+        "sample-error {exp}: {checked} cell(s), mean abs rel error {:.2}%",
+        100.0 * mean_rel
+    );
+    if mean_rel.is_nan() || mean_rel > 0.02 {
+        println!("FAIL: mean abs rel error exceeds 2%");
+        failures += 1;
+    }
+    i32::from(failures > 0)
 }
 
 /// Streams `/v1/jobs/<id>/stream` from `addr` to stdout; returns the
@@ -350,6 +464,13 @@ fn main() {
     match args.get(1).map(String::as_str) {
         None | Some("baseline") => write_baselines(params),
         Some("gate") => std::process::exit(gate(params)),
+        Some("sample-error") => {
+            let experiment = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| "figure4".to_string());
+            std::process::exit(sample_error(&experiment, params));
+        }
         Some("submit") => {
             let addr = take_addr(&mut args);
             let check = if let Some(i) = args.iter().position(|a| a == "--check-baseline") {
@@ -396,8 +517,8 @@ fn main() {
         }
         Some(other) => {
             eprintln!(
-                "usage: report [baseline|gate|check|submit <experiment>|watch <job>]  \
-                 (got '{other}')"
+                "usage: report [baseline|gate|check|sample-error <experiment>|\
+                 submit <experiment>|watch <job>]  (got '{other}')"
             );
             std::process::exit(2);
         }

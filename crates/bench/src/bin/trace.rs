@@ -22,7 +22,10 @@
 
 use std::process::ExitCode;
 use wsrs_bench::{default_trace_store, RunParams};
-use wsrs_trace::{TraceFile, TraceKey, TraceStore};
+use wsrs_core::sim_revision;
+use wsrs_trace::{
+    CheckpointKey, CheckpointRecord, TraceFile, TraceKey, TraceStore, CHECKPOINT_EXT,
+};
 use wsrs_workloads::Workload;
 
 fn usage() -> ExitCode {
@@ -32,10 +35,12 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 record [workload] [warmup measure]  pre-record traces (default: all workloads,\n\
          \x20                                     WSRS_WARMUP/WSRS_MEASURE window)\n\
-         \x20 inspect <workload|file>             print one trace's header, size and checksum\n\
+         \x20 inspect <workload|file>             print one trace's (or .wsck checkpoint's)\n\
+         \x20                                     header, size and checksum\n\
          \x20 verify                              checksum + parse every file in the store\n\
-         \x20 ls                                  list the store's contents\n\
+         \x20 ls                                  list traces and warmup checkpoints\n\
          \x20 rm --stale | --all | <workload>     remove stale / all / one workload's files\n\
+         \x20                                     (--stale and --all also cover checkpoints)\n\
          \x20 rev                                 print current per-workload revision hashes"
     );
     ExitCode::from(2)
@@ -124,11 +129,51 @@ fn record(store: &TraceStore, args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Prints one warmup checkpoint's key, sections and sizes.
+fn inspect_checkpoint(path: &std::path::Path) -> ExitCode {
+    let record = match std::fs::read(path)
+        .map_err(|e| e.to_string())
+        .and_then(|b| CheckpointRecord::from_bytes(&b).map_err(|e| e.to_string()))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let k = &record.key;
+    println!("file       {}", path.display());
+    println!("trace      {:016x}", k.trace);
+    println!(
+        "sim        {:016x}{}",
+        k.sim,
+        if k.sim == sim_revision() {
+            ""
+        } else {
+            "  (stale revision)"
+        }
+    );
+    println!("spec       {:016x}", k.spec);
+    println!("warm-state {:016x}", k.warm);
+    println!("interval   {}", k.interval);
+    println!("ff µops    {}", record.ff_uops);
+    for (tag, bytes) in &record.sections {
+        println!("section    tag {tag}  {} bytes", bytes.len());
+    }
+    ExitCode::SUCCESS
+}
+
 fn inspect(store: &TraceStore, target: Option<&String>) -> ExitCode {
     let Some(target) = target else {
-        eprintln!("inspect: expected a workload name or a .wsrt path");
+        eprintln!("inspect: expected a workload name, a .wsrt path or a .wsck path");
         return ExitCode::from(2);
     };
+    if std::path::Path::new(target)
+        .extension()
+        .is_some_and(|e| e == CHECKPOINT_EXT)
+    {
+        return inspect_checkpoint(std::path::Path::new(target));
+    }
     let path = if std::path::Path::new(target).is_file() {
         std::path::PathBuf::from(target)
     } else if let Some(w) = workload_by_name(target) {
@@ -213,6 +258,32 @@ fn verify(store: &TraceStore) -> ExitCode {
             }
         }
     }
+    // Checkpoints verify too: a corrupt one is harmless at run time (the
+    // loader falls back to fast-forwarding) but worth surfacing here.
+    for path in store.checkpoint_entries().unwrap_or_default() {
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .to_string();
+        match std::fs::read(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|b| CheckpointRecord::from_bytes(&b).map_err(|e| e.to_string()))
+        {
+            Ok(r) => {
+                let stale = r.key.sim != sim_revision();
+                println!(
+                    "{name:<42} ok  checkpoint  {} section(s){}",
+                    r.sections.len(),
+                    if stale { "  (stale revision)" } else { "" }
+                );
+            }
+            Err(e) => {
+                println!("{name:<42} CORRUPT: {e}");
+                bad += 1;
+            }
+        }
+    }
     if bad > 0 {
         eprintln!("{bad} corrupt file(s)");
         return ExitCode::FAILURE;
@@ -221,37 +292,50 @@ fn verify(store: &TraceStore) -> ExitCode {
 }
 
 fn ls(store: &TraceStore) -> ExitCode {
-    match store.entries() {
-        Ok(entries) if entries.is_empty() => {
-            println!("store empty ({})", store.dir().display());
-            ExitCode::SUCCESS
-        }
-        Ok(entries) => {
-            let mut total = 0u64;
-            for path in &entries {
-                let name = path.file_name().unwrap_or_default().to_string_lossy();
-                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-                total += bytes;
-                let status = match TraceKey::parse_file_name(&name) {
-                    Some(k) if is_current(&k) => "current",
-                    Some(_) => "stale",
-                    None => "foreign",
-                };
-                println!("{name:<42} {bytes:>12} bytes  {status}");
-            }
-            println!(
-                "{} file(s), {} bytes in {}",
-                entries.len(),
-                total,
-                store.dir().display()
-            );
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
+    let (traces, checkpoints) = match (store.entries(), store.checkpoint_entries()) {
+        (Ok(t), Ok(c)) => (t, c),
+        (Err(e), _) | (_, Err(e)) => {
             eprintln!("{}: {e}", store.dir().display());
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    if traces.is_empty() && checkpoints.is_empty() {
+        println!("store empty ({})", store.dir().display());
+        return ExitCode::SUCCESS;
     }
+    let mut total = 0u64;
+    for path in &traces {
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        total += bytes;
+        let status = match TraceKey::parse_file_name(&name) {
+            Some(k) if is_current(&k) => "current",
+            Some(_) => "stale",
+            None => "foreign",
+        };
+        println!("{name:<42} {bytes:>12} bytes  {status}");
+    }
+    // Warmup checkpoints are keyed on the timing-model revision (not the
+    // emulator revision traces use): any sim change strands them.
+    for path in &checkpoints {
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        total += bytes;
+        let status = match CheckpointKey::parse_file_name(&name) {
+            Some(k) if k.sim == sim_revision() => "current",
+            Some(_) => "stale",
+            None => "foreign",
+        };
+        println!("{name:<42} {bytes:>12} bytes  checkpoint {status}");
+    }
+    println!(
+        "{} trace(s), {} checkpoint(s), {} bytes in {}",
+        traces.len(),
+        checkpoints.len(),
+        total,
+        store.dir().display()
+    );
+    ExitCode::SUCCESS
 }
 
 fn rm(store: &TraceStore, arg: Option<&String>) -> ExitCode {
@@ -276,8 +360,28 @@ fn rm(store: &TraceStore, arg: Option<&String>) -> ExitCode {
         eprintln!("rm: expected --stale, --all or a workload name");
         return ExitCode::from(2);
     }
+    // Checkpoints have no workload component; only the store-wide modes
+    // touch them. `--stale` keys on the timing-model revision.
+    let keep_checkpoint = |name: &str| -> bool {
+        match arg.map(String::as_str) {
+            Some("--stale") => {
+                CheckpointKey::parse_file_name(name).is_some_and(|k| k.sim == sim_revision())
+            }
+            Some("--all") => false,
+            _ => true,
+        }
+    };
+    let checkpoints = store.checkpoint_entries().unwrap_or_default();
     let mut removed = 0usize;
-    for path in &entries {
+    let victims = entries
+        .iter()
+        .map(|p| (p, &keep as &dyn Fn(&str) -> bool))
+        .chain(
+            checkpoints
+                .iter()
+                .map(|p| (p, &keep_checkpoint as &dyn Fn(&str) -> bool)),
+        );
+    for (path, keep) in victims {
         let name = path
             .file_name()
             .unwrap_or_default()

@@ -32,11 +32,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use wsrs_core::{lockstep_compatible, run_lockstep, AllocPolicy, Report, SimConfig, Simulator};
+use wsrs_core::{
+    lockstep_compatible, run_lockstep, run_sampled, sim_revision, warm_state_key, AllocPolicy,
+    NoSampleStore, Report, SampleCheckpoint, SampleSpec, SampleStore, SampledReport, SimConfig,
+    Simulator,
+};
 use wsrs_isa::DynInst;
 use wsrs_regfile::RenameStrategy;
-use wsrs_telemetry::Json;
-use wsrs_trace::{TraceKey, TraceStore};
+use wsrs_telemetry::{Json, SampledCell};
+use wsrs_trace::{CheckpointKey, CheckpointRecord, TraceKey, TraceStore};
 use wsrs_workloads::Workload;
 
 /// Measurement window for simulation experiments.
@@ -73,6 +77,146 @@ impl RunParams {
         RunParams {
             warmup: get("WSRS_WARMUP", d.warmup),
             measure: get("WSRS_MEASURE", d.measure),
+        }
+    }
+}
+
+/// Checkpoint payload section tag carrying encoded predictor state.
+pub const CKPT_SECTION_PREDICTOR: u32 = 1;
+/// Checkpoint payload section tag carrying encoded memory-hierarchy state.
+pub const CKPT_SECTION_HIERARCHY: u32 = 2;
+/// Checkpoint payload section tag carrying the warmed architectural
+/// subset map (empty payload for non-WSRS configurations).
+pub const CKPT_SECTION_RENAME: u32 = 3;
+
+/// A [`SampleStore`] over the persistent [`TraceStore`]: warmup
+/// checkpoints live next to the trace files as checksummed records keyed
+/// on (trace checksum, simulator revision, sample-spec hash, warm-state
+/// key, interval). The warm-state key covers the predictor kind and
+/// hierarchy geometry — plus, for WSRS configurations, the allocation
+/// policy driving the warmed subset map — so the conventional and
+/// write-specialized Figure 4 columns share one set of checkpoints per
+/// workload and each WSRS policy gets its own. `wsrs-core` keeps its
+/// state encodings opaque to the trace layer; this type owns the
+/// section-tag mapping.
+pub struct TraceSampleStore<'a> {
+    store: &'a TraceStore,
+    /// Key template; `interval` is filled in per call.
+    base: CheckpointKey,
+}
+
+impl<'a> TraceSampleStore<'a> {
+    /// A store view for one (trace, config, spec) cell.
+    #[must_use]
+    pub fn new(
+        store: &'a TraceStore,
+        trace_checksum: u64,
+        cfg: &SimConfig,
+        spec: &SampleSpec,
+    ) -> Self {
+        TraceSampleStore {
+            store,
+            base: CheckpointKey {
+                trace: trace_checksum,
+                sim: sim_revision(),
+                spec: spec.content_hash(),
+                warm: warm_state_key(cfg),
+                interval: 0,
+            },
+        }
+    }
+
+    fn key(&self, interval: u32) -> CheckpointKey {
+        CheckpointKey {
+            interval,
+            ..self.base
+        }
+    }
+}
+
+impl SampleStore for TraceSampleStore<'_> {
+    fn load(&self, interval: u32) -> Option<SampleCheckpoint> {
+        let rec = self.store.load_checkpoint(&self.key(interval)).ok()?;
+        Some(SampleCheckpoint {
+            interval,
+            ff_uops: rec.ff_uops,
+            predictor: rec.section(CKPT_SECTION_PREDICTOR)?.to_vec(),
+            hierarchy: rec.section(CKPT_SECTION_HIERARCHY)?.to_vec(),
+            rename: rec.section(CKPT_SECTION_RENAME)?.to_vec(),
+        })
+    }
+
+    fn save(&self, cp: &SampleCheckpoint) -> bool {
+        let rec = CheckpointRecord {
+            key: self.key(cp.interval),
+            ff_uops: cp.ff_uops,
+            sections: vec![
+                (CKPT_SECTION_PREDICTOR, cp.predictor.clone()),
+                (CKPT_SECTION_HIERARCHY, cp.hierarchy.clone()),
+                (CKPT_SECTION_RENAME, cp.rename.clone()),
+            ],
+        };
+        // Best-effort, like trace record-on-miss: a failed save is a
+        // cache miss on the next run, never a wrong result.
+        match self.store.save_checkpoint(&rec) {
+            Ok(_) => true,
+            Err(e) => {
+                eprintln!("wsrs-trace: could not record checkpoint: {e}");
+                false
+            }
+        }
+    }
+}
+
+/// What the sampled path produced for one cell, next to the aggregate
+/// [`Report`]. The estimate fields are *results* — deterministic for a
+/// given (trace, config, spec) regardless of store warmth or worker
+/// count, and recorded in manifests via [`SampleOutcome::to_cell`]. The
+/// checkpoint-traffic counters are *environment* (they depend on store
+/// warmth and on which sibling cell saved first), so they are printed in
+/// run summaries but never written to manifests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleOutcome {
+    /// Sampled IPC estimate (inverse mean per-interval CPI).
+    pub ipc_estimate: f64,
+    /// ~95% confidence half-width on the estimate, absolute IPC.
+    pub error_bound: f64,
+    /// Coefficient of variation of per-interval CPIs.
+    pub cv: f64,
+    /// Measured intervals that contributed.
+    pub intervals: u64,
+    /// µops functionally fast-forwarded (environment; 0 on pure replay).
+    pub ff_uops: u64,
+    /// Checkpoints loaded from the store (environment).
+    pub checkpoints_loaded: u32,
+    /// Checkpoints written to the store (environment).
+    pub checkpoints_saved: u32,
+    /// µops simulated in detail (warmup + measured).
+    pub uops_detailed: u64,
+}
+
+impl SampleOutcome {
+    fn from_report(sr: &SampledReport) -> Self {
+        SampleOutcome {
+            ipc_estimate: sr.ipc_estimate,
+            error_bound: sr.error_bound,
+            cv: sr.cv,
+            intervals: sr.per_interval_ipcs.len() as u64,
+            ff_uops: sr.ff_uops,
+            checkpoints_loaded: sr.checkpoints_loaded,
+            checkpoints_saved: sr.checkpoints_saved,
+            uops_detailed: sr.uops_detailed,
+        }
+    }
+
+    /// The manifest form: results only, no environment counters.
+    #[must_use]
+    pub fn to_cell(&self) -> SampledCell {
+        SampledCell {
+            ipc_estimate: self.ipc_estimate,
+            error_bound: self.error_bound,
+            cv: self.cv,
+            intervals: self.intervals,
         }
     }
 }
@@ -392,6 +536,29 @@ impl TraceCache {
         self
     }
 
+    /// The attached disk store, if any — sampled cells persist their
+    /// warmup checkpoints beside the trace files in the same store.
+    #[must_use]
+    pub fn disk_store(&self) -> Option<&TraceStore> {
+        self.store.as_ref()
+    }
+
+    /// The trace-file content checksum of `w`, once some cell has
+    /// acquired it this run — the `trace` component of checkpoint keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn trace_checksum(&self, w: Workload) -> Option<u64> {
+        self.sources
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|s| s.workload == w)
+            .and_then(|s| s.checksum)
+    }
+
     /// µops per cached trace: the measurement window, warm-up included.
     fn bound(&self) -> usize {
         (self.params.warmup + self.params.measure) as usize
@@ -605,8 +772,54 @@ pub struct GridRun {
     /// run manifest as execution provenance. Either path yields
     /// bit-identical reports.
     pub batched: Vec<bool>,
+    /// Per-cell sampling outcome, indexed `[workload][configuration]` like
+    /// `reports`; `None` entries ran exact. All-`None` unless the grid ran
+    /// with a sample spec.
+    pub samples: Vec<Vec<Option<SampleOutcome>>>,
     /// Per-workload trace origins and cache counters for this run.
     pub provenance: TraceProvenance,
+}
+
+impl GridRun {
+    /// Aggregate checkpoint traffic over the sampled cells: (cells, ff
+    /// µops, checkpoints loaded, checkpoints saved); `None` when every
+    /// cell ran exact.
+    #[must_use]
+    pub fn sample_totals(&self) -> Option<(usize, u64, u64, u64)> {
+        let outcomes: Vec<&SampleOutcome> = self
+            .samples
+            .iter()
+            .flatten()
+            .filter_map(Option::as_ref)
+            .collect();
+        if outcomes.is_empty() {
+            return None;
+        }
+        Some((
+            outcomes.len(),
+            outcomes.iter().map(|o| o.ff_uops).sum(),
+            outcomes
+                .iter()
+                .map(|o| u64::from(o.checkpoints_loaded))
+                .sum(),
+            outcomes
+                .iter()
+                .map(|o| u64::from(o.checkpoints_saved))
+                .sum(),
+        ))
+    }
+
+    /// One-line, machine-greppable sampling summary — CI's sample-smoke
+    /// step asserts `ff_uops=0` on a checkpoint-warm replay run. `None`
+    /// when every cell ran exact.
+    #[must_use]
+    pub fn sample_summary(&self) -> Option<String> {
+        let (cells, ff, loaded, saved) = self.sample_totals()?;
+        Some(format!(
+            "sampled: cells={cells} ff_uops={ff} checkpoints_loaded={loaded} \
+             checkpoints_saved={saved}"
+        ))
+    }
 }
 
 /// One (configuration, workload, window) cell of the design space — the
@@ -629,6 +842,10 @@ pub struct CellJob {
     /// sibling cells of the same workload. Purely an execution hint —
     /// results are bit-identical either way.
     pub batch_hint: bool,
+    /// When set, the cell runs on the interval-sampled path under this
+    /// spec instead of exact cycle simulation (always scalar, never
+    /// batched). Exact cells carry `None`.
+    pub sample: Option<SampleSpec>,
 }
 
 impl CellJob {
@@ -646,19 +863,32 @@ impl CellJob {
             config,
             params,
             batch_hint: true,
+            sample: None,
         }
     }
 
-    /// Wire form: the configuration travels by registry name.
+    /// Wire form: the configuration travels by registry name; the sample
+    /// spec (when sampled) travels by value.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("workload".into(), Json::Str(self.workload.name().into())),
             ("config".into(), Json::Str(self.config_name.clone())),
             ("warmup".into(), Json::UInt(self.params.warmup)),
             ("measure".into(), Json::UInt(self.params.measure)),
             ("batch".into(), Json::Bool(self.batch_hint)),
-        ])
+        ];
+        if let Some(s) = &self.sample {
+            fields.push((
+                "sample".into(),
+                Json::Obj(vec![
+                    ("intervals".into(), Json::UInt(u64::from(s.intervals))),
+                    ("interval_uops".into(), Json::UInt(s.interval_uops)),
+                    ("detail_warmup".into(), Json::UInt(s.detail_warmup)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     /// Parses the wire form, resolving `config` against `registry` (see
@@ -688,6 +918,15 @@ impl CellJob {
                     .unwrap_or(params.measure),
             },
             batch_hint: v.get("batch").and_then(Json::as_bool).unwrap_or(true),
+            // Tolerant like the manifest's optional cell fields: absent
+            // (or malformed) means an exact cell.
+            sample: v.get("sample").and_then(|s| {
+                Some(SampleSpec {
+                    intervals: u32::try_from(s.get("intervals")?.as_u64()?).ok()?,
+                    interval_uops: s.get("interval_uops")?.as_u64()?,
+                    detail_warmup: s.get("detail_warmup")?.as_u64()?,
+                })
+            }),
         })
     }
 }
@@ -701,6 +940,10 @@ pub struct CellResult {
     pub report: Report,
     /// Whether the cell ran on the lockstep batch path.
     pub batched: bool,
+    /// Present when the cell ran on the interval-sampled path: the
+    /// estimate and checkpoint traffic ([`CellResult::report`] is then
+    /// the sampled aggregate, not an exact measurement).
+    pub sample: Option<SampleOutcome>,
     /// Wall time attributed to the cell (an even share of its unit).
     pub elapsed: Duration,
 }
@@ -776,6 +1019,7 @@ impl CellQueue {
                 }
                 if !batching
                     || !c.batch_hint
+                    || c.sample.is_some()
                     || !lockstep_compatible(std::slice::from_ref(&c.config))
                 {
                     units.push(WorkUnit::Scalar(i));
@@ -867,13 +1111,45 @@ impl CellQueue {
                 let c = &self.cells[*i];
                 let trace = cache.checkout(c.workload);
                 let t0 = Instant::now();
-                let report = run_cell_cached(&trace, &c.config, c.params);
+                let (report, sample) = match &c.sample {
+                    Some(spec) => {
+                        // Checkpoints persist in the trace store when one
+                        // is attached and the trace's checksum is known;
+                        // a storeless cache samples without persistence
+                        // (same numbers, nothing saved).
+                        let sr = match (cache.disk_store(), cache.trace_checksum(c.workload)) {
+                            (Some(store), Some(ck)) => {
+                                let cks = TraceSampleStore::new(store, ck, &c.config, spec);
+                                run_sampled(
+                                    &c.config,
+                                    &trace,
+                                    c.params.warmup,
+                                    c.params.measure,
+                                    spec,
+                                    &cks,
+                                )
+                            }
+                            _ => run_sampled(
+                                &c.config,
+                                &trace,
+                                c.params.warmup,
+                                c.params.measure,
+                                spec,
+                                &NoSampleStore,
+                            ),
+                        };
+                        let outcome = SampleOutcome::from_report(&sr);
+                        (sr.aggregate, Some(outcome))
+                    }
+                    None => (run_cell_cached(&trace, &c.config, c.params), None),
+                };
                 drop(trace);
                 cache.release(c.workload);
                 sink(CellResult {
                     cell: *i,
                     report,
                     batched: false,
+                    sample,
                     elapsed: t0.elapsed(),
                 });
             }
@@ -894,6 +1170,7 @@ impl CellQueue {
                         cell: i,
                         report,
                         batched: true,
+                        sample: None,
                         elapsed: per_cell,
                     });
                 }
@@ -950,6 +1227,7 @@ pub fn run_grid(
         params,
         grid_threads(),
         default_trace_store(),
+        SampleSpec::from_env(),
         on_cell,
     )
 }
@@ -969,12 +1247,20 @@ pub fn run_grid_with_threads(
     threads: usize,
     on_cell: CellHook<'_>,
 ) -> GridRun {
-    run_grid_full(workloads, configs, params, threads, None, on_cell)
+    run_grid_full(workloads, configs, params, threads, None, None, on_cell)
 }
 
+/// A finished cell's slot: the exact (or aggregate) report plus the
+/// sampling outcome when the cell ran sampled.
+type CellSlot = Mutex<Option<(Report, Option<SampleOutcome>)>>;
+
 /// [`run_grid`] with every knob explicit: worker count (`threads == 1`
-/// runs every cell inline on the calling thread) and the disk trace
-/// store to replay from / record into (`None` disables the disk tier).
+/// runs every cell inline on the calling thread), the disk trace store
+/// to replay from / record into (`None` disables the disk tier), and the
+/// sampling spec (`None` runs every cell exact; `Some` runs every
+/// single-thread cell interval-sampled with persisted warmup
+/// checkpoints — multi-thread cells always run exact because the sampled
+/// path is single-context).
 ///
 /// # Panics
 ///
@@ -986,6 +1272,7 @@ pub fn run_grid_full(
     params: RunParams,
     threads: usize,
     store: Option<TraceStore>,
+    sample: Option<SampleSpec>,
     on_cell: CellHook<'_>,
 ) -> GridRun {
     // Workload-major cell list: row w's cells are contiguous, matching
@@ -994,9 +1281,11 @@ pub fn run_grid_full(
     let jobs: Vec<CellJob> = workloads
         .iter()
         .flat_map(|&w| {
-            configs
-                .iter()
-                .map(move |(name, cfg)| CellJob::new(w, name, *cfg, params))
+            configs.iter().map(move |(name, cfg)| {
+                let mut job = CellJob::new(w, name, *cfg, params);
+                job.sample = sample.filter(|_| cfg.threads == 1);
+                job
+            })
         })
         .collect();
     let queue = CellQueue::plan(jobs, batching_enabled());
@@ -1010,13 +1299,12 @@ pub fn run_grid_full(
         .for_each(|(b, &c)| *b = c);
     let cache =
         TraceCache::evicting_per_workload(params, queue.uses_per_workload()).with_store(store);
-    let cells: Vec<Mutex<Option<Report>>> =
-        (0..queue.cells().len()).map(|_| Mutex::new(None)).collect();
+    let cells: Vec<CellSlot> = (0..queue.cells().len()).map(|_| Mutex::new(None)).collect();
 
     let sink = |r: CellResult| {
         let job = &queue.cells()[r.cell];
         on_cell(job.workload, &job.config_name, &r.report, r.elapsed);
-        *cells[r.cell].lock().unwrap() = Some(r.report);
+        *cells[r.cell].lock().unwrap() = Some((r.report, r.sample));
     };
     let n_units = queue.units().len();
     if threads <= 1 || n_units <= 1 {
@@ -1032,18 +1320,20 @@ pub fn run_grid_full(
     }
 
     let mut flat = cells.into_iter();
-    let reports = workloads
-        .iter()
-        .map(|_| {
-            flat.by_ref()
-                .take(configs.len())
-                .map(|c| c.into_inner().unwrap().expect("cell completed"))
-                .collect()
-        })
-        .collect();
+    let (mut reports, mut samples) = (Vec::new(), Vec::new());
+    for _ in workloads {
+        let row: Vec<(Report, Option<SampleOutcome>)> = flat
+            .by_ref()
+            .take(configs.len())
+            .map(|c| c.into_inner().unwrap().expect("cell completed"))
+            .collect();
+        samples.push(row.iter().map(|(_, s)| *s).collect());
+        reports.push(row.into_iter().map(|(r, _)| r).collect());
+    }
     GridRun {
         reports,
         batched,
+        samples,
         provenance: cache.provenance(),
     }
 }

@@ -3,7 +3,7 @@
 //! (`BENCH_<experiment>.json`) live at the repository root so regressions
 //! show up in review diffs, fresh copies go under `artifacts/`.
 
-use crate::{RunParams, TraceProvenance};
+use crate::{RunParams, SampleOutcome, TraceProvenance};
 use std::path::{Path, PathBuf};
 use wsrs_core::{Report, SimConfig};
 use wsrs_telemetry::manifest::{config_hash, git_revision, SCHEMA_VERSION};
@@ -54,7 +54,10 @@ pub fn telemetry_on(cfg: &SimConfig) -> SimConfig {
 }
 
 /// Builds the manifest cell for one finished (workload, config) run;
-/// `batched` records whether the cell ran on the lockstep batch path.
+/// `batched` records whether the cell ran on the lockstep batch path,
+/// `sample` the interval-sampling outcome (`None` for an exact run — the
+/// key is then omitted from the JSON entirely, keeping exact baselines
+/// byte-identical to the pre-sampling schema).
 #[must_use]
 pub fn cell_record(
     w: Workload,
@@ -62,6 +65,7 @@ pub fn cell_record(
     cfg: &SimConfig,
     r: &Report,
     batched: bool,
+    sample: Option<&SampleOutcome>,
 ) -> CellRecord {
     CellRecord {
         workload: w.name().to_string(),
@@ -83,6 +87,7 @@ pub fn cell_record(
         l2_miss_rate: r.memory.l2.miss_rate(),
         store_forwards: r.store_forwards,
         batched,
+        sampled: sample.map(SampleOutcome::to_cell),
         attribution: r.attribution.clone(),
     }
 }
@@ -92,7 +97,12 @@ pub fn cell_record(
 /// (after [`RunManifest::normalized_json_string`]) is byte-identical for
 /// any worker count. `batched` holds the grid's per-configuration
 /// execution path ([`GridRun::batched`](crate::GridRun)); pass an empty
-/// slice for grids known to have run scalar.
+/// slice for grids known to have run scalar. `samples` holds the grid's
+/// per-cell sampling outcomes ([`GridRun::samples`](crate::GridRun));
+/// pass an empty slice for exact grids. When any cell was sampled the
+/// manifest's experiment name becomes `<experiment>-sampled` — this is
+/// the single choke point that keeps a `WSRS_SAMPLED=1` run of an
+/// experiment binary from ever clobbering its committed exact baseline.
 #[must_use]
 #[allow(clippy::too_many_arguments)] // one flat record per manifest field group
 pub fn grid_manifest(
@@ -104,26 +114,36 @@ pub fn grid_manifest(
     wall_secs: f64,
     grid: &[Vec<Report>],
     batched: &[bool],
+    samples: &[Vec<Option<SampleOutcome>>],
     provenance: Option<&TraceProvenance>,
 ) -> RunManifest {
     let mut cells = Vec::with_capacity(workloads.len() * configs.len());
-    for (w, row) in workloads.iter().zip(grid) {
+    let mut any_sampled = false;
+    for (wi, (w, row)) in workloads.iter().zip(grid).enumerate() {
         for (ci, ((name, cfg), r)) in configs.iter().zip(row).enumerate() {
+            let sample = samples.get(wi).and_then(|row| row.get(ci)?.as_ref());
+            any_sampled |= sample.is_some();
             cells.push(cell_record(
                 *w,
                 name,
                 cfg,
                 r,
                 batched.get(ci).copied().unwrap_or(false),
+                sample,
             ));
         }
     }
     let (traces, trace_cache) = provenance.map_or((Vec::new(), None), |p| {
         (trace_records(p), Some(trace_stats(p)))
     });
+    let experiment = if any_sampled {
+        format!("{experiment}-sampled")
+    } else {
+        experiment.to_string()
+    };
     RunManifest {
         schema: SCHEMA_VERSION,
-        experiment: experiment.to_string(),
+        experiment,
         git_rev: git_revision(&repo_root()),
         warmup: params.warmup,
         measure: params.measure,
@@ -206,8 +226,13 @@ mod tests {
             0.25,
             &run.reports,
             &run.batched,
+            &run.samples,
             None,
         );
+        // An exact grid keeps the plain experiment name and omits the
+        // sampled key from every cell.
+        assert_eq!(m.experiment, "unit");
+        assert!(m.cells.iter().all(|c| c.sampled.is_none()));
         assert_eq!(m.cells.len(), 2);
         // Two sibling single-threaded configs share one lockstep batch,
         // and the manifest records that provenance per cell.

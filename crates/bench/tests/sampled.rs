@@ -1,0 +1,144 @@
+//! Integration tests for interval-sampled grids: the sampled estimate
+//! must be byte-identical for any worker count and for cold vs warm
+//! checkpoint stores (a warm replay does zero fast-forward work), and
+//! the `<experiment>-sampled` manifest rename must keep sampled runs
+//! from ever shadowing an exact baseline.
+
+use std::path::PathBuf;
+use wsrs_bench::manifest::{grid_manifest, telemetry_on};
+use wsrs_bench::{run_grid_full, GridRun, RunParams};
+use wsrs_core::{SampleSpec, SimConfig};
+use wsrs_trace::TraceStore;
+use wsrs_workloads::Workload;
+
+const PARAMS: RunParams = RunParams {
+    warmup: 2_000,
+    measure: 6_000,
+};
+
+const SPEC: SampleSpec = SampleSpec {
+    intervals: 4,
+    interval_uops: 500,
+    detail_warmup: 1_000,
+};
+
+fn temp_store(tag: &str) -> (PathBuf, TraceStore) {
+    let dir = std::env::temp_dir().join(format!("wsrs-sampled-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (dir.clone(), TraceStore::at(dir))
+}
+
+fn configs() -> [(&'static str, SimConfig); 2] {
+    [
+        ("conv", telemetry_on(&SimConfig::conventional_rr(256))),
+        ("conv-512", telemetry_on(&SimConfig::conventional_rr(512))),
+    ]
+}
+
+fn grid(threads: usize, store: Option<TraceStore>, sample: Option<SampleSpec>) -> GridRun {
+    let workloads = [Workload::Gzip, Workload::Mcf];
+    run_grid_full(
+        &workloads,
+        &configs(),
+        PARAMS,
+        threads,
+        store,
+        sample,
+        &|_, _, _, _| {},
+    )
+}
+
+fn normalized(run: &GridRun, experiment: &str) -> String {
+    let workloads = [Workload::Gzip, Workload::Mcf];
+    grid_manifest(
+        experiment,
+        &workloads,
+        &configs(),
+        PARAMS,
+        1,
+        0.0,
+        &run.reports,
+        &run.batched,
+        &run.samples,
+        None,
+    )
+    .normalized_json_string()
+}
+
+#[test]
+fn sampled_grids_are_byte_identical_across_threads_and_store_warmth() {
+    let (dir, store) = temp_store("determinism");
+
+    // Cold: fast-forwards happen, checkpoints are saved.
+    let cold = grid(1, Some(store.clone()), Some(SPEC));
+    let (cells, cold_ff, _, cold_saved) = cold.sample_totals().expect("sampled cells");
+    assert_eq!(cells, 4);
+    assert!(cold_ff > 0, "cold run must fast-forward");
+    assert!(cold_saved > 0, "cold run must persist checkpoints");
+    assert!(
+        cold.samples.iter().flatten().all(|s| s.is_some()),
+        "every single-thread cell runs sampled"
+    );
+
+    // Warm, different worker count: pure replay — zero fast-forwarded
+    // µops — and the normalized manifest is byte-identical.
+    let warm = grid(3, Some(store.clone()), Some(SPEC));
+    let (_, warm_ff, warm_loaded, _) = warm.sample_totals().expect("sampled cells");
+    assert_eq!(warm_ff, 0, "warm run must not fast-forward");
+    assert!(warm_loaded > 0);
+    assert_eq!(
+        normalized(&cold, "sampled-test"),
+        normalized(&warm, "sampled-test")
+    );
+
+    // A storeless sampled run (checkpoints neither loaded nor saved)
+    // still produces the exact same bytes: cold and warm paths both
+    // build every interval engine from the encoded snapshot.
+    let none = grid(2, None, Some(SPEC));
+    let (_, none_ff, none_loaded, none_saved) = none.sample_totals().expect("sampled cells");
+    assert!(none_ff > 0);
+    assert_eq!((none_loaded, none_saved), (0, 0));
+    assert_eq!(
+        normalized(&cold, "sampled-test"),
+        normalized(&none, "sampled-test")
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn sampled_manifests_rename_and_exact_manifests_do_not() {
+    let sampled = grid(1, None, Some(SPEC));
+    let exact = grid(1, None, None);
+
+    let m_sampled = normalized(&sampled, "figure4");
+    let m_exact = normalized(&exact, "figure4");
+    assert!(
+        m_sampled.contains("\"figure4-sampled\""),
+        "sampled manifests must carry the -sampled name"
+    );
+    assert!(m_exact.contains("\"figure4\"") && !m_exact.contains("-sampled"));
+    assert!(
+        !m_exact.contains("\"sampled\""),
+        "exact cells must omit the sampled key entirely"
+    );
+    assert!(exact.sample_totals().is_none());
+    assert!(exact.sample_summary().is_none());
+
+    // The sampled estimate is a real interval-sampled number: present,
+    // finite, and in the ballpark of the exact IPC.
+    for (srow, erow) in sampled.samples.iter().zip(&exact.reports) {
+        for (s, e) in srow.iter().zip(erow) {
+            let s = s.expect("sampled cell");
+            assert!(s.ipc_estimate.is_finite() && s.ipc_estimate > 0.0);
+            assert!(s.error_bound.is_finite() && s.error_bound >= 0.0);
+            let rel = (s.ipc_estimate - e.ipc()).abs() / e.ipc();
+            assert!(
+                rel < 0.5,
+                "estimate {} wildly off exact {}",
+                s.ipc_estimate,
+                e.ipc()
+            );
+        }
+    }
+}

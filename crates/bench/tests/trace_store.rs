@@ -33,6 +33,7 @@ fn grid(threads: usize, store: Option<TraceStore>) -> GridRun {
         PARAMS,
         threads,
         store,
+        None,
         &|_, _, _, _| {},
     )
 }
@@ -52,6 +53,7 @@ fn normalized(run: &GridRun) -> String {
         0.0,
         &run.reports,
         &run.batched,
+        &run.samples,
         Some(&run.provenance),
     )
     .normalized_json_string()

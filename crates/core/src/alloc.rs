@@ -106,6 +106,25 @@ impl Allocator {
         }
     }
 
+    /// The raw state of the policy RNG. The allocator draws exactly once
+    /// per µop shape that needs randomness, in rename (= trace) order, so
+    /// this single word — restored via [`Allocator::set_rng_state`] —
+    /// positions a fresh allocator mid-trace with its remaining draw
+    /// sequence identical to one that simulated the whole prefix. (The
+    /// round-robin cursor is *not* part of this state; it only advances
+    /// under `RoundRobin`, which WSRS rejects, and the sampled path warms
+    /// WSRS configurations only.)
+    #[must_use]
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Repositions the policy RNG at a state captured by
+    /// [`Allocator::rng_state`].
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Chooses the executing cluster for `d`. `src_subsets` gives the
     /// current register-file subset of each source operand position
     /// (`None` where the µop has no operand in that position);
@@ -487,6 +506,32 @@ mod tests {
     #[should_panic(expected = "cannot honour WSRS")]
     fn by_kind_rejected_for_wsrs() {
         let _ = Allocator::new(AllocPolicy::ByKind, RegFileMode::Wsrs, 4, 1);
+    }
+
+    #[test]
+    fn rng_state_restore_replays_the_exact_choice_sequence() {
+        let loads = [0; 4];
+        let shapes: [[Option<Subset>; 2]; 4] = [
+            [Some(Subset(0)), Some(Subset(3))],
+            [Some(Subset(2)), None],
+            [None, None],
+            [None, Some(Subset(1))],
+        ];
+        let mut a = Allocator::new(AllocPolicy::RandomCommutative, RegFileMode::Wsrs, 4, 0x5eed);
+        // Consume a prefix, snapshot, and check a restored allocator
+        // continues with the identical draws.
+        for i in 0..37 {
+            let _ = a.choose(&dyn_inst(), shapes[i % shapes.len()], &loads);
+        }
+        let mut b = Allocator::new(AllocPolicy::RandomCommutative, RegFileMode::Wsrs, 4, 1);
+        b.set_rng_state(a.rng_state());
+        for i in 0..200 {
+            let shape = shapes[i % shapes.len()];
+            assert_eq!(
+                a.choose(&dyn_inst(), shape, &loads),
+                b.choose(&dyn_inst(), shape, &loads)
+            );
+        }
     }
 
     #[test]

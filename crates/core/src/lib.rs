@@ -47,6 +47,7 @@ pub mod cluster;
 pub mod config;
 pub mod metrics;
 pub mod pipeview;
+pub mod sample;
 pub mod sim;
 mod slots;
 pub mod wheel;
@@ -73,5 +74,9 @@ pub use cluster::{ClusterId, FuKind, Resources};
 pub use config::{FastForward, RegCache, RegFileMode, SimConfig, SimConfigBuilder};
 pub use metrics::{Report, UnbalanceTracker};
 pub use pipeview::UopTiming;
+pub use sample::{
+    run_sampled, warm_state_key, NoSampleStore, SampleCheckpoint, SampleSpec, SampleStore,
+    SampledReport, SAMPLED_ENV,
+};
 pub use sim::Simulator;
 pub use wheel::CalendarWheel;

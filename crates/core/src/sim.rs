@@ -493,6 +493,61 @@ impl<'a> Engine<'a> {
         self.warmup = warmup;
     }
 
+    /// µops retired so far (for drivers using [`Engine::step`] directly
+    /// that end measurement at a retirement target rather than draining).
+    pub(crate) fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Replaces the memory hierarchy with a pre-warmed one (the sampled
+    /// path restores checkpointed cache state before an interval run).
+    /// The replacement must be built from the same configuration.
+    pub(crate) fn set_hierarchy(&mut self, hierarchy: MemoryHierarchy) {
+        assert_eq!(
+            *hierarchy.config(),
+            self.cfg.hierarchy,
+            "hierarchy configuration mismatch"
+        );
+        self.hierarchy = hierarchy;
+    }
+
+    /// Replaces the reset rename map with a warm architectural subset
+    /// assignment (the sampled path restores the functionally warmed
+    /// logical→subset distribution before an interval run). Rebuilds the
+    /// renamer, the physical-register table, and the register-cache
+    /// occupancy exactly as [`Engine::new`] would have built them from
+    /// this assignment. Must be called before the first `step`.
+    pub(crate) fn set_arch_subsets(&mut self, int: &[Subset], fp: &[Subset]) {
+        assert_eq!(
+            self.cycle, 0,
+            "warm subsets must be installed before stepping"
+        );
+        self.renamer = Renamer::with_arch_subsets(self.cfg.renamer, int, fp);
+        self.reg_info = [
+            Self::initial_regs(&self.renamer, RegClass::Int, self.cfg),
+            Self::initial_regs(&self.renamer, RegClass::Fp, self.cfg),
+        ];
+        if let Some(vp) = &mut self.vp {
+            let renamer = &self.renamer;
+            let subsets = self.cfg.renamer.subsets;
+            let count_arch = |class: RegClass| {
+                (0..subsets)
+                    .map(|s| renamer.map_table(class).mapped_into(Subset(s as u8)))
+                    .collect::<Vec<_>>()
+            };
+            vp.used = [count_arch(RegClass::Int), count_arch(RegClass::Fp)];
+        }
+    }
+
+    /// Repositions the allocation policy's RNG mid-stream (the sampled
+    /// path restores the draw position the full run would have reached at
+    /// the interval boundary, so interval placement choices replay the
+    /// exact run's). Must be called before the first `step`.
+    pub(crate) fn set_alloc_rng_state(&mut self, state: u64) {
+        assert_eq!(self.cycle, 0, "RNG state must be installed before stepping");
+        self.allocator.set_rng_state(state);
+    }
+
     fn initial_regs(renamer: &Renamer, class: RegClass, cfg: &SimConfig) -> Vec<RegInfo> {
         let total = match class {
             RegClass::Int => cfg.renamer.int_regs,

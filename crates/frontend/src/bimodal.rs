@@ -34,6 +34,14 @@ impl DirectionPredictor for Bimodal {
     fn storage_bits(&self) -> usize {
         self.table.storage_bits()
     }
+
+    fn dump_state(&self, out: &mut Vec<u8>) {
+        self.table.dump_bytes(out);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        self.table.load_bytes(bytes)
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,14 @@ impl Counter2 {
     pub fn raw(self) -> u8 {
         self.0
     }
+
+    /// Reconstructs a counter from its raw state. Only the low two bits
+    /// are meaningful; anything else is masked off, so every input byte
+    /// decodes to a valid counter.
+    #[must_use]
+    pub fn from_raw(raw: u8) -> Counter2 {
+        Counter2(raw & 3)
+    }
 }
 
 impl Default for Counter2 {
@@ -105,6 +113,39 @@ impl CounterTable {
         let i = (index & self.mask) as usize;
         self.counters[i].update(taken);
     }
+
+    /// Bytes [`Self::dump_bytes`] appends for this table: counters are
+    /// packed four to a byte.
+    #[must_use]
+    pub fn dump_len(&self) -> usize {
+        self.counters.len().div_ceil(4)
+    }
+
+    /// Appends the table contents to `out`, four 2-bit counters per byte,
+    /// lowest index in the lowest bits.
+    pub fn dump_bytes(&self, out: &mut Vec<u8>) {
+        for chunk in self.counters.chunks(4) {
+            let mut b = 0u8;
+            for (i, c) in chunk.iter().enumerate() {
+                b |= c.raw() << (2 * i);
+            }
+            out.push(b);
+        }
+    }
+
+    /// Restores the table from bytes produced by [`Self::dump_bytes`].
+    /// Returns `false` (leaving the table untouched) when `bytes` is not
+    /// exactly [`Self::dump_len`] long; every 2-bit pattern is a valid
+    /// counter, so length is the only way a dump can be malformed.
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() != self.dump_len() {
+            return false;
+        }
+        for (i, c) in self.counters.iter_mut().enumerate() {
+            *c = Counter2::from_raw(bytes[i / 4] >> (2 * (i % 4)));
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +175,25 @@ mod tests {
         assert!(c.predict());
         c.update(false); // 1
         assert!(!c.predict());
+    }
+
+    #[test]
+    fn dump_load_round_trips() {
+        let mut t = CounterTable::new(5);
+        for i in 0..77u64 {
+            t.update(i.wrapping_mul(0x9e37_79b9), i % 3 != 0);
+        }
+        let mut bytes = Vec::new();
+        t.dump_bytes(&mut bytes);
+        assert_eq!(bytes.len(), t.dump_len());
+        let mut fresh = CounterTable::new(5);
+        assert!(fresh.load_bytes(&bytes));
+        for i in 0..t.len() as u64 {
+            assert_eq!(fresh.get(i), t.get(i));
+        }
+        // Wrong length is rejected without touching the table.
+        assert!(!fresh.load_bytes(&bytes[1..]));
+        assert_eq!(Counter2::from_raw(0xff).raw(), 3);
     }
 
     #[test]

@@ -44,6 +44,22 @@ impl DirectionPredictor for Gshare {
     fn storage_bits(&self) -> usize {
         self.table.storage_bits()
     }
+
+    fn dump_state(&self, out: &mut Vec<u8>) {
+        self.table.dump_bytes(out);
+        out.extend_from_slice(&self.history.to_le_bytes());
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let t = self.table.dump_len();
+        if bytes.len() != t + 8 {
+            return false;
+        }
+        self.table.load_bytes(&bytes[..t]) && {
+            self.history = u64::from_le_bytes(bytes[t..].try_into().unwrap());
+            true
+        }
+    }
 }
 
 #[cfg(test)]

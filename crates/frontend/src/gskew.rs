@@ -180,6 +180,29 @@ impl DirectionPredictor for TwoBcGskew {
             + self.g1.storage_bits()
             + self.meta.storage_bits()
     }
+
+    fn dump_state(&self, out: &mut Vec<u8>) {
+        self.bim.dump_bytes(out);
+        self.g0.dump_bytes(out);
+        self.g1.dump_bytes(out);
+        self.meta.dump_bytes(out);
+        out.extend_from_slice(&self.history.to_le_bytes());
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let t = self.bim.dump_len();
+        if bytes.len() != 4 * t + 8 {
+            return false;
+        }
+        self.bim.load_bytes(&bytes[..t])
+            && self.g0.load_bytes(&bytes[t..2 * t])
+            && self.g1.load_bytes(&bytes[2 * t..3 * t])
+            && self.meta.load_bytes(&bytes[3 * t..4 * t])
+            && {
+                self.history = u64::from_le_bytes(bytes[4 * t..].try_into().unwrap());
+                true
+            }
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,38 @@ mod tests {
     }
 
     #[test]
+    fn state_round_trips_for_every_kind() {
+        for kind in [
+            PredictorKind::TwoBcGskew512K,
+            PredictorKind::Gshare64K,
+            PredictorKind::Bimodal64K,
+            PredictorKind::AlwaysTaken,
+        ] {
+            let mut warm = kind.build().unwrap();
+            let mut x = 0x2545_f491_4f6c_dd1du64;
+            for _ in 0..2000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                warm.update(0x400 + (x % 37), x & 3 != 0);
+            }
+            let mut state = Vec::new();
+            warm.dump_state(&mut state);
+            let mut fresh = kind.build().unwrap();
+            assert!(fresh.load_state(&state), "{kind}: load rejected own dump");
+            for pc in 0..512u64 {
+                assert_eq!(fresh.predict(pc), warm.predict(pc), "{kind} pc {pc}");
+            }
+            if !state.is_empty() {
+                assert!(
+                    !kind.build().unwrap().load_state(&state[1..]),
+                    "{kind}: truncated state must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn always_taken_is_static() {
         let mut p = AlwaysTaken;
         assert!(p.predict(1));

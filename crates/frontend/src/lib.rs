@@ -58,6 +58,20 @@ pub trait DirectionPredictor {
 
     /// Total storage budget in bits (for reporting).
     fn storage_bits(&self) -> usize;
+
+    /// Appends the predictor's full mutable state (tables and history)
+    /// to `out`, for warmup checkpointing. Stateless predictors append
+    /// nothing. The encoding carries no framing of its own — callers
+    /// store the byte length and hand back exactly those bytes to
+    /// [`load_state`](Self::load_state).
+    fn dump_state(&self, _out: &mut Vec<u8>) {}
+
+    /// Restores state previously produced by [`dump_state`](Self::dump_state)
+    /// on a predictor of the same geometry. Returns `false` (state
+    /// unspecified) when `bytes` does not match that geometry.
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
+    }
 }
 
 /// Measured accuracy of a predictor over a branch stream; convenience used

@@ -186,6 +186,50 @@ impl Cache {
         false
     }
 
+    /// Bytes [`Self::dump_bytes`] appends for this geometry: 17 per line
+    /// (tag, LRU stamp, flags) plus the 8-byte LRU tick.
+    #[must_use]
+    pub fn dump_len(&self) -> usize {
+        self.lines.len() * 17 + 8
+    }
+
+    /// Appends the full replacement state — every line's tag/valid/dirty/LRU
+    /// stamp plus the global LRU tick — to `out`, for warmup checkpointing.
+    /// Statistics are *not* dumped; they are measurement, not state.
+    pub fn dump_bytes(&self, out: &mut Vec<u8>) {
+        for line in &self.lines {
+            out.extend_from_slice(&line.tag.to_le_bytes());
+            out.extend_from_slice(&line.lru.to_le_bytes());
+            out.push(u8::from(line.valid) | (u8::from(line.dirty) << 1));
+        }
+        out.extend_from_slice(&self.tick.to_le_bytes());
+    }
+
+    /// Restores state previously produced by [`Self::dump_bytes`] on a cache
+    /// of the same geometry, zeroing the statistics counters (a restored
+    /// cache begins a fresh measurement). Returns `false` when `bytes` has
+    /// the wrong length or carries impossible flag bits; the cache state is
+    /// unspecified after a failed load.
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() != self.dump_len() {
+            return false;
+        }
+        for (i, line) in self.lines.iter_mut().enumerate() {
+            let at = i * 17;
+            let flags = bytes[at + 16];
+            if flags > 3 {
+                return false;
+            }
+            line.tag = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+            line.lru = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
+            line.valid = flags & 1 != 0;
+            line.dirty = flags & 2 != 0;
+        }
+        self.tick = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        self.stats = CacheStats::default();
+        true
+    }
+
     /// Whether `addr` is currently resident (no state change).
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
@@ -272,6 +316,32 @@ mod tests {
             associativity: 3,
             hit_latency: 1,
         });
+    }
+
+    #[test]
+    fn dump_load_round_trips_and_resets_stats() {
+        let mut c = tiny();
+        for i in 0..40u64 {
+            c.access_rw(i.wrapping_mul(0x31_4159) & 0xfff, i % 3 == 0);
+        }
+        let mut bytes = Vec::new();
+        c.dump_bytes(&mut bytes);
+        assert_eq!(bytes.len(), c.dump_len());
+        let mut fresh = tiny();
+        assert!(fresh.load_bytes(&bytes));
+        assert_eq!(fresh.stats(), CacheStats::default());
+        // Same residency and, crucially, the same LRU decisions afterwards.
+        for addr in (0..0x1000u64).step_by(64) {
+            assert_eq!(fresh.probe(addr), c.probe(addr), "addr {addr:#x}");
+        }
+        for i in 0..40u64 {
+            let addr = i.wrapping_mul(0xabcd) & 0xfff;
+            assert_eq!(fresh.access(addr), c.access(addr), "access {i}");
+        }
+        assert!(!tiny().load_bytes(&bytes[1..]), "wrong length rejected");
+        let mut bad = bytes.clone();
+        bad[16] = 0xff; // impossible flag bits
+        assert!(!tiny().load_bytes(&bad));
     }
 
     #[test]

@@ -170,6 +170,55 @@ impl MemoryHierarchy {
         latency
     }
 
+    /// Functionally touches `addr`, updating tag arrays and LRU state with
+    /// no timing bookkeeping — the fast-forward path of interval sampling.
+    /// Port and bus occupancy model *when* accesses complete, which is
+    /// timing; residency and recency are the architectural warmth the
+    /// sampled intervals need.
+    pub fn warm_access(&mut self, addr: u64, write: bool) {
+        if self.config.is_perfect() {
+            return;
+        }
+        if !self.l1.access_rw(addr, write) {
+            self.l2.access_rw(addr, write);
+        }
+    }
+
+    /// Bytes [`Self::dump_state`] appends for this configuration.
+    #[must_use]
+    pub fn dump_len(&self) -> usize {
+        self.l1.dump_len() + self.l2.dump_len()
+    }
+
+    /// Appends both levels' tag/LRU state to `out`, for warmup
+    /// checkpointing. Port and bus occupancy, statistics and the latency
+    /// histogram are short-horizon or measurement state and deliberately
+    /// excluded; [`Self::load_state`] resets them.
+    pub fn dump_state(&self, out: &mut Vec<u8>) {
+        self.l1.dump_bytes(out);
+        self.l2.dump_bytes(out);
+    }
+
+    /// Restores state previously produced by [`Self::dump_state`] on a
+    /// hierarchy of the same configuration, resetting port/bus occupancy
+    /// and zeroing statistics (a restored hierarchy begins a fresh
+    /// measurement). Returns `false` on a geometry mismatch; the hierarchy
+    /// state is unspecified after a failed load.
+    pub fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let n1 = self.l1.dump_len();
+        if bytes.len() != self.dump_len() {
+            return false;
+        }
+        self.l1.load_bytes(&bytes[..n1]) && self.l2.load_bytes(&bytes[n1..]) && {
+            self.port_cycle = 0;
+            self.port_used = 0;
+            self.l2_bus_free = 0;
+            self.stats_extra = (0, 0);
+            self.load_latency = Histogram::new();
+            true
+        }
+    }
+
     /// Timing for a load issued at `cycle` to `addr`; returns total latency
     /// in cycles.
     pub fn load(&mut self, addr: u64, cycle: u64) -> u32 {
@@ -239,6 +288,55 @@ mod tests {
             let lat = m.load(i * 4096, i);
             assert_eq!(lat, 2);
         }
+    }
+
+    #[test]
+    fn warm_access_matches_timed_residency() {
+        // Warming a hierarchy functionally and running the same accesses
+        // through the timed path must leave identical tag/LRU state.
+        let mut warm = MemoryHierarchy::new(HierarchyConfig::paper());
+        let mut timed = MemoryHierarchy::new(HierarchyConfig::paper());
+        let mut x = 0x9e37_79b9u64;
+        for i in 0..5000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = x % (1 << 20);
+            warm.warm_access(addr, x & 7 == 0);
+            if x & 7 == 0 {
+                timed.store(addr, i);
+            } else {
+                timed.load(addr, i);
+            }
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        warm.dump_state(&mut a);
+        timed.dump_state(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_round_trips_and_resets_occupancy() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::paper());
+        for i in 0..2000u64 {
+            m.load(i * 712 % (1 << 18), i);
+        }
+        let mut state = Vec::new();
+        m.dump_state(&mut state);
+        assert_eq!(state.len(), m.dump_len());
+        let mut fresh = MemoryHierarchy::new(HierarchyConfig::paper());
+        assert!(fresh.load_state(&state));
+        let s = fresh.stats();
+        assert_eq!((s.l1.accesses, s.l2.accesses, s.l1_port_stalls), (0, 0, 0));
+        assert_eq!(s.load_latency.samples(), 0);
+        // Identical future behaviour: same latencies for the same stream.
+        let mut replay = MemoryHierarchy::new(HierarchyConfig::paper());
+        assert!(replay.load_state(&state));
+        for i in 0..500u64 {
+            let addr = i * 4096 % (1 << 18);
+            assert_eq!(fresh.load(addr, i), replay.load(addr, i));
+        }
+        assert!(!MemoryHierarchy::new(HierarchyConfig::paper()).load_state(&state[1..]));
     }
 
     #[test]

@@ -162,6 +162,26 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw generator state. Together with [`StdRng::from_state`]
+        /// this makes the generator checkpointable: a restored generator
+        /// continues the exact stream of the original. (Upstream `StdRng`
+        /// has no such accessor; it is this stand-in's one extension, and
+        /// what lets the simulator's functional fast-forward replay the
+        /// policy RNG exactly.)
+        #[must_use]
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator at a raw state captured by
+        /// [`StdRng::state`].
+        #[must_use]
+        pub fn from_state(state: u64) -> StdRng {
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -217,6 +237,18 @@ mod tests {
         for _ in 0..256 {
             let v = rng.random_range(0.25f64..0.75);
             assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..17 {
+            let _ = a.random::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
         }
     }
 

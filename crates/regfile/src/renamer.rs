@@ -222,6 +222,76 @@ impl Renamer {
         }
     }
 
+    /// Builds the renamer with a *warm* architectural subset assignment
+    /// instead of the reset `i % subsets` pattern: logical register `i` of
+    /// each class starts mapped into `int[i]` / `fp[i]`. This is the
+    /// sampled path's entry point — the assignment comes from a
+    /// functionally warmed rename map, re-establishing the slow-mixing
+    /// logical→subset distribution that a short detailed warmup cannot.
+    ///
+    /// Assignments that would overflow a subset's physical file spill, in
+    /// logical order, to the next subset (cyclically) with space, so any
+    /// distribution is accepted as long as the file fits the class's
+    /// architectural registers in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the renamer is multi-threaded, an assignment slice has
+    /// the wrong length or names a nonexistent subset, or a class's file
+    /// is smaller than its architectural register count.
+    #[must_use]
+    pub fn with_arch_subsets(config: RenamerConfig, int: &[Subset], fp: &[Subset]) -> Self {
+        assert_eq!(
+            config.threads, 1,
+            "warm subset assignment is single-thread only"
+        );
+        let build = |class: RegClass, want: &[Subset]| {
+            let logical = class.logical_count();
+            let per = config.per_subset(class);
+            let subsets = config.subsets;
+            assert_eq!(want.len(), logical, "one subset per {class} logical");
+            assert!(
+                per * subsets >= logical,
+                "{class} file too small for its architectural registers"
+            );
+            let mut next_slot = vec![0usize; subsets];
+            let map = MapTable::new(logical, |i| {
+                let mut s = want[i].index();
+                assert!(s < subsets, "logical {i} assigned to nonexistent subset");
+                // Spill to the next subset with a free slot (capacity is
+                // guaranteed in total by the assertion above).
+                while next_slot[s] >= per {
+                    s = (s + 1) % subsets;
+                }
+                let slot = next_slot[s];
+                next_slot[s] += 1;
+                Mapping {
+                    phys: PhysReg((s * per + slot) as u32),
+                    subset: Subset(s as u8),
+                }
+            });
+            let free = (0..subsets)
+                .map(|s| {
+                    FreeList::new(
+                        (next_slot[s]..per).map(|slot| PhysReg((s * per + slot) as u32)),
+                        config.recycle_delay,
+                    )
+                })
+                .collect();
+            ClassRename {
+                maps: vec![map],
+                free,
+                staged: vec![Vec::new(); subsets],
+            }
+        };
+        Renamer {
+            config,
+            classes: [build(RegClass::Int, int), build(RegClass::Fp, fp)],
+            stats: RenameStats::default(),
+            in_cycle: false,
+        }
+    }
+
     /// The configuration.
     #[must_use]
     pub fn config(&self) -> &RenamerConfig {
@@ -521,6 +591,45 @@ mod tests {
             "other subsets unaffected"
         );
         assert_eq!(r.stats().alloc_refusals, 1);
+    }
+
+    #[test]
+    fn warm_subsets_honoured_and_free_lists_account_for_them() {
+        let cfg = RenamerConfig::write_specialized(512, 256, RenameStrategy::ExactCount);
+        let logical = RegClass::logical_count(RegClass::Int);
+        // Crowd every int logical into subset 2 (128 per subset holds all).
+        let int = vec![Subset(2); logical];
+        let fp: Vec<Subset> = (0..RegClass::logical_count(RegClass::Fp))
+            .map(|i| Subset((i % 4) as u8))
+            .collect();
+        let r = Renamer::with_arch_subsets(cfg, &int, &fp);
+        assert_eq!(r.map_table(RegClass::Int).mapped_into(Subset(2)), logical);
+        assert_eq!(r.available(RegClass::Int, Subset(2)), 128 - logical);
+        assert_eq!(r.available(RegClass::Int, Subset(0)), 128);
+        // Distinct physical registers for every mapping.
+        let mut seen = std::collections::HashSet::new();
+        for (_, m) in r.map_table(RegClass::Int).iter() {
+            assert!(seen.insert(m.phys.0));
+            assert_eq!(m.subset, Subset(2));
+        }
+    }
+
+    #[test]
+    fn warm_subsets_spill_when_a_subset_overflows() {
+        let mut cfg = RenamerConfig::write_specialized(512, 256, RenameStrategy::ExactCount);
+        cfg.int_regs = 96; // 24 per subset < 80 logicals: crowding must spill
+        let logical = RegClass::logical_count(RegClass::Int);
+        let int = vec![Subset(1); logical];
+        let fp: Vec<Subset> = (0..RegClass::logical_count(RegClass::Fp))
+            .map(|i| Subset((i % 4) as u8))
+            .collect();
+        let r = Renamer::with_arch_subsets(cfg, &int, &fp);
+        let t = r.map_table(RegClass::Int);
+        assert_eq!(t.mapped_into(Subset(1)), 24, "first-choice subset filled");
+        assert_eq!(t.mapped_into(Subset(2)), 24, "overflow spills cyclically");
+        assert_eq!(t.mapped_into(Subset(3)), 24);
+        assert_eq!(t.mapped_into(Subset(0)), logical - 72);
+        assert_eq!(r.available(RegClass::Int, Subset(1)), 0);
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //!   clients, worker counts, and store warmth.
 //! * **Content-addressed memoization.** Finished cells persist in a
 //!   [`MemoStore`] keyed on (configuration content hash, trace checksum,
-//!   simulator revision); resubmitting a grid replays bytes from disk
-//!   with zero simulations, and any semantic change to the configuration,
-//!   workload, emulator or timing model misses by construction.
+//!   simulator revision, sampling-spec hash); resubmitting a grid
+//!   replays bytes from disk with zero simulations, and any semantic
+//!   change to the configuration, workload, emulator, timing model or
+//!   sampling plan misses by construction. `wsrs-serve gc` prunes
+//!   entries stranded by a timing-model revision bump.
 //! * **In-flight dedup.** Identical cells submitted concurrently attach
 //!   to the one running simulation instead of racing it.
 //!
@@ -34,6 +36,6 @@ pub mod memo;
 pub mod proto;
 pub mod server;
 
-pub use memo::{MemoKey, MemoStats, MemoStore};
+pub use memo::{GcReport, MemoKey, MemoStats, MemoStore};
 pub use proto::{parse_submission, stream_header, JobSpec};
 pub use server::{install_signal_handlers, Server, ServerOptions};

@@ -191,6 +191,9 @@ struct DedupKey {
     workload: Workload,
     warmup: u64,
     measure: u64,
+    /// Sampling-spec hash, `0` for an exact cell — a sampled and an
+    /// exact run of the same cell are different results.
+    spec: u64,
 }
 
 impl DedupKey {
@@ -200,6 +203,7 @@ impl DedupKey {
             workload: cell.workload,
             warmup: cell.params.warmup,
             measure: cell.params.measure,
+            spec: cell.sample.map_or(0, |s| s.content_hash()),
         }
     }
 }
@@ -273,6 +277,7 @@ impl ServerState {
                         config: key.config,
                         trace,
                         sim: self.sim_rev,
+                        spec: key.spec,
                     };
                     if let Some(line) = self.memo.load(memo_key) {
                         memoized += 1;
@@ -372,6 +377,7 @@ impl ServerState {
             &cell.config,
             &r.report,
             r.batched,
+            r.sample.as_ref(),
         );
         let Json::Obj(mut fields) = record.to_json() else {
             unreachable!("cell records render as objects");
@@ -399,6 +405,7 @@ impl ServerState {
                 config: cell.config.content_hash(),
                 trace,
                 sim: self.sim_rev,
+                spec: cell.sample.map_or(0, |s| s.content_hash()),
             };
             if let Err(e) = self.memo.store(memo_key, &line) {
                 eprintln!(

@@ -35,6 +35,6 @@ pub mod registry;
 pub use attr::{CycleAttribution, SlotBucket};
 pub use json::Json;
 pub use manifest::{
-    CellRecord, GateOutcome, RunManifest, Tolerances, TraceCacheStats, TraceRecord,
+    CellRecord, GateOutcome, RunManifest, SampledCell, Tolerances, TraceCacheStats, TraceRecord,
 };
 pub use registry::{Counter, Histogram, PerCluster, StatDef};

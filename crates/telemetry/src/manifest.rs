@@ -66,6 +66,45 @@ pub fn git_revision(repo_root: &Path) -> String {
     head.to_string()
 }
 
+/// Sampling provenance and estimate of a cell simulated on the
+/// interval-sampled path: the IPC estimate with its measured error bound.
+/// All fields are *results* (deterministic for a given spec and trace) —
+/// environment-dependent counters like checkpoint hits stay out of
+/// manifests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampledCell {
+    /// The sampled IPC estimate (inverse mean per-interval CPI).
+    pub ipc_estimate: f64,
+    /// Half-width of the ~95% confidence interval, absolute IPC.
+    pub error_bound: f64,
+    /// Coefficient of variation of the per-interval CPIs.
+    pub cv: f64,
+    /// Measured intervals that contributed.
+    pub intervals: u64,
+}
+
+impl SampledCell {
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("ipc_estimate".into(), Json::Float(self.ipc_estimate)),
+            ("error_bound".into(), Json::Float(self.error_bound)),
+            ("cv".into(), Json::Float(self.cv)),
+            ("intervals".into(), Json::UInt(self.intervals)),
+        ])
+    }
+
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<SampledCell> {
+        Some(SampledCell {
+            ipc_estimate: v.get("ipc_estimate")?.as_f64()?,
+            error_bound: v.get("error_bound")?.as_f64()?,
+            cv: v.get("cv")?.as_f64()?,
+            intervals: v.get("intervals")?.as_u64()?,
+        })
+    }
+}
+
 /// One grid cell: a (workload, config) pair's measured results.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CellRecord {
@@ -105,8 +144,36 @@ pub struct CellRecord {
     /// (execution provenance; the results are bit-identical to scalar).
     /// Absent in pre-batching manifests, which parse as `false`.
     pub batched: bool,
+    /// Present exactly when the cell ran on the interval-sampled path:
+    /// the IPC estimate and error bound. Exact cells carry no key, so
+    /// pre-sampling manifests and exact baselines are byte-unchanged.
+    pub sampled: Option<SampledCell>,
     /// Full cycle attribution when telemetry was enabled for the run.
     pub attribution: Option<CycleAttribution>,
+}
+
+/// The cell-record fields added after the format's introduction, parsed
+/// tolerantly in one place — each row documents the manifest generation
+/// that introduced the field and the default an older document assumes:
+///
+/// | field                 | introduced with           | older docs parse as |
+/// |-----------------------|---------------------------|---------------------|
+/// | `batched`             | lockstep batching         | `false`             |
+/// | `config_content_hash` | content-addressed memoing | `""`                |
+/// | `sampled`             | interval sampling         | `None` (exact cell) |
+///
+/// Every future optional cell field belongs here, not ad hoc in
+/// [`CellRecord::from_json`], so tolerance rules stay reviewable in one
+/// table.
+fn optional_cell_fields(v: &Json) -> (bool, String, Option<SampledCell>) {
+    (
+        v.get("batched").and_then(Json::as_bool).unwrap_or(false),
+        v.get("config_content_hash")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        v.get("sampled").and_then(SampledCell::from_json),
+    )
 }
 
 impl CellRecord {
@@ -147,6 +214,9 @@ impl CellRecord {
             ("store_forwards".into(), Json::UInt(self.store_forwards)),
             ("batched".into(), Json::Bool(self.batched)),
         ];
+        if let Some(s) = &self.sampled {
+            fields.push(("sampled".into(), s.to_json()));
+        }
         if let Some(attr) = &self.attribution {
             fields.push(("attribution".into(), attr.to_json()));
         }
@@ -155,16 +225,12 @@ impl CellRecord {
 
     #[must_use]
     pub fn from_json(v: &Json) -> Option<CellRecord> {
+        let (batched, config_content_hash, sampled) = optional_cell_fields(v);
         Some(CellRecord {
             workload: v.get("workload")?.as_str()?.to_string(),
             config: v.get("config")?.as_str()?.to_string(),
             config_hash: v.get("config_hash")?.as_str()?.to_string(),
-            // Absent in manifests written before content addressing.
-            config_content_hash: v
-                .get("config_content_hash")
-                .and_then(Json::as_str)
-                .unwrap_or_default()
-                .to_string(),
+            config_content_hash,
             ipc: v.get("ipc")?.as_f64()?,
             cycles: v.get("cycles")?.as_u64()?,
             uops: v.get("uops")?.as_u64()?,
@@ -184,8 +250,8 @@ impl CellRecord {
             l1_miss_rate: v.get("l1_miss_rate")?.as_f64()?,
             l2_miss_rate: v.get("l2_miss_rate")?.as_f64()?,
             store_forwards: v.get("store_forwards")?.as_u64()?,
-            // Absent in manifests written before the batched harness.
-            batched: v.get("batched").and_then(Json::as_bool).unwrap_or(false),
+            batched,
+            sampled,
             attribution: v.get("attribution").and_then(CycleAttribution::from_json),
         })
     }
@@ -587,6 +653,7 @@ mod tests {
             l2_miss_rate: 0.01,
             store_forwards: 7,
             batched: false,
+            sampled: None,
             attribution: None,
         }
     }
@@ -689,6 +756,27 @@ mod tests {
         assert!(!legacy.batched);
         // Pre-content-addressing manifests parse with an empty hash.
         assert!(legacy.config_content_hash.is_empty());
+    }
+
+    #[test]
+    fn sampled_cell_roundtrips_and_defaults_to_exact() {
+        let mut c = cell("gcc", "rr", 2.0);
+        c.sampled = Some(SampledCell {
+            ipc_estimate: 1.98,
+            error_bound: 0.03,
+            cv: 0.05,
+            intervals: 24,
+        });
+        let round = CellRecord::from_json(&c.to_json()).unwrap();
+        assert_eq!(round.sampled, c.sampled);
+        // Exact cells render no "sampled" key at all — existing exact
+        // baselines stay byte-identical.
+        let exact = cell("gcc", "rr", 2.0);
+        assert!(!exact.to_json().to_string_compact().contains("sampled"));
+        assert!(CellRecord::from_json(&exact.to_json())
+            .unwrap()
+            .sampled
+            .is_none());
     }
 
     #[test]

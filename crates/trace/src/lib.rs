@@ -14,7 +14,9 @@
 //! * [`file`] — the on-disk format: versioned header, block index for O(1)
 //!   window seeks, whole-file FNV-1a checksum;
 //! * [`store`] — the keyed directory ([`TraceStore`]), with atomic writes
-//!   and `WSRS_TRACE_DIR` / `WSRS_TRACE_STORE` environment resolution.
+//!   and `WSRS_TRACE_DIR` / `WSRS_TRACE_STORE` environment resolution;
+//! * [`checkpoint`] — checksummed warmup-checkpoint records for interval
+//!   sampling, stored alongside traces under their own extension.
 //!
 //! Staleness is handled by construction: the store key embeds
 //! `Workload::trace_fingerprint()` (a hash of the emulator semantics
@@ -40,10 +42,14 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+pub mod checkpoint;
 pub mod codec;
 pub mod file;
 pub mod store;
 
+pub use checkpoint::{
+    CheckpointKey, CheckpointRecord, CHECKPOINT_EXT, CHECKPOINT_FORMAT_VERSION, CHECKPOINT_MAGIC,
+};
 pub use codec::{decode_block, encode_block, CodecError};
 pub use file::{
     encode, TraceError, TraceFile, TraceHeader, DEFAULT_BLOCK_UOPS, FORMAT_VERSION, MAGIC,

@@ -151,6 +151,7 @@ fn manifests_are_worker_count_invariant() {
             1.0,
             &grid.reports,
             &grid.batched,
+            &grid.samples,
             None,
         )
         .normalized_json_string()
