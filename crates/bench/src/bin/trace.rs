@@ -46,8 +46,11 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Resolves a workload name: the 12 kernels plus any `gen:` workload
+/// registered this process (the standard scenario family is registered in
+/// `main`, so its traces are first-class here).
 fn workload_by_name(name: &str) -> Option<Workload> {
-    Workload::all().into_iter().find(|w| w.name() == name)
+    name.parse().ok()
 }
 
 /// The key the grid harness would use for `w` at window `p` right now.
@@ -61,9 +64,14 @@ fn current_key(w: Workload, p: RunParams) -> TraceKey {
 }
 
 /// Is `key` recordable by the current emulator? (Same workload name and
-/// revision hash; any window.)
+/// revision hash; any window.) A `gen:` trace whose workload is not
+/// registered in this process counts as current: another caller may hold
+/// the profile, so `rm --stale` must not garbage-collect it.
 fn is_current(key: &TraceKey) -> bool {
-    workload_by_name(&key.workload).is_some_and(|w| w.trace_fingerprint() == key.rev)
+    match workload_by_name(&key.workload) {
+        Some(w) => w.trace_fingerprint() == key.rev,
+        None => key.workload.starts_with("gen:"),
+    }
 }
 
 fn store_or_die() -> TraceStore {
@@ -415,6 +423,13 @@ fn rev() -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Register the standard generated-scenario family so its
+    // `gen:<hash>:<seed>` names resolve: `record`/`inspect`/`rm` accept
+    // them, and `ls`/`verify` fingerprint-check the family's traces
+    // instead of flagging them foreign.
+    for s in wsrs_workgen::presets::standard_family() {
+        let _ = wsrs_workgen::register(&s.profile, s.seed);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("record") => record(&store_or_die(), &args[1..]),

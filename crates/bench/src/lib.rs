@@ -259,6 +259,31 @@ pub fn figure4_configs() -> Vec<(&'static str, SimConfig)> {
     ]
 }
 
+/// The `workgen` grid columns: an equally-sized unconstrained baseline
+/// and the two WSRS flavours Figure 4 separates (commutative vs monadic
+/// steering slack). Keeping the register count fixed at 512 across all
+/// columns makes a WSRS-vs-baseline IPC delta a pure specialization
+/// penalty rather than a capacity effect. Shared by the `workgen` grid
+/// binary and `wsrs-serve`'s `workgen` experiment submission.
+#[must_use]
+pub fn workgen_configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("RR 512", SimConfig::conventional_rr(512)),
+        (
+            "WSRS RC S 512",
+            SimConfig::wsrs(
+                512,
+                AllocPolicy::RandomCommutative,
+                RenameStrategy::ExactCount,
+            ),
+        ),
+        (
+            "WSRS RM S 512",
+            SimConfig::wsrs(512, AllocPolicy::RandomMonadic, RenameStrategy::ExactCount),
+        ),
+    ]
+}
+
 /// One gated experiment: name, configurations, workloads.
 pub type Experiment = (&'static str, Vec<(&'static str, SimConfig)>, Vec<Workload>);
 
@@ -297,14 +322,23 @@ pub fn gate_experiments() -> Vec<Experiment> {
     ]
 }
 
-/// Name → configuration registry over every gated experiment — the
-/// namespace [`CellJob`] wire forms resolve against. First binding of a
-/// name wins (names are unique across the gate today; the rule keeps the
-/// registry stable if experiments ever overlap).
+/// Name → configuration registry over every gated experiment plus the
+/// `workgen` grid columns — the namespace [`CellJob`] wire forms resolve
+/// against. First binding of a name wins (names are unique across the
+/// gate today; the rule keeps the registry stable if experiments ever
+/// overlap).
 #[must_use]
 pub fn config_registry() -> Vec<(String, SimConfig)> {
     let mut out: Vec<(String, SimConfig)> = Vec::new();
-    for (_, configs, _) in gate_experiments() {
+    let workgen = workgen_configs()
+        .into_iter()
+        .map(|(n, c)| (n, manifest::telemetry_on(&c)))
+        .collect();
+    let groups = gate_experiments()
+        .into_iter()
+        .map(|(_, configs, _)| configs)
+        .chain(std::iter::once(workgen));
+    for configs in groups {
         for (name, cfg) in configs {
             if !out.iter().any(|(n, _)| n == name) {
                 out.push((name.to_string(), cfg));
@@ -380,7 +414,7 @@ pub struct TraceCacheCounters {
     pub bytes_written: u64,
 }
 
-///// Everything a grid run knows about where its traces came from:
+/// Everything a grid run knows about where its traces came from:
 /// per-workload sources (first acquisition wins) plus the cache counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceProvenance {

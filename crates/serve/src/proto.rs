@@ -46,6 +46,9 @@ pub fn parse_submission(body: &str, registry: &[(String, SimConfig)]) -> Result<
     let v = Json::parse(body).map_err(|e| format!("malformed JSON body: {e:?}"))?;
 
     if let Some(name) = v.get("experiment").and_then(Json::as_str) {
+        if name == "workgen" {
+            return Ok(workgen_spec());
+        }
         let (_, configs, workloads) = wsrs_bench::gate_experiments()
             .into_iter()
             .find(|(n, _, _)| *n == name)
@@ -98,6 +101,31 @@ pub fn parse_submission(body: &str, registry: &[(String, SimConfig)]) -> Result<
     Ok(JobSpec { cells, params })
 }
 
+/// Expands `{"experiment": "workgen"}`: the standard generated-scenario
+/// family ([`wsrs_workgen::presets::standard_family`]) over the `workgen`
+/// grid columns, at the gate window. Registering each scenario here makes
+/// its `gen:<profile-hash>:<seed>` name resolve process-wide, so the
+/// job's trace-cache keys and manifests carry real generated-workload
+/// fingerprints.
+fn workgen_spec() -> JobSpec {
+    let params = gate_params();
+    let configs: Vec<(&str, SimConfig)> = wsrs_bench::workgen_configs()
+        .into_iter()
+        .map(|(n, c)| (n, wsrs_bench::manifest::telemetry_on(&c)))
+        .collect();
+    let cells = wsrs_workgen::presets::standard_family()
+        .iter()
+        .flat_map(|s| {
+            let w = wsrs_workgen::register(&s.profile, s.seed);
+            configs
+                .iter()
+                .map(move |(n, cfg)| CellJob::new(w, n, *cfg, params))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    JobSpec { cells, params }
+}
+
 /// The deterministic first line of a job's result stream. Contains only
 /// content (window and cell count) — never the job id or any origin
 /// counter — so every stream of the same grid is byte-identical
@@ -131,6 +159,28 @@ mod tests {
         assert_eq!(spec.cells[0].workload.name(), "gzip");
         assert_eq!(spec.cells[0].config_name, "RR 256");
         assert!(parse_submission("{\"experiment\": \"nonesuch\"}", &config_registry()).is_err());
+    }
+
+    #[test]
+    fn workgen_submission_expands_the_generated_family() {
+        let registry = config_registry();
+        let spec = parse_submission("{\"experiment\": \"workgen\"}", &registry).unwrap();
+        let family = wsrs_workgen::presets::standard_family();
+        assert_eq!(spec.cells.len(), family.len() * 3);
+        assert!(spec
+            .cells
+            .iter()
+            .all(|c| c.workload.name().starts_with("gen:")));
+
+        // Parsing registered the family: its gen: names now resolve in a
+        // plain cell submission too.
+        let name = spec.cells[0].workload.name();
+        let body = format!(
+            "{{\"warmup\": 1000, \"measure\": 2000, \"cells\": [\
+             {{\"workload\": \"{name}\", \"config\": \"RR 512\"}}]}}"
+        );
+        let cell_spec = parse_submission(&body, &registry).unwrap();
+        assert_eq!(cell_spec.cells[0].workload, spec.cells[0].workload);
     }
 
     #[test]

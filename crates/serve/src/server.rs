@@ -438,6 +438,12 @@ impl Server {
     ///
     /// Propagates socket errors.
     pub fn bind(addr: impl ToSocketAddrs, opts: &ServerOptions) -> std::io::Result<Server> {
+        // Register the standard generated-scenario family up front so
+        // cell submissions may name its `gen:<profile-hash>:<seed>`
+        // workloads directly, not only via the `workgen` experiment.
+        for s in wsrs_workgen::presets::standard_family() {
+            let _ = wsrs_workgen::register(&s.profile, s.seed);
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(Server {

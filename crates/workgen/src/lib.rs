@@ -1,0 +1,25 @@
+//! `wsrs-workgen`: statistical workload profile extraction and synthesis.
+//!
+//! The 12 hand-written kernels in `wsrs-workloads` are points; this crate
+//! turns them into a *space*. One half measures a [`WorkloadProfile`] —
+//! the instruction-mix, dependence-distance, register-reuse, branch-
+//! entropy and memory-locality statistics that determine how a workload
+//! exercises the WSRS machine — from any µop stream. The other half runs
+//! the arrow backwards: [`synth::generate`] deterministically emits a
+//! `wsrs-isa` program whose emulated trace matches a given profile within
+//! stated tolerances, so any point in profile space (a perturbed kernel, an
+//! interpolation between two kernels, or an adversarial corner no SPEC
+//! kernel occupies) becomes a runnable, trace-recordable, grid-sweepable
+//! workload named `gen:<profile-hash>:<seed>`.
+//!
+//! The 12 kernel profiles extracted at a fixed anchor window are committed
+//! under `anchors/` as calibration data; [`presets`] ships them plus two
+//! adversarial profiles that stress the paper's two specialization axes
+//! harder than any kernel does.
+
+pub mod presets;
+pub mod profile;
+pub mod synth;
+
+pub use profile::{CheckOutcome, Tolerances, WorkloadProfile};
+pub use synth::{gen_name, generate, register, remeasure};

@@ -1,0 +1,639 @@
+//! Statistical workload profiles: extraction, canonical JSON, hashing and
+//! tolerance checking.
+//!
+//! A [`WorkloadProfile`] is everything the synthesizer needs to reproduce
+//! a µop stream's *WSRS-relevant* dynamics: the op-arity and commutativity
+//! mix, FP/branch/memory fractions, the dependence-distance and
+//! register-reuse histograms, a per-site branch-entropy estimate and a
+//! two-parameter memory-locality model (footprint + sequential fraction).
+//! Every field is a quantized integer — fractions in parts-per-10 000,
+//! entropy in milli-bits — so profiles round-trip through JSON exactly
+//! and hash stably: equal profiles ⟺ equal hashes, byte for byte.
+
+use std::collections::{HashMap, HashSet};
+use wsrs_isa::DynInst;
+use wsrs_telemetry::json::Json;
+use wsrs_workloads::stats::{TraceStats, DEP_DIST_BUCKETS, REG_REUSE_BUCKETS};
+
+/// Profile format version, part of the content hash's domain separation.
+pub const PROFILE_SCHEMA: u64 = 1;
+
+/// Warmup µops skipped before the anchor-profile measurement window.
+pub const ANCHOR_WARMUP: u64 = 250_000;
+
+/// Measured µops of the anchor-profile window. The committed kernel
+/// anchors under `crates/workgen/anchors/` are all extracted at
+/// ([`ANCHOR_WARMUP`], `ANCHOR_WINDOW`).
+pub const ANCHOR_WINDOW: u64 = 750_000;
+
+/// Cache-line bytes assumed by the footprint/locality model.
+const LINE_BYTES: u64 = 64;
+
+/// A statistical workload profile. All fraction fields are
+/// parts-per-10 000 (pp) of their stated denominator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WorkloadProfile {
+    /// Measured µops of the extraction window (synthesis ignores this;
+    /// `check` re-measures at the same window).
+    pub window: u64,
+    /// Warmup µops skipped before the window.
+    pub warmup: u64,
+    /// Monadic µops, pp of all µops.
+    pub monadic_pp: u16,
+    /// Dyadic µops, pp of all µops (noadic is the remainder).
+    pub dyadic_pp: u16,
+    /// Commutative-opcode µops, pp of *dyadic* µops.
+    pub commutative_pp: u16,
+    /// Conditional branches, pp of all µops.
+    pub branch_pp: u16,
+    /// Loads, pp of all µops.
+    pub load_pp: u16,
+    /// Stores, pp of all µops.
+    pub store_pp: u16,
+    /// FP-class µops, pp of all µops.
+    pub fp_pp: u16,
+    /// Dependence-distance histogram, pp of in-window dependences per
+    /// bucket (bounds in [`wsrs_workloads::stats::DEP_DIST_BOUNDS`]);
+    /// sums to 10 000.
+    pub dep_dist_pp: [u16; DEP_DIST_BUCKETS],
+    /// Register-reuse histogram, pp of completed lifetimes per bucket
+    /// (0 / 1 / 2 / 3–4 / ≥5 reads); sums to 10 000.
+    pub reg_reuse_pp: [u16; REG_REUSE_BUCKETS],
+    /// Execution-weighted mean per-site branch outcome entropy,
+    /// milli-bits (0 = perfectly biased sites, 1000 = coin flips).
+    pub branch_entropy_milli: u16,
+    /// log2 of the touched memory footprint in bytes (0 when the window
+    /// has no memory µops).
+    pub footprint_log2: u8,
+    /// Memory µops whose address lands within one cache line of the same
+    /// static site's previous access, pp of memory µops.
+    pub seq_mem_pp: u16,
+}
+
+/// Quantizes `frac` (in [0, 1]) to parts-per-10 000.
+fn pp(frac: f64) -> u16 {
+    (frac * 10_000.0).round().clamp(0.0, 10_000.0) as u16
+}
+
+/// Quantizes a fraction histogram so the buckets sum to exactly 10 000
+/// (largest-remainder rounding; deterministic, first-bucket tie-break).
+fn pp_hist<const N: usize>(fracs: [f64; N]) -> [u16; N] {
+    if fracs.iter().all(|&f| f == 0.0) {
+        return [0; N];
+    }
+    let scaled: Vec<f64> = fracs.iter().map(|&f| f * 10_000.0).collect();
+    let mut out = [0u16; N];
+    let mut used: i64 = 0;
+    for (o, s) in out.iter_mut().zip(&scaled) {
+        *o = s.floor().clamp(0.0, 10_000.0) as u16;
+        used += i64::from(*o);
+    }
+    // Distribute the remainder to the largest fractional parts.
+    let mut order: Vec<usize> = (0..N).collect();
+    order.sort_by(|&a, &b| {
+        let (fa, fb) = (scaled[a].fract(), scaled[b].fract());
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    let mut left = (10_000 - used).max(0) as usize;
+    for &i in order.iter().cycle() {
+        if left == 0 {
+            break;
+        }
+        out[i] += 1;
+        left -= 1;
+    }
+    out
+}
+
+/// Binary entropy of `p` in bits.
+fn entropy_bits(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Per-window side measurements the plain [`TraceStats`] pass does not
+/// cover: branch-site outcome counts and the memory-locality model.
+#[derive(Default)]
+struct SideStats {
+    /// Per static branch site: (taken, executed).
+    branch_sites: HashMap<u64, (u64, u64)>,
+    /// Distinct cache lines touched.
+    lines: HashSet<u64>,
+    /// Per static memory site: last effective address.
+    last_addr: HashMap<u64, u64>,
+    /// Memory µops within one line of the same site's previous access.
+    seq_mem: u64,
+    /// Total memory µops with an effective address.
+    mem_total: u64,
+}
+
+impl SideStats {
+    fn update(&mut self, d: &DynInst) {
+        if d.is_cond_branch() {
+            let e = self.branch_sites.entry(d.pc).or_insert((0, 0));
+            e.0 += u64::from(d.taken);
+            e.1 += 1;
+        }
+        if let Some(addr) = d.eff_addr {
+            self.mem_total += 1;
+            self.lines.insert(addr / LINE_BYTES);
+            if let Some(prev) = self.last_addr.insert(d.pc, addr) {
+                if addr.abs_diff(prev) <= LINE_BYTES {
+                    self.seq_mem += 1;
+                }
+            }
+        }
+    }
+
+    /// Execution-weighted mean per-site outcome entropy, milli-bits.
+    fn entropy_milli(&self) -> u16 {
+        let total: u64 = self.branch_sites.values().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return 0;
+        }
+        let weighted: f64 = self
+            .branch_sites
+            .values()
+            .map(|&(t, n)| n as f64 * entropy_bits(t as f64 / n as f64))
+            .sum();
+        pp(weighted / total as f64 / 10.0).min(1000)
+    }
+
+    fn footprint_log2(&self) -> u8 {
+        let bytes = self.lines.len() as u64 * LINE_BYTES;
+        if bytes == 0 {
+            0
+        } else {
+            (64 - (bytes - 1).leading_zeros().min(63)) as u8
+        }
+    }
+
+    fn seq_mem_pp(&self) -> u16 {
+        if self.mem_total == 0 {
+            0
+        } else {
+            pp(self.seq_mem as f64 / self.mem_total as f64)
+        }
+    }
+}
+
+impl WorkloadProfile {
+    /// Measures a profile over `window` µops of `trace` after skipping
+    /// `warmup` µops. One pass: the arity/mix/histogram quantities come
+    /// from [`TraceStats::measure`]; branch entropy and the locality
+    /// model ride along on the same iterator.
+    #[must_use]
+    pub fn extract(trace: impl Iterator<Item = DynInst>, warmup: u64, window: u64) -> Self {
+        let mut side = SideStats::default();
+        let stats = TraceStats::measure(
+            trace
+                .skip(warmup as usize)
+                .take(window as usize)
+                .inspect(|d| side.update(d)),
+        );
+        WorkloadProfile {
+            window: stats.total,
+            warmup,
+            monadic_pp: pp(stats.monadic_fraction()),
+            dyadic_pp: pp(stats.dyadic_fraction()),
+            commutative_pp: pp(stats.commutative_fraction()),
+            branch_pp: pp(stats.branch_fraction()),
+            load_pp: pp(stats.load_fraction()),
+            store_pp: pp(stats.store_fraction()),
+            fp_pp: pp(stats.fp_fraction()),
+            dep_dist_pp: pp_hist(stats.dep_dist_fractions()),
+            reg_reuse_pp: pp_hist(stats.reg_reuse_fractions()),
+            branch_entropy_milli: side.entropy_milli(),
+            footprint_log2: side.footprint_log2(),
+            seq_mem_pp: side.seq_mem_pp(),
+        }
+    }
+
+    /// Extracts a named kernel's profile at the committed anchor window.
+    #[must_use]
+    pub fn extract_kernel(w: wsrs_workloads::Workload) -> Self {
+        Self::extract(w.trace(), ANCHOR_WARMUP, ANCHOR_WINDOW)
+    }
+
+    /// Clamps every field into its valid domain and renormalizes the
+    /// histograms to sum to exactly 10 000, so arbitrary (e.g. proptest)
+    /// field values become a well-formed profile. Feasibility of the
+    /// *combination* (enough compute slots to realize the arity mix, say)
+    /// is the synthesizer's concern; it treats the targets as best-effort.
+    #[must_use]
+    pub fn sanitized(mut self) -> Self {
+        self.window = self.window.clamp(1_000, 100_000_000);
+        self.warmup = self.warmup.min(100_000_000);
+        // Arity split: monadic + dyadic ≤ 10 000 (noadic is the rest).
+        self.monadic_pp = self.monadic_pp.min(10_000);
+        self.dyadic_pp = self.dyadic_pp.min(10_000 - self.monadic_pp);
+        self.commutative_pp = self.commutative_pp.min(10_000);
+        // Category split: branch + load + store ≤ 10 000.
+        self.branch_pp = self.branch_pp.min(10_000);
+        self.load_pp = self.load_pp.min(10_000 - self.branch_pp);
+        self.store_pp = self.store_pp.min(10_000 - self.branch_pp - self.load_pp);
+        self.fp_pp = self
+            .fp_pp
+            .min(10_000 - self.branch_pp - self.load_pp - self.store_pp);
+        self.branch_entropy_milli = self.branch_entropy_milli.min(1_000);
+        self.footprint_log2 = self.footprint_log2.clamp(9, 23);
+        self.seq_mem_pp = self.seq_mem_pp.min(10_000);
+        self.dep_dist_pp = renorm(self.dep_dist_pp);
+        self.reg_reuse_pp = renorm(self.reg_reuse_pp);
+        self
+    }
+
+    /// FNV-1a content hash over every field in declaration order, with a
+    /// schema-tagged domain prefix. Equal profiles ⟺ equal hashes.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = wsrs_isa::Fnv1a::new();
+        h.write(b"wsrs-profile;");
+        h.write_u64(PROFILE_SCHEMA);
+        h.write_u64(self.window);
+        h.write_u64(self.warmup);
+        for v in [
+            self.monadic_pp,
+            self.dyadic_pp,
+            self.commutative_pp,
+            self.branch_pp,
+            self.load_pp,
+            self.store_pp,
+            self.fp_pp,
+        ] {
+            h.write_u64(u64::from(v));
+        }
+        for v in self.dep_dist_pp {
+            h.write_u64(u64::from(v));
+        }
+        for v in self.reg_reuse_pp {
+            h.write_u64(u64::from(v));
+        }
+        h.write_u64(u64::from(self.branch_entropy_milli));
+        h.write_u64(u64::from(self.footprint_log2));
+        h.write_u64(u64::from(self.seq_mem_pp));
+        h.finish()
+    }
+
+    /// The content hash as fixed-width hex — the `<profile-hash>` field
+    /// of generated-workload names.
+    #[must_use]
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+
+    /// Whether the profile requests FP µops (drives `Workload::is_fp`).
+    #[must_use]
+    pub fn wants_fp(&self) -> bool {
+        self.fp_pp > 0
+    }
+
+    /// Canonical JSON rendering: fixed field order, integer fields only,
+    /// so `parse(render(p)) == p` exactly and renderings are byte-stable.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::UInt(PROFILE_SCHEMA)),
+            ("window".into(), Json::UInt(self.window)),
+            ("warmup".into(), Json::UInt(self.warmup)),
+            ("monadic_pp".into(), Json::UInt(u64::from(self.monadic_pp))),
+            ("dyadic_pp".into(), Json::UInt(u64::from(self.dyadic_pp))),
+            (
+                "commutative_pp".into(),
+                Json::UInt(u64::from(self.commutative_pp)),
+            ),
+            ("branch_pp".into(), Json::UInt(u64::from(self.branch_pp))),
+            ("load_pp".into(), Json::UInt(u64::from(self.load_pp))),
+            ("store_pp".into(), Json::UInt(u64::from(self.store_pp))),
+            ("fp_pp".into(), Json::UInt(u64::from(self.fp_pp))),
+            (
+                "dep_dist_pp".into(),
+                Json::Arr(
+                    self.dep_dist_pp
+                        .iter()
+                        .map(|&v| Json::UInt(u64::from(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "reg_reuse_pp".into(),
+                Json::Arr(
+                    self.reg_reuse_pp
+                        .iter()
+                        .map(|&v| Json::UInt(u64::from(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "branch_entropy_milli".into(),
+                Json::UInt(u64::from(self.branch_entropy_milli)),
+            ),
+            (
+                "footprint_log2".into(),
+                Json::UInt(u64::from(self.footprint_log2)),
+            ),
+            ("seq_mem_pp".into(), Json::UInt(u64::from(self.seq_mem_pp))),
+        ])
+    }
+
+    /// The canonical on-disk form: pretty JSON plus trailing newline.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Parses a profile from its JSON value; `None` on missing fields,
+    /// wrong schema, or out-of-range values.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<Self> {
+        if v.get("schema")?.as_u64()? != PROFILE_SCHEMA {
+            return None;
+        }
+        let u16_field = |k: &str| -> Option<u16> { u16::try_from(v.get(k)?.as_u64()?).ok() };
+        let hist = |k: &str, n: usize| -> Option<Vec<u16>> {
+            let arr = v.get(k)?.as_arr()?;
+            if arr.len() != n {
+                return None;
+            }
+            arr.iter()
+                .map(|e| u16::try_from(e.as_u64()?).ok())
+                .collect()
+        };
+        let dep: Vec<u16> = hist("dep_dist_pp", DEP_DIST_BUCKETS)?;
+        let reuse: Vec<u16> = hist("reg_reuse_pp", REG_REUSE_BUCKETS)?;
+        Some(WorkloadProfile {
+            window: v.get("window")?.as_u64()?,
+            warmup: v.get("warmup")?.as_u64()?,
+            monadic_pp: u16_field("monadic_pp")?,
+            dyadic_pp: u16_field("dyadic_pp")?,
+            commutative_pp: u16_field("commutative_pp")?,
+            branch_pp: u16_field("branch_pp")?,
+            load_pp: u16_field("load_pp")?,
+            store_pp: u16_field("store_pp")?,
+            fp_pp: u16_field("fp_pp")?,
+            dep_dist_pp: dep.try_into().ok()?,
+            reg_reuse_pp: reuse.try_into().ok()?,
+            branch_entropy_milli: u16_field("branch_entropy_milli")?,
+            footprint_log2: u8::try_from(v.get("footprint_log2")?.as_u64()?).ok()?,
+            seq_mem_pp: u16_field("seq_mem_pp")?,
+        })
+    }
+
+    /// Parses a profile from JSON text.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        Self::from_json(&Json::parse(text).ok()?)
+    }
+
+    /// Compares a re-measured profile against this target under `tol`.
+    #[must_use]
+    pub fn check(&self, measured: &WorkloadProfile, tol: &Tolerances) -> CheckOutcome {
+        let mut out = CheckOutcome::default();
+        let mut mix = |name: &str, target: u16, got: u16, limit: u16| {
+            let err = target.abs_diff(got);
+            if err > limit {
+                out.failures.push(format!(
+                    "{name}: target {target} pp, measured {got} pp (|Δ| {err} > {limit})"
+                ));
+            }
+        };
+        mix(
+            "monadic_pp",
+            self.monadic_pp,
+            measured.monadic_pp,
+            tol.mix_pp,
+        );
+        mix("dyadic_pp", self.dyadic_pp, measured.dyadic_pp, tol.mix_pp);
+        mix(
+            "commutative_pp",
+            self.commutative_pp,
+            measured.commutative_pp,
+            tol.mix_pp,
+        );
+        mix("branch_pp", self.branch_pp, measured.branch_pp, tol.mix_pp);
+        mix("load_pp", self.load_pp, measured.load_pp, tol.mix_pp);
+        mix("store_pp", self.store_pp, measured.store_pp, tol.mix_pp);
+        mix("fp_pp", self.fp_pp, measured.fp_pp, tol.mix_pp);
+        mix(
+            "branch_entropy_milli",
+            self.branch_entropy_milli,
+            measured.branch_entropy_milli,
+            tol.entropy_milli,
+        );
+        // Memory-shape fields are meaningless for a memory-free target
+        // profile (sanitization still clamps footprint into range, but a
+        // generator is right to touch no memory at all).
+        if self.load_pp + self.store_pp > 0 {
+            mix(
+                "seq_mem_pp",
+                self.seq_mem_pp,
+                measured.seq_mem_pp,
+                tol.seq_mem_pp,
+            );
+        }
+        let dep_l1: u32 = self
+            .dep_dist_pp
+            .iter()
+            .zip(&measured.dep_dist_pp)
+            .map(|(&a, &b)| u32::from(a.abs_diff(b)))
+            .sum();
+        if dep_l1 > tol.hist_l1_pp {
+            out.failures.push(format!(
+                "dep_dist_pp: L1 distance {dep_l1} pp > {}",
+                tol.hist_l1_pp
+            ));
+        }
+        let reuse_l1: u32 = self
+            .reg_reuse_pp
+            .iter()
+            .zip(&measured.reg_reuse_pp)
+            .map(|(&a, &b)| u32::from(a.abs_diff(b)))
+            .sum();
+        if reuse_l1 > tol.hist_l1_pp {
+            out.failures.push(format!(
+                "reg_reuse_pp: L1 distance {reuse_l1} pp > {}",
+                tol.hist_l1_pp
+            ));
+        }
+        if self.load_pp + self.store_pp > 0
+            && u32::from(self.footprint_log2.abs_diff(measured.footprint_log2))
+                > u32::from(tol.footprint_log2)
+        {
+            out.failures.push(format!(
+                "footprint_log2: target {}, measured {} (> ±{})",
+                self.footprint_log2, measured.footprint_log2, tol.footprint_log2
+            ));
+        }
+        out
+    }
+}
+
+/// Renormalizes a pp histogram to sum to exactly 10 000 (all-zero input
+/// becomes all mass in bucket 0).
+fn renorm<const N: usize>(h: [u16; N]) -> [u16; N] {
+    let sum: u64 = h.iter().map(|&v| u64::from(v)).sum();
+    if sum == 0 {
+        let mut out = [0; N];
+        out[0] = 10_000;
+        return out;
+    }
+    let fracs: [f64; N] = h.map(|v| f64::from(v) / sum as f64);
+    pp_hist(fracs)
+}
+
+/// Synthesis tolerances: how far a generated trace's re-measured profile
+/// may sit from its target. The defaults are the *stated* tolerances of
+/// DESIGN §5j: tight on the mix fractions the synthesizer controls
+/// directly, looser on the emergent histogram shapes.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Absolute pp error allowed on each mix fraction.
+    pub mix_pp: u16,
+    /// Absolute milli-bit error allowed on branch entropy.
+    pub entropy_milli: u16,
+    /// Absolute pp error allowed on the sequential-memory fraction.
+    pub seq_mem_pp: u16,
+    /// L1 distance (pp) allowed per histogram.
+    pub hist_l1_pp: u32,
+    /// Allowed |Δ| in footprint log2.
+    pub footprint_log2: u8,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            mix_pp: 300,
+            entropy_milli: 120,
+            seq_mem_pp: 1_500,
+            hist_l1_pp: 6_000,
+            footprint_log2: 3,
+        }
+    }
+}
+
+/// Result of a profile tolerance check.
+#[derive(Clone, Debug, Default)]
+pub struct CheckOutcome {
+    /// Human-readable breaches; empty means the check passed.
+    pub failures: Vec<String>,
+}
+
+impl CheckOutcome {
+    /// Whether every quantity landed within tolerance.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrs_workloads::Workload;
+
+    #[test]
+    fn pp_hist_sums_to_exactly_ten_thousand() {
+        let h = pp_hist([0.33, 0.33, 0.34]);
+        assert_eq!(h.iter().map(|&v| u32::from(v)).sum::<u32>(), 10_000);
+        let thirds = pp_hist([1.0 / 3.0; 3]);
+        assert_eq!(thirds.iter().map(|&v| u32::from(v)).sum::<u32>(), 10_000);
+        assert_eq!(pp_hist([0.0; 4]), [0; 4]);
+    }
+
+    #[test]
+    fn extraction_round_trips_through_json() {
+        let p = WorkloadProfile::extract(Workload::Gzip.trace(), 10_000, 50_000);
+        let text = p.to_json_string();
+        let back = WorkloadProfile::parse(&text).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.content_hash(), p.content_hash());
+    }
+
+    #[test]
+    fn hashes_separate_distinct_profiles() {
+        let a = WorkloadProfile::extract(Workload::Gzip.trace(), 10_000, 50_000);
+        let b = WorkloadProfile::extract(Workload::Mcf.trace(), 10_000, 50_000);
+        assert_ne!(a.content_hash(), b.content_hash());
+        let mut c = a;
+        c.branch_pp += 1;
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn empty_window_profile_is_degenerate_but_valid() {
+        let p = WorkloadProfile::extract(std::iter::empty(), 0, 1_000);
+        assert_eq!(p.window, 0);
+        assert_eq!(p.branch_entropy_milli, 0);
+        assert_eq!(p.footprint_log2, 0);
+        let s = p.sanitized();
+        assert_eq!(
+            s.dep_dist_pp.iter().map(|&v| u32::from(v)).sum::<u32>(),
+            10_000
+        );
+    }
+
+    #[test]
+    fn sanitize_enforces_field_domains() {
+        let p = WorkloadProfile {
+            window: 0,
+            warmup: u64::MAX,
+            monadic_pp: u16::MAX,
+            dyadic_pp: u16::MAX,
+            commutative_pp: u16::MAX,
+            branch_pp: 8_000,
+            load_pp: 8_000,
+            store_pp: 8_000,
+            fp_pp: 8_000,
+            dep_dist_pp: [u16::MAX; DEP_DIST_BUCKETS],
+            reg_reuse_pp: [0; REG_REUSE_BUCKETS],
+            branch_entropy_milli: u16::MAX,
+            footprint_log2: 60,
+            seq_mem_pp: u16::MAX,
+        }
+        .sanitized();
+        assert_eq!(p.monadic_pp + p.dyadic_pp, 10_000);
+        assert!(p.branch_pp + p.load_pp + p.store_pp + p.fp_pp <= 10_000);
+        assert!(p.branch_entropy_milli <= 1_000);
+        assert!((9..=23).contains(&p.footprint_log2));
+        assert_eq!(
+            p.dep_dist_pp.iter().map(|&v| u32::from(v)).sum::<u32>(),
+            10_000
+        );
+        assert_eq!(
+            p.reg_reuse_pp.iter().map(|&v| u32::from(v)).sum::<u32>(),
+            10_000
+        );
+    }
+
+    #[test]
+    fn check_passes_on_self_and_fails_on_drift() {
+        let p = WorkloadProfile::extract(Workload::Gzip.trace(), 10_000, 50_000);
+        assert!(p.check(&p, &Tolerances::default()).passed());
+        let mut far = p;
+        far.branch_pp = far.branch_pp.saturating_add(2_000);
+        let out = p.check(&far, &Tolerances::default());
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("branch_pp"), "{out:?}");
+    }
+
+    #[test]
+    fn kernel_entropy_and_locality_are_sensible() {
+        // vpr models annealing accept/reject: data-dependent branches, so
+        // entropy should be clearly above a counted-loop kernel's.
+        let vpr = WorkloadProfile::extract(Workload::Vpr.trace(), 50_000, 100_000);
+        assert!(
+            vpr.branch_entropy_milli > 100,
+            "{}",
+            vpr.branch_entropy_milli
+        );
+        // mcf strides through megabytes; gzip's window/hash tables are
+        // far smaller.
+        let mcf = WorkloadProfile::extract(Workload::Mcf.trace(), 50_000, 100_000);
+        let gzip = WorkloadProfile::extract(Workload::Gzip.trace(), 50_000, 100_000);
+        assert!(mcf.footprint_log2 > gzip.footprint_log2);
+    }
+}

@@ -1,0 +1,1060 @@
+//! Deterministic program synthesis from a [`WorkloadProfile`].
+//!
+//! `generate(profile, seed, outer)` emits a `wsrs-isa` [`Program`] whose
+//! emulated µop stream matches the profile within the stated
+//! [`Tolerances`](crate::profile::Tolerances). The generator is a pure
+//! function of its arguments: all randomness comes from the vendored
+//! SplitMix64 [`StdRng`] seeded with `seed ^ profile.content_hash()`, and
+//! every decision is drawn in emission order from plain arrays — no
+//! hash-map iteration, no threads, no ambient state — so the emitted
+//! program (and therefore its trace) is byte-identical across runs,
+//! machines and `WSRS_THREADS` settings.
+//!
+//! # Generator model
+//!
+//! The program is a short register/constant preamble followed by one
+//! `outer`-repetition loop whose body is a straight-line block of about
+//! [`BODY_UOPS`] µops (conditional branches jump to the immediately
+//! following instruction, so the dynamic stream is the static body
+//! repeated — which is what makes static wiring distances equal dynamic
+//! dependence distances). Each body slot is chosen by **greedy deficit
+//! matching**: the bookkeeper tracks the realized mix (including every
+//! helper µop the generator itself emits — address arithmetic, xorshift
+//! refreshes, the loop-closing branch) and each step emits one unit of
+//! whichever category (branch / load / store / FP / int compute) is
+//! furthest below its target fraction. Within a category the same rule
+//! picks arity against the monadic/dyadic targets and commutativity
+//! against the commutative target; branch sites are split into coin-flip
+//! sites (testing a fresh xorshift bit each iteration) and
+//! constant-direction sites to meet the entropy target; memory sites are
+//! split into per-site sequential streams and footprint-masked random
+//! probes to meet the locality model. Source registers are wired by
+//! sampling a target dependence distance from the profile histogram and
+//! choosing the live register whose producer sits closest to it;
+//! destination registers prefer values whose sampled intended reuse is
+//! exhausted, steering the register-reuse histogram.
+
+use crate::profile::WorkloadProfile;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use wsrs_isa::{Assembler, Freg, Program, Reg};
+use wsrs_workloads::stats::{DEP_DIST_BUCKETS, REG_REUSE_BUCKETS};
+use wsrs_workloads::Workload;
+
+/// Target µops per loop-body repetition. Large enough that per-iteration
+/// fixed overhead (state refresh, loop close) is mix noise, small enough
+/// that sampled windows see thousands of repetitions.
+pub const BODY_UOPS: u64 = 600;
+
+/// Base byte address of the random-probe region (16 MiB into the default
+/// 32 MiB image, leaving room for the largest footprint mask above it).
+const REGION_BASE: i64 = 1 << 24;
+
+/// Base byte address of the sequential-store sweep region (8..16 MiB);
+/// disjoint from both the probe region and the pointer rings so stores
+/// can never corrupt ring links.
+const STORE_BASE: i64 = 1 << 23;
+
+/// Base byte address of the pre-linked pointer rings that sequential
+/// loads chase (24 MiB; at most `RING_MAX_NODES` lines long).
+const RING_BASE: i64 = 3 << 23;
+
+/// Number of interleaved chase chains walking the pointer ring. Few
+/// enough that same-chain read distances stay short, many enough that
+/// the chains don't serialize the whole body on load latency.
+const CHASE_CHAINS: u8 = 3;
+
+/// Ring length bounds, in nodes (= cache lines, since each node holds
+/// one next-pointer in its own line).
+const RING_MIN_NODES: i64 = 64;
+const RING_MAX_NODES: i64 = 8192;
+
+/// Lower-inclusive distance of each dependence bucket (upper bounds in
+/// [`wsrs_workloads::stats::DEP_DIST_BOUNDS`]); the top bucket is
+/// realized through registers written only in the preamble, whose
+/// dependence distance grows without bound.
+const DEP_DIST_LOWER: [u64; DEP_DIST_BUCKETS] = [1, 2, 3, 5, 9, 17, 33, 65];
+
+/// Intended read counts representative of each reuse bucket.
+const REUSE_REPR: [u32; REG_REUSE_BUCKETS] = [0, 1, 2, 4, 6];
+
+// Fixed-role integer registers (`Reg::new` is not const-constructible, so
+// these are accessor fns). The mutable-state pools live between them.
+fn oc() -> Reg {
+    Reg::new(1) // outer-loop counter
+}
+fn xs() -> Reg {
+    Reg::new(2) // branch-entropy xorshift state
+}
+fn tmp() -> Reg {
+    Reg::new(3) // xorshift / branch-test / address scratch
+}
+fn ys() -> Reg {
+    Reg::new(4) // address xorshift state
+}
+fn rbase() -> Reg {
+    Reg::new(5) // holds REGION_BASE (preamble-only write)
+}
+fn rnegbase() -> Reg {
+    Reg::new(6) // holds -REGION_BASE (preamble-only write)
+}
+fn raddr() -> Reg {
+    Reg::new(7) // computed random-probe address
+}
+fn seqoff() -> Reg {
+    Reg::new(8) // sequential-stream offset
+}
+fn onereg() -> Reg {
+    Reg::new(9) // nonzero constant (constant-direction branches)
+}
+fn seqsw() -> Reg {
+    Reg::new(57) // per-iteration sequential store-sweep pointer
+}
+fn rmask() -> Reg {
+    Reg::new(58) // holds the footprint mask (preamble-only write)
+}
+fn chase(k: u8) -> Reg {
+    Reg::new(54 + k) // pointer-chase chain registers
+}
+const INT_POOL_LO: u8 = 10;
+const INT_POOL_HI: u8 = 54; // exclusive (54..56 are the chase chains)
+                            // Slow-lane registers: rewritten once per iteration at the body top and
+                            // never used as compute destinations, so reads of them late in the body
+                            // realize the ≥65 dependence-distance bucket with in-window producers.
+const INT_SLOW_LO: u8 = 59;
+const INT_SLOW_N: u8 = 4;
+const FP_POOL_N: u8 = 28; // f0..f27
+const FP_SLOW_LO: u8 = 29;
+const FP_SLOW_N: u8 = 2;
+
+/// The canonical name of a generated workload:
+/// `gen:<profile-hash>:<seed>`. Content-addressed — the hash covers every
+/// profile field, so equal names mean equal programs.
+#[must_use]
+pub fn gen_name(profile: &WorkloadProfile, seed: u64) -> String {
+    format!("gen:{}:{seed}", profile.hash_hex())
+}
+
+/// Registers the generated workload for `(profile, seed)` in the
+/// process-global workload registry and returns its handle. Idempotent:
+/// the name content-addresses the program, so re-registering returns the
+/// existing handle.
+#[must_use]
+pub fn register(profile: &WorkloadProfile, seed: u64) -> Workload {
+    let p = profile.sanitized();
+    wsrs_workloads::register_generated(&gen_name(&p, seed), p.wants_fp(), move |outer| {
+        generate(&p, seed, outer)
+    })
+}
+
+/// Per-register liveness the wiring decisions consult.
+#[derive(Clone, Copy, Default)]
+struct RegState {
+    /// Emission position of the last write, if written in the loop body.
+    body_write: Option<u64>,
+    /// Whether the register holds a defined value at all.
+    init: bool,
+    /// Sampled intended reads remaining for the current value.
+    pending: u32,
+    /// Reads the current value has actually received.
+    reads: u32,
+}
+
+/// Slot categories greedy deficit matching chooses among.
+#[derive(Clone, Copy, PartialEq)]
+enum Cat {
+    Branch,
+    Load,
+    Store,
+    Fp,
+    Int,
+}
+
+/// The emission state: assembler plus the bookkeeping that drives greedy
+/// deficit matching.
+struct Gen {
+    a: Assembler,
+    rng: StdRng,
+    p: WorkloadProfile,
+    /// Emitted body µops (= dynamic position within one repetition, since
+    /// the body is straight-line).
+    pos: u64,
+    // Realized mix counters over body µops:
+    total: u64,
+    monadic: u64,
+    dyadic: u64,
+    commutative: u64,
+    branches: u64,
+    balanced_branches: u64,
+    loads: u64,
+    stores: u64,
+    fp_ops: u64,
+    seq_mem: u64,
+    // Register wiring state:
+    int_state: [RegState; 80],
+    fp_state: [RegState; 32],
+    /// Rotates coin-flip branch test bits.
+    branch_bit: u32,
+    /// Rotates random-address shift amounts (and counts probe sites).
+    addr_shift: u32,
+    /// Counts sequential store sites (drives sweep-pointer refresh).
+    seq_count: u32,
+    /// Freshly minted constants awaiting their guaranteed first read, so
+    /// noadic-heavy profiles don't strand unread values. A dyadic compute
+    /// can retire two at once, which lets mints outnumber readers.
+    force_consume: Vec<Reg>,
+    /// Round-robin cursors for destination selection.
+    int_cursor: u8,
+    fp_cursor: u8,
+}
+
+impl Gen {
+    fn new(p: WorkloadProfile, seed: u64) -> Self {
+        Gen {
+            a: Assembler::new(),
+            rng: StdRng::seed_from_u64(seed ^ p.content_hash()),
+            p,
+            pos: 0,
+            total: 0,
+            monadic: 0,
+            dyadic: 0,
+            commutative: 0,
+            branches: 0,
+            balanced_branches: 0,
+            loads: 0,
+            stores: 0,
+            fp_ops: 0,
+            seq_mem: 0,
+            int_state: [RegState::default(); 80],
+            fp_state: [RegState::default(); 32],
+            branch_bit: 0,
+            addr_shift: 0,
+            seq_count: 0,
+            force_consume: Vec::new(),
+            int_cursor: 0,
+            fp_cursor: 0,
+        }
+    }
+
+    // ---- bookkeeping ----
+    //
+    // Every emission helper advances `pos` by the µops it emits and
+    // charges the realized-mix counters, so helper arithmetic is never
+    // invisible to the deficit matcher.
+
+    fn note(&mut self, arity: usize, comm: bool) {
+        self.pos += 1;
+        self.total += 1;
+        match arity {
+            1 => self.monadic += 1,
+            2 => self.dyadic += 1,
+            _ => {}
+        }
+        if comm {
+            self.commutative += 1;
+        }
+    }
+
+    fn int_written(&mut self, r: Reg, pending: u32) {
+        let s = &mut self.int_state[r.index() as usize];
+        s.body_write = Some(self.pos);
+        s.init = true;
+        s.pending = pending;
+        s.reads = 0;
+    }
+
+    fn int_read(&mut self, r: Reg) {
+        let s = &mut self.int_state[r.index() as usize];
+        s.pending = s.pending.saturating_sub(1);
+        s.reads += 1;
+    }
+
+    fn fp_written(&mut self, f: Freg, pending: u32) {
+        let s = &mut self.fp_state[f.index() as usize];
+        s.body_write = Some(self.pos);
+        s.init = true;
+        s.pending = pending;
+        s.reads = 0;
+    }
+
+    fn fp_read(&mut self, f: Freg) {
+        let s = &mut self.fp_state[f.index() as usize];
+        s.pending = s.pending.saturating_sub(1);
+        s.reads += 1;
+    }
+
+    // ---- distance/reuse sampling ----
+
+    fn sample_reuse(&mut self) -> u32 {
+        let mut roll = self.rng.random_range(0u32..10_000);
+        for (i, &w) in self.p.reg_reuse_pp.iter().enumerate() {
+            let w = u32::from(w);
+            if roll < w {
+                return REUSE_REPR[i];
+            }
+            roll -= w;
+        }
+        1
+    }
+
+    fn sample_distance(&mut self) -> u64 {
+        let mut roll = self.rng.random_range(0u32..10_000);
+        for (i, &w) in self.p.dep_dist_pp.iter().enumerate() {
+            let w = u32::from(w);
+            if roll < w {
+                let lo = DEP_DIST_LOWER[i];
+                let hi = if i + 1 < DEP_DIST_BUCKETS {
+                    DEP_DIST_LOWER[i + 1] - 1
+                } else {
+                    // The unbounded bucket: anything ≥65; cap the sampled
+                    // target so in-body candidates (the slow-lane regs
+                    // written at the body top) stay reachable.
+                    (2 * BODY_UOPS) / 3
+                };
+                return self.rng.random_range(lo..=hi.max(lo));
+            }
+            roll -= w;
+        }
+        1
+    }
+
+    /// Scoring shared by the source pickers: distance error is primary
+    /// (×2), with a flat penalty for re-reading a value whose intended
+    /// reads are already spent — it keeps realized reuse near the sampled
+    /// reuse without sacrificing much distance accuracy.
+    fn src_score(&self, s: RegState, d: u64) -> Option<u64> {
+        if !s.init {
+            return None;
+        }
+        // +1: the consumer will sit one past the current emission position,
+        // which is exactly how the stats pass measures the distance.
+        let dist = match s.body_write {
+            Some(w) => self.pos - w + 1,
+            None => BODY_UOPS,
+        };
+        Some(dist.abs_diff(d).saturating_mul(2) + 12 * u64::from(s.pending == 0))
+    }
+
+    /// Picks an integer source register aiming at a sampled dependence
+    /// distance, scanning the compute pool plus the slow-lane registers
+    /// (whose body-top writes realize the long-distance buckets). Pool
+    /// values not yet rewritten in the body count as distance
+    /// ≈ [`BODY_UOPS`].
+    fn pick_int_src(&mut self) -> Reg {
+        let d = self.sample_distance();
+        let mut best: Option<(u64, Reg)> = None;
+        for idx in (INT_POOL_LO..INT_POOL_HI).chain(INT_SLOW_LO..INT_SLOW_LO + INT_SLOW_N) {
+            if let Some(score) = self.src_score(self.int_state[idx as usize], d) {
+                if best.is_none_or(|(b, _)| score < b) {
+                    best = Some((score, Reg::new(idx)));
+                }
+            }
+        }
+        let r = best.map_or_else(onereg, |(_, r)| r);
+        self.int_read(r);
+        r
+    }
+
+    fn pick_fp_src(&mut self) -> Freg {
+        let d = self.sample_distance();
+        let mut best: Option<(u64, Freg)> = None;
+        for idx in (0..FP_POOL_N).chain(FP_SLOW_LO..FP_SLOW_LO + FP_SLOW_N) {
+            if let Some(score) = self.src_score(self.fp_state[idx as usize], d) {
+                if best.is_none_or(|(b, _)| score < b) {
+                    best = Some((score, Freg::new(idx)));
+                }
+            }
+        }
+        let f = best.map_or_else(|| Freg::new(0), |(_, f)| f);
+        self.fp_read(f);
+        f
+    }
+
+    /// Destination preference: overwriting a value ends its lifetime, so
+    /// pick the one whose recorded lifetime best matches intent —
+    /// intended reads exhausted first, then already-read values (a
+    /// truncated lifetime still lands in a nonzero reuse bucket), and
+    /// never-read values last (overwriting those mints spurious
+    /// zero-reuse lifetimes).
+    fn dst_score(s: RegState) -> u32 {
+        if s.pending == 0 {
+            0
+        } else if s.reads > 0 {
+            1 + s.pending
+        } else {
+            100 + s.pending
+        }
+    }
+
+    fn pick_int_dst(&mut self) -> Reg {
+        let n = INT_POOL_HI - INT_POOL_LO;
+        let start = self.int_cursor;
+        self.int_cursor = (self.int_cursor + 1) % n;
+        let mut best: Option<(u32, Reg)> = None;
+        for off in 0..n {
+            let idx = INT_POOL_LO + (start + off) % n;
+            let score = Self::dst_score(self.int_state[idx as usize]);
+            if best.is_none_or(|(b, _)| score < b) {
+                best = Some((score, Reg::new(idx)));
+            }
+            if score == 0 {
+                break;
+            }
+        }
+        best.expect("nonempty pool").1
+    }
+
+    fn pick_fp_dst(&mut self) -> Freg {
+        let n = FP_POOL_N;
+        let start = self.fp_cursor;
+        self.fp_cursor = (self.fp_cursor + 1) % n;
+        let mut best: Option<(u32, Freg)> = None;
+        for off in 0..n {
+            let idx = (start + off) % n;
+            let score = Self::dst_score(self.fp_state[idx as usize]);
+            if best.is_none_or(|(b, _)| score < b) {
+                best = Some((score, Freg::new(idx)));
+            }
+            if score == 0 {
+                break;
+            }
+        }
+        best.expect("nonempty pool").1
+    }
+
+    // ---- deficit matching ----
+
+    fn frac(n: u64, d: u64) -> f64 {
+        if d == 0 {
+            0.0
+        } else {
+            n as f64 / d as f64
+        }
+    }
+
+    fn pick_category(&self) -> Cat {
+        let t = self.total;
+        let b = f64::from(self.p.branch_pp) - Self::frac(self.branches, t) * 10_000.0;
+        let l = f64::from(self.p.load_pp) - Self::frac(self.loads, t) * 10_000.0;
+        let s = f64::from(self.p.store_pp) - Self::frac(self.stores, t) * 10_000.0;
+        let f = f64::from(self.p.fp_pp) - Self::frac(self.fp_ops, t) * 10_000.0;
+        let int_target = 10_000.0
+            - f64::from(self.p.branch_pp)
+            - f64::from(self.p.load_pp)
+            - f64::from(self.p.store_pp)
+            - f64::from(self.p.fp_pp);
+        let others = self.branches + self.loads + self.stores + self.fp_ops;
+        let i = int_target - Self::frac(t - others, t) * 10_000.0;
+        let mut cat = Cat::Int;
+        let mut bestv = i;
+        for (c, v) in [
+            (Cat::Branch, b),
+            (Cat::Load, l),
+            (Cat::Store, s),
+            (Cat::Fp, f),
+        ] {
+            if v > bestv {
+                cat = c;
+                bestv = v;
+            }
+        }
+        // Never emit FP into a profile that asked for none (the generated
+        // workload must stay classifiable as integer).
+        if cat == Cat::Fp && self.p.fp_pp == 0 {
+            cat = Cat::Int;
+        }
+        cat
+    }
+
+    /// Which arity a compute slot should aim for, by deficit.
+    fn pick_arity(&self) -> usize {
+        let t = self.total;
+        let noadic_target = 10_000 - u32::from(self.p.monadic_pp) - u32::from(self.p.dyadic_pp);
+        let n = f64::from(noadic_target) - Self::frac(t - self.monadic - self.dyadic, t) * 10_000.0;
+        let m = f64::from(self.p.monadic_pp) - Self::frac(self.monadic, t) * 10_000.0;
+        let d = f64::from(self.p.dyadic_pp) - Self::frac(self.dyadic, t) * 10_000.0;
+        if d >= m && d >= n {
+            2
+        } else if m >= n {
+            1
+        } else {
+            0
+        }
+    }
+
+    fn want_commutative(&self) -> bool {
+        Self::frac(self.commutative, self.dyadic) * 10_000.0 < f64::from(self.p.commutative_pp)
+    }
+
+    /// Whether a site that can only be monadic or dyadic (branches,
+    /// address helpers, FP) should take the dyadic form. Unlike
+    /// [`Self::pick_arity`] this ignores the noadic deficit, which such
+    /// sites cannot realize.
+    fn prefers_dyadic(&self) -> bool {
+        let t = self.total;
+        let m = f64::from(self.p.monadic_pp) - Self::frac(self.monadic, t) * 10_000.0;
+        let d = f64::from(self.p.dyadic_pp) - Self::frac(self.dyadic, t) * 10_000.0;
+        d >= m
+    }
+
+    fn want_balanced_branch(&self) -> bool {
+        Self::frac(self.balanced_branches, self.branches) * 1_000.0
+            < f64::from(self.p.branch_entropy_milli)
+    }
+
+    fn want_seq_mem(&self) -> bool {
+        Self::frac(self.seq_mem, self.loads + self.stores) * 10_000.0 < f64::from(self.p.seq_mem_pp)
+    }
+
+    // ---- category emission ----
+
+    /// Source helper for int computes: read the oldest forced register if
+    /// one is queued, otherwise pick by distance.
+    fn consume_or_pick(&mut self) -> Reg {
+        if self.force_consume.is_empty() {
+            self.pick_int_src()
+        } else {
+            let r = self.force_consume.remove(0);
+            self.int_read(r);
+            r
+        }
+    }
+
+    fn emit_int(&mut self) {
+        let mut arity = self.pick_arity();
+        if arity == 0 && self.force_consume.len() >= 2 {
+            // Enough mints are queued awaiting reads; settle them with
+            // the closer of the two reading arities before minting more.
+            arity = if self.prefers_dyadic() { 2 } else { 1 };
+        }
+        match arity {
+            2 => {
+                let ra = self.consume_or_pick();
+                let rb = self.consume_or_pick();
+                let rd = self.pick_int_dst();
+                let pend = self.sample_reuse();
+                if self.want_commutative() {
+                    match self.rng.random_range(0u32..5) {
+                        0 => self.a.add(rd, ra, rb),
+                        1 => self.a.and(rd, ra, rb),
+                        2 => self.a.or(rd, ra, rb),
+                        3 => self.a.xor(rd, ra, rb),
+                        _ => self.a.mul(rd, ra, rb),
+                    }
+                    self.note(2, true);
+                } else {
+                    match self.rng.random_range(0u32..5) {
+                        0 => self.a.sub(rd, ra, rb),
+                        1 => self.a.slt(rd, ra, rb),
+                        2 => self.a.sltu(rd, ra, rb),
+                        3 => self.a.srl(rd, ra, rb),
+                        _ => self.a.sra(rd, ra, rb),
+                    }
+                    self.note(2, false);
+                }
+                self.int_written(rd, pend);
+            }
+            1 => {
+                let ra = self.consume_or_pick();
+                let rd = self.pick_int_dst();
+                let pend = self.sample_reuse();
+                match self.rng.random_range(0u32..6) {
+                    0 => self.a.mov(rd, ra),
+                    1 => self.a.not(rd, ra),
+                    2 => self.a.neg(rd, ra),
+                    3 => self.a.popc(rd, ra),
+                    4 => {
+                        let imm = self.rng.random_range(-1024i64..1024);
+                        self.a.addi(rd, ra, imm);
+                    }
+                    _ => {
+                        let imm = self.rng.random_range(1i64..16);
+                        self.a.xori(rd, ra, imm);
+                    }
+                }
+                self.note(1, false);
+                self.int_written(rd, pend);
+            }
+            _ => {
+                let rd = self.pick_int_dst();
+                let pend = self.sample_reuse();
+                let imm = self.rng.random::<u32>();
+                self.a.li(rd, i64::from(imm));
+                self.note(0, false);
+                self.int_written(rd, pend);
+                // A constant mint reads nothing, so a run of mints strands
+                // earlier ones unread; when the reuse sample says this
+                // value should be read, queue it for a guaranteed read at
+                // an upcoming int compute.
+                if pend > 0 && self.force_consume.len() < 8 {
+                    self.force_consume.push(rd);
+                }
+            }
+        }
+    }
+
+    fn emit_fp(&mut self) {
+        self.fp_ops += 1;
+        // FP has no noadic form; split monadic/dyadic by arity deficit.
+        if self.prefers_dyadic() {
+            let fa = self.pick_fp_src();
+            let fb = self.pick_fp_src();
+            let fd = self.pick_fp_dst();
+            let pend = self.sample_reuse();
+            if self.want_commutative() {
+                if self.rng.random::<bool>() {
+                    self.a.fadd(fd, fa, fb);
+                } else {
+                    self.a.fmul(fd, fa, fb);
+                }
+                self.note(2, true);
+            } else {
+                self.a.fsub(fd, fa, fb);
+                self.note(2, false);
+            }
+            self.fp_written(fd, pend);
+        } else {
+            let fa = self.pick_fp_src();
+            let fd = self.pick_fp_dst();
+            let pend = self.sample_reuse();
+            match self.rng.random_range(0u32..3) {
+                0 => self.a.fmov(fd, fa),
+                1 => self.a.fneg(fd, fa),
+                _ => self.a.fabs(fd, fa),
+            }
+            self.note(1, false);
+            self.fp_written(fd, pend);
+        }
+    }
+
+    fn emit_branch(&mut self) {
+        if self.want_balanced_branch() {
+            // Coin-flip site: test a fresh bit of the per-iteration
+            // xorshift state. The target is the next instruction, so both
+            // outcomes execute the same stream — only the predictor sees
+            // the randomness.
+            if self.branch_bit.is_multiple_of(6) && self.branch_bit > 0 {
+                // Identity re-producers: keep the values but move the
+                // coin-flip reads' dependence distance near 1 instead of
+                // reaching all the way back to the body-top xorshift.
+                self.a.xori(xs(), xs(), 0);
+                self.note(1, false);
+                self.int_read(xs());
+                self.int_written(xs(), 6);
+                self.a.xori(ys(), ys(), 0);
+                self.note(1, false);
+                self.int_read(ys());
+                self.int_written(ys(), 6);
+            }
+            if self.prefers_dyadic() && !self.want_commutative() {
+                // Single dyadic coin flip: both xorshift states are fresh
+                // pseudo-random words each iteration, so the signed
+                // comparison is ~50/50 per site across the window.
+                let l = self.a.label();
+                self.a.blt(xs(), ys(), l);
+                self.a.bind(l);
+                self.int_read(xs());
+                self.int_read(ys());
+                self.note(2, false);
+            } else if self.prefers_dyadic() {
+                // Commutative-dyadic coin flip: isolate the low state bit
+                // with a register AND (the constant-one operand is a
+                // preamble-only write, invisible to the histograms).
+                self.a.and(tmp(), xs(), onereg());
+                self.note(2, true);
+                self.int_read(xs());
+                self.int_written(tmp(), 1);
+                let l = self.a.label();
+                self.a.bnez(tmp(), l);
+                self.a.bind(l);
+                self.int_read(tmp());
+                self.note(1, false);
+            } else {
+                let bit = 1i64 << (self.branch_bit % 11);
+                self.a.andi(tmp(), xs(), bit);
+                self.note(1, false);
+                self.int_written(tmp(), 1);
+                let l = self.a.label();
+                self.a.bnez(tmp(), l);
+                self.a.bind(l);
+                self.int_read(tmp());
+                self.note(1, false);
+            }
+            self.branch_bit += 1;
+            self.branches += 1;
+            self.balanced_branches += 1;
+        } else {
+            // Constant-direction site: always taken, zero entropy.
+            // Equivalent encodings let the branch flex between arities
+            // and commutativity: `beq r, r` / `bge r, r` (dyadic, both
+            // trivially taken) when dyadic is the bigger deficit,
+            // `bnez one` (monadic) otherwise.
+            let l = self.a.label();
+            if self.prefers_dyadic() {
+                if self.want_commutative() {
+                    self.a.beq(onereg(), onereg(), l);
+                    self.a.bind(l);
+                    self.note(2, true);
+                } else {
+                    self.a.bge(onereg(), onereg(), l);
+                    self.a.bind(l);
+                    self.note(2, false);
+                }
+            } else {
+                self.a.bnez(onereg(), l);
+                self.a.bind(l);
+                self.note(1, false);
+            }
+            self.branches += 1;
+        }
+    }
+
+    /// The footprint mask as an immediate: `(1 << footprint_log2) - 8`,
+    /// 8-byte aligned and strictly below [`REGION_BASE`], so masked
+    /// offsets can be merged with the base by a plain `ori`.
+    fn mask_imm(&self) -> i64 {
+        (1i64 << self.p.footprint_log2.clamp(9, 23)) - 8
+    }
+
+    /// Ring length in nodes, scaled so the ring contributes roughly half
+    /// the footprint target in touched lines.
+    fn ring_nodes(&self) -> i64 {
+        ((1i64 << self.p.footprint_log2.clamp(9, 23)) / 64 / 2)
+            .clamp(RING_MIN_NODES, RING_MAX_NODES)
+    }
+
+    /// Computes a random-probe address, returning `(base_reg, offset)`.
+    /// The base is re-randomized every few sites so probe addresses
+    /// decorrelate within one iteration; per-site immediates fan the
+    /// accesses out around the base.
+    fn emit_probe_addr(&mut self) -> (Reg, i64) {
+        if self.addr_shift.is_multiple_of(8) {
+            self.emit_probe_base();
+        }
+        self.addr_shift += 1;
+        let off = self.rng.random_range(0i64..64) * 8;
+        self.int_read(raddr());
+        (raddr(), off)
+    }
+
+    /// Emits the 3-µop sequence leaving a fresh uniformly random,
+    /// footprint-masked, 8-byte-aligned address in `raddr`. The mask and
+    /// combine steps flex between monadic-immediate and dyadic-register
+    /// forms (the operand registers are preamble-only writes, invisible
+    /// to the histograms) so probe-heavy profiles don't grow a monadic
+    /// floor.
+    fn emit_probe_base(&mut self) {
+        // Identity re-producer for the address state, so the probe chain
+        // below reads it at distance 1 rather than from the body top.
+        self.a.xori(ys(), ys(), 0);
+        self.note(1, false);
+        self.int_read(ys());
+        self.int_written(ys(), 1);
+        let shift = i64::from(11 + (self.addr_shift / 8) % 13);
+        self.a.srli(tmp(), ys(), shift);
+        self.note(1, false);
+        self.int_written(tmp(), 1);
+        self.int_read(tmp());
+        if self.prefers_dyadic() {
+            self.a.and(raddr(), tmp(), rmask());
+            self.note(2, true);
+        } else {
+            self.a.andi(raddr(), tmp(), self.mask_imm());
+            self.note(1, false);
+        }
+        self.int_written(raddr(), 1);
+        self.int_read(raddr());
+        if self.prefers_dyadic() {
+            if self.want_commutative() {
+                self.a.or(raddr(), raddr(), rbase());
+                self.note(2, true);
+            } else {
+                self.a.sub(raddr(), raddr(), rnegbase());
+                self.note(2, false);
+            }
+        } else {
+            self.a.ori(raddr(), raddr(), REGION_BASE);
+            self.note(1, false);
+        }
+        self.int_written(raddr(), u32::MAX);
+    }
+
+    fn emit_load(&mut self) {
+        if self.want_seq_mem() {
+            // Pointer chase along a pre-linked ring: the load IS the
+            // address computation (`lw p, p, 0`), so a sequential load
+            // costs exactly one µop, the pointer value lives a one-read
+            // lifetime, and the read distance is the same-chain site
+            // spacing. Chains are reset to fixed ring phases each
+            // iteration, so every static site revisits its own node —
+            // zero address delta, which classifies as sequential.
+            // Chain choice targets a sampled dependence distance: the
+            // chain last touched closest to the sampled distance back is
+            // walked, so chase-read distances track the profile histogram
+            // instead of clustering at one spacing.
+            let d = self.sample_distance();
+            let k = (0..CHASE_CHAINS)
+                .min_by_key(|&k| {
+                    let s = self.int_state[chase(k).index() as usize];
+                    let dist = s.body_write.map_or(u64::MAX / 2, |w| self.pos - w + 1);
+                    dist.abs_diff(d)
+                })
+                .unwrap_or(0);
+            self.int_read(chase(k));
+            self.a.lw(chase(k), chase(k), 0);
+            self.note(1, false);
+            self.loads += 1;
+            self.seq_mem += 1;
+            self.int_written(chase(k), 1);
+        } else {
+            let (b, off) = self.emit_probe_addr();
+            let rd = self.pick_int_dst();
+            let pend = self.sample_reuse();
+            self.a.lw(rd, b, off);
+            self.note(1, false);
+            self.loads += 1;
+            self.int_written(rd, pend);
+        }
+    }
+
+    fn emit_store(&mut self) {
+        if self.want_seq_mem() {
+            // Store sweep: per-site immediates off the once-per-iteration
+            // sweep pointer, which advances one line per iteration. The
+            // pointer is identity-refreshed every few sites so its
+            // readers' distances don't all reach back to the body top.
+            if self.seq_count.is_multiple_of(8) && self.seq_count > 0 {
+                self.a.xori(seqsw(), seqsw(), 0);
+                self.note(1, false);
+                self.int_read(seqsw());
+                self.int_written(seqsw(), 8);
+            }
+            self.seq_count += 1;
+            let off = self.rng.random_range(0i64..8) * 8;
+            let val = self.pick_int_src();
+            self.int_read(seqsw());
+            self.a.sw(seqsw(), off, val);
+            self.note(2, false);
+            self.stores += 1;
+            self.seq_mem += 1;
+        } else {
+            let (b, off) = self.emit_probe_addr();
+            let val = self.pick_int_src();
+            self.a.sw(b, off, val);
+            self.note(2, false);
+            self.stores += 1;
+        }
+    }
+
+    // ---- program assembly ----
+
+    fn preamble(&mut self) {
+        self.a.li(onereg(), 1);
+        self.a.li(xs(), 0x9E37_79B9_7F4A_7C15u64 as i64);
+        self.a.li(ys(), 0x0DB5_4A32_D192_ED03);
+        self.a.li(seqoff(), 0);
+        // Pre-window writes are invisible to the dependence/reuse stats,
+        // so dyadic address helpers can read these without distorting
+        // the histograms.
+        self.a.li(rbase(), REGION_BASE);
+        self.a.li(rnegbase(), -REGION_BASE);
+        self.a.li(rmask(), self.mask_imm());
+        for idx in INT_POOL_LO..INT_POOL_HI {
+            let v = self.rng.random::<u32>();
+            self.a.li(Reg::new(idx), i64::from(v) + 1);
+            self.int_state[idx as usize].init = true;
+        }
+        if self.p.wants_fp() {
+            for idx in 0..FP_POOL_N {
+                self.a
+                    .fcvt(Freg::new(idx), Reg::new(INT_POOL_LO + idx % 16));
+                self.fp_state[idx as usize].init = true;
+            }
+        }
+        if self.p.load_pp > 0 && self.p.seq_mem_pp > 0 {
+            self.emit_ring_init();
+        }
+    }
+
+    /// Pre-window loop linking the pointer ring that sequential loads
+    /// chase: `mem[node] = node + 64` for [`Self::ring_nodes`] line-sized
+    /// nodes from [`RING_BASE`], with the last node wrapping to the
+    /// first. Runs once, well inside the measurement warmup, so none of
+    /// its µops are charged to the bookkeeper.
+    fn emit_ring_init(&mut self) {
+        let n = self.ring_nodes();
+        let cur = chase(0);
+        let end = chase(1);
+        let head = chase(2);
+        self.a.li(cur, RING_BASE);
+        self.a.li(end, RING_BASE + (n - 1) * 64);
+        self.a.li(head, RING_BASE);
+        let top = self.a.label();
+        self.a.bind(top);
+        self.a.addi(tmp(), cur, 64);
+        self.a.sw(cur, 0, tmp());
+        self.a.mov(cur, tmp());
+        self.a.blt(cur, end, top);
+        // `cur` now points at the last node: close the ring.
+        self.a.sw(cur, 0, head);
+    }
+
+    /// Per-iteration fixed prologue: refresh both xorshift states and
+    /// advance the sequential stream one cache line (wrapping at the
+    /// footprint mask). Charged to the bookkeeper like everything else.
+    fn body_prologue(&mut self) {
+        wsrs_workloads::common::emit_xorshift(&mut self.a, xs(), tmp());
+        // xorshift = slli/xor/srli/xor/slli/xor: 3 monadic shifts plus 3
+        // commutative dyadic xors.
+        for _ in 0..3 {
+            self.note(1, false);
+            self.note(2, true);
+        }
+        self.int_written(xs(), 6);
+        self.int_written(tmp(), 1);
+        // Slow-lane writes: fresh in-window producers whose distance to
+        // readers spans the whole body, realizing the ≥65 bucket.
+        for i in 0..INT_SLOW_N {
+            let r = Reg::new(INT_SLOW_LO + i);
+            let v = self.rng.random::<u32>();
+            self.a.li(r, i64::from(v) + 1);
+            self.note(0, false);
+            self.int_written(r, u32::MAX);
+        }
+        if self.p.wants_fp() {
+            for i in 0..FP_SLOW_N {
+                let f = Freg::new(FP_SLOW_LO + i);
+                self.a.fcvt(f, Reg::new(INT_SLOW_LO + i));
+                self.note(1, false);
+                self.fp_ops += 1;
+                self.int_read(Reg::new(INT_SLOW_LO + i));
+                self.fp_written(f, u32::MAX);
+            }
+        }
+        if self.p.load_pp + self.p.store_pp > 0 && self.p.seq_mem_pp < 10_000 {
+            // Random probes draw address entropy from the second
+            // xorshift state.
+            wsrs_workloads::common::emit_xorshift(&mut self.a, ys(), tmp());
+            for _ in 0..3 {
+                self.note(1, false);
+                self.note(2, true);
+            }
+            self.int_written(ys(), 6);
+            self.int_written(tmp(), 1);
+        }
+        if self.p.load_pp > 0 && self.p.seq_mem_pp > 0 {
+            // Reset each chase chain to its fixed ring phase, so every
+            // static load site revisits its own node each iteration.
+            let n = self.ring_nodes();
+            for k in 0..CHASE_CHAINS {
+                self.a.li(
+                    chase(k),
+                    RING_BASE + i64::from(k) * (n / i64::from(CHASE_CHAINS)) * 64,
+                );
+                self.note(0, false);
+                self.int_written(chase(k), 1);
+            }
+        }
+        if self.p.store_pp > 0 && self.p.seq_mem_pp > 0 {
+            // Advance the store sweep one cache line (wrapping at the
+            // footprint mask) and rebase it into the store region.
+            self.a.addi(seqoff(), seqoff(), 64);
+            self.note(1, false);
+            self.int_written(seqoff(), 2);
+            self.a.andi(seqoff(), seqoff(), self.mask_imm());
+            self.note(1, false);
+            self.int_written(seqoff(), 2);
+            self.a.ori(seqsw(), seqoff(), STORE_BASE);
+            self.note(1, false);
+            self.int_read(seqoff());
+            self.int_written(seqsw(), 8);
+        }
+    }
+
+    fn run(mut self, outer: i64) -> Program {
+        self.preamble();
+        // The loop-closing addi+bnez execute once per repetition: charge
+        // them up front so the deficit matcher plans around them.
+        self.note(1, false); // addi oc, oc, -1
+        self.note(1, false); // bnez oc (taken every body pass: zero entropy)
+        self.branches += 1;
+        let top = wsrs_workloads::common::begin_outer_loop(&mut self.a, oc(), outer);
+        self.body_prologue();
+        // Category bursts: the greedy argmax alone maximally interleaves
+        // categories, which makes distance-1 edges (adjacent
+        // producer/consumer of the same class) nearly impossible. Real
+        // code is bursty — chained FP arithmetic, unrolled load runs —
+        // so after each µop we stay in the same category with a
+        // probability tied to the distance-1 target; the deficit matcher
+        // re-balances the totals across the body.
+        let burst_q = (f64::from(self.p.dep_dist_pp[0]) / 10_000.0 * 1.5).min(0.85);
+        let mut cat: Option<Cat> = None;
+        while self.total < BODY_UOPS {
+            let c = cat.unwrap_or_else(|| self.pick_category());
+            match c {
+                Cat::Branch => self.emit_branch(),
+                Cat::Load => self.emit_load(),
+                Cat::Store => self.emit_store(),
+                Cat::Fp => self.emit_fp(),
+                Cat::Int => self.emit_int(),
+            }
+            cat = (self.rng.random_range(0.0f64..1.0) < burst_q).then_some(c);
+        }
+        wsrs_workloads::common::end_outer_loop(&mut self.a, oc(), top);
+        self.a.assemble()
+    }
+}
+
+/// Emits the program for `(profile, seed)` with `outer` loop repetitions.
+/// Pure and deterministic — see the module docs for the argument. The
+/// profile is sanitized first, so any in-range profile generates.
+#[must_use]
+pub fn generate(profile: &WorkloadProfile, seed: u64, outer: i64) -> Program {
+    Gen::new(profile.sanitized(), seed).run(outer)
+}
+
+/// Registers the `(profile, seed)` workload and re-measures its trace at
+/// the profile's own warmup/window, returning the measured profile
+/// (compare with [`WorkloadProfile::check`]).
+#[must_use]
+pub fn remeasure(profile: &WorkloadProfile, seed: u64) -> WorkloadProfile {
+    let w = register(profile, seed);
+    WorkloadProfile::extract(w.trace(), profile.warmup, profile.window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Tolerances;
+    use wsrs_workloads::stats::TraceStats;
+    use wsrs_workloads::DEFAULT_MEM_BYTES;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = WorkloadProfile::extract_kernel(Workload::Gzip);
+        let a = generate(&p, 7, 1000);
+        let b = generate(&p, 7, 1000);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = generate(&p, 8, 1000);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed must matter");
+    }
+
+    #[test]
+    fn generated_kernel_profiles_check_within_tolerance() {
+        for w in [Workload::Gzip, Workload::Mcf, Workload::Swim] {
+            let p = WorkloadProfile::extract_kernel(w);
+            let measured = remeasure(&p, 1);
+            let out = p.check(&measured, &Tolerances::default());
+            assert!(out.passed(), "{}: {:#?}", w.name(), out.failures);
+        }
+    }
+
+    #[test]
+    fn int_profile_generates_no_fp() {
+        let p = WorkloadProfile::extract_kernel(Workload::Crafty);
+        assert_eq!(p.fp_pp, 0, "crafty is an integer kernel");
+        let program = generate(&p, 3, 4);
+        let emu = wsrs_isa::Emulator::new(program, DEFAULT_MEM_BYTES);
+        let s = TraceStats::measure(emu);
+        assert_eq!(s.fp_ops, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the workload generator's identities.
+//!
+//! [`WorkloadProfile::content_hash`] is the profile component of the
+//! `gen:<profile-hash>:<seed>` workload name, so — exactly like the
+//! configuration hash behind `wsrs-serve`'s memo key — it must act as an
+//! identity over sanitized profiles, and synthesis must be a pure
+//! function of `(profile, seed)`: equal names must mean byte-identical
+//! programs no matter who generates them, or the trace store would serve
+//! one caller's trace for another caller's program.
+
+use proptest::prelude::*;
+use wsrs_workgen::presets::{
+    adversarial_readspec, adversarial_writespec, anchor, blend, standard_family,
+};
+use wsrs_workgen::{gen_name, generate, remeasure, Tolerances, WorkloadProfile};
+use wsrs_workloads::Workload;
+
+/// A point in profile space: blends between committed anchors plus the
+/// two adversarial corners. Everything is sanitized by construction.
+fn profile_at(a: usize, b: usize, num: u16) -> WorkloadProfile {
+    let kernels = Workload::all();
+    match (a, b) {
+        (12, _) => adversarial_readspec(),
+        (_, 12) => adversarial_writespec(),
+        _ => blend(&anchor(kernels[a]), &anchor(kernels[b]), num, 4),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn synthesis_is_a_pure_function(
+        a in 0usize..13,
+        b in 0usize..13,
+        num in 0u16..=4,
+        seed in 0u64..1_000,
+    ) {
+        let p = profile_at(a, b, num);
+        let first = generate(&p, seed, 100);
+        let second = generate(&p, seed, 100);
+        prop_assert_eq!(
+            first.fingerprint(),
+            second.fingerprint(),
+            "same (profile, seed) must emit byte-identical programs"
+        );
+        prop_assert_eq!(gen_name(&p, seed), gen_name(&p, seed));
+    }
+
+    #[test]
+    fn profiles_equal_iff_content_hashes_match(
+        a1 in 0usize..13, b1 in 0usize..13, n1 in 0u16..=4,
+        a2 in 0usize..13, b2 in 0usize..13, n2 in 0u16..=4,
+    ) {
+        let p = profile_at(a1, b1, n1);
+        let q = profile_at(a2, b2, n2);
+        prop_assert_eq!(
+            p == q,
+            p.content_hash() == q.content_hash(),
+            "equality and hash identity disagree:\n p = {:?}\n q = {:?}",
+            p,
+            q
+        );
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_and_hash_stable(
+        a in 0usize..13,
+        b in 0usize..13,
+        num in 0u16..=4,
+    ) {
+        let p = profile_at(a, b, num);
+        let text = p.to_json_string();
+        let back = WorkloadProfile::parse(&text).expect("canonical JSON must parse");
+        prop_assert_eq!(&back, &p);
+        prop_assert_eq!(back.content_hash(), p.content_hash());
+        // Canonical form is a fixed point: re-serializing reproduces it.
+        prop_assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn sanitize_is_idempotent(a in 0usize..13, b in 0usize..13, num in 0u16..=4) {
+        let p = profile_at(a, b, num);
+        prop_assert_eq!(p.sanitized(), p);
+    }
+}
+
+/// Every scenario the `workgen` grid sweeps must synthesize a trace that
+/// lands within tolerance of its target profile — the generator's core
+/// contract, checked over the exact family CI and the grid binary use.
+#[test]
+fn standard_family_hits_target_profiles() {
+    let mut failures = Vec::new();
+    for s in standard_family() {
+        let measured = remeasure(&s.profile, s.seed);
+        let out = s.profile.check(&measured, &Tolerances::default());
+        if !out.passed() {
+            failures.push(format!("{}: {:?}", s.label, out.failures));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}

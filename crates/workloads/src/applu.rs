@@ -7,7 +7,7 @@
 //! `x[i+1]` through a backward sweep — long FP dependence chains and
 //! moderate IPC, like the original.
 
-use crate::common::emit_fp_fill;
+use crate::common::{begin_outer_loop, emit_fp_fill, end_outer_loop};
 use wsrs_isa::{Assembler, Freg, Program, Reg};
 
 const B: i64 = 0x10_0000;
@@ -33,8 +33,7 @@ pub fn build(outer: i64) -> Program {
     a.li(tmp, 0xf18);
     a.lf(omega, tmp, 0);
 
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     // Forward sweep: x[i] = omega * (b[i] - l[i] * x[i-1])
     a.li(bp, B);
@@ -84,9 +83,7 @@ pub fn build(outer: i64) -> Program {
     a.addi(i, i, -1);
     a.bnez(i, bwd);
 
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

@@ -61,6 +61,25 @@ pub fn emit_fp_fill(a: &mut Assembler, base: i64, words: i64, scale: f64, const_
     a.blt(i, n, top);
 }
 
+/// Opens a kernel's `outer`-repetition loop: loads the repetition count
+/// into `oc` and returns the loop-top label. Every kernel wraps its
+/// steady-state body in this loop so traces can be made arbitrarily long;
+/// close it with [`end_outer_loop`]. The emitted instruction sequence is
+/// exactly the boilerplate the kernels previously spelled out inline, so
+/// assembled programs — and therefore trace fingerprints — are unchanged.
+pub fn begin_outer_loop(a: &mut Assembler, oc: Reg, outer: i64) -> Label {
+    a.li(oc, outer);
+    a.bind_label()
+}
+
+/// Closes a loop opened with [`begin_outer_loop`] (decrement, branch back
+/// while nonzero) and halts the program after the final repetition.
+pub fn end_outer_loop(a: &mut Assembler, oc: Reg, top: Label) {
+    a.addi(oc, oc, -1);
+    a.bnez(oc, top);
+    a.halt();
+}
+
 /// A counted loop skeleton: emits the header (`i = 0`), returns the label
 /// to bind the body behind; call [`end_counted_loop`] after the body.
 pub fn begin_counted_loop(a: &mut Assembler, i: Reg, n: Reg, count: i64) -> Label {

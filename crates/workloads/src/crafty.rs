@@ -5,7 +5,7 @@
 //! intersect with enemy occupancy, count captures with population count.
 //! Almost no memory traffic, dense dyadic logic ops, high IPC.
 
-use crate::common::emit_xorshift;
+use crate::common::{begin_outer_loop, emit_xorshift, end_outer_loop};
 use wsrs_isa::{Assembler, Program, Reg};
 
 /// Builds the kernel with `outer` search plies (128 positions each).
@@ -18,8 +18,7 @@ pub fn build(outer: i64) -> Program {
     let (rng, oc, positions, t2) = (r(9), r(10), r(11), r(12));
 
     a.li(rng, 0x0123_4567_89ab);
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     a.li(positions, 128);
     let pos_top = a.bind_label();
@@ -69,9 +68,7 @@ pub fn build(outer: i64) -> Program {
     a.addi(positions, positions, -1);
     a.bnez(positions, pos_top);
 
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

@@ -6,7 +6,7 @@
 //! of the source vector — the irregular, cache-unfriendly FP access
 //! pattern of the original.
 
-use crate::common::emit_fp_fill;
+use crate::common::{begin_outer_loop, emit_fp_fill, end_outer_loop};
 use wsrs_isa::Freg;
 use wsrs_isa::{Assembler, Program, Reg};
 
@@ -49,8 +49,7 @@ pub fn build(outer: i64) -> Program {
     emit_fp_fill(&mut a, VALS, ROWS * NNZ_PER_ROW, 0.0003, 0xf00);
     emit_fp_fill(&mut a, XV, XMASK + 1, 0.001, 0xf08);
 
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     a.li(i, 0);
     a.li(cp, COLS);
@@ -76,9 +75,7 @@ pub fn build(outer: i64) -> Program {
     a.li(tmp, ROWS);
     a.blt(i, tmp, row_top);
 
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

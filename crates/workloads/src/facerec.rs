@@ -7,7 +7,7 @@
 //! operands recreate the register-reuse pattern behind facerec's ~100 %
 //! unbalancing degree in the paper's Figure 5.
 
-use crate::common::emit_fp_fill;
+use crate::common::{begin_outer_loop, emit_fp_fill, end_outer_loop};
 use wsrs_isa::{Assembler, Freg, Program, Reg};
 
 const IMG: i64 = 0x10_0000;
@@ -36,8 +36,7 @@ pub fn build(outer: i64) -> Program {
         a.lf(f(t), tmp, i64::from(t) * 8);
     }
 
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     a.li(i, 0);
     let i_top = a.bind_label();
@@ -80,9 +79,7 @@ pub fn build(outer: i64) -> Program {
     a.li(tmp, N - 4);
     a.blt(i, tmp, i_top);
 
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

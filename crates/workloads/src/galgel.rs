@@ -6,7 +6,7 @@
 //! `x = y·norm` — dense FP with the divide/square-root latencies the
 //! paper's Table 2 prices at 15 cycles.
 
-use crate::common::emit_fp_fill;
+use crate::common::{begin_outer_loop, emit_fp_fill, end_outer_loop};
 use wsrs_isa::{Assembler, Freg, Program, Reg};
 
 const A: i64 = 0x10_0000;
@@ -30,8 +30,7 @@ pub fn build(outer: i64) -> Program {
     a.li(tmp, 0xf10);
     a.lf(one, tmp, 0);
 
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     // y = A x
     a.li(i, 0);
@@ -89,9 +88,7 @@ pub fn build(outer: i64) -> Program {
     a.addi(i, i, -1);
     a.bnez(i, scale_top);
 
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

@@ -6,7 +6,7 @@
 //! chain (real compilers lower small switches this way), each case doing a
 //! short burst of work against an environment array.
 
-use crate::common::emit_fill;
+use crate::common::{begin_outer_loop, emit_fill, end_outer_loop};
 use wsrs_isa::{Assembler, Program, Reg};
 
 /// Bytecode stream: 2048 pseudo-random opcodes.
@@ -28,8 +28,7 @@ pub fn build(outer: i64) -> Program {
     emit_fill(&mut a, CODE, CODE_WORDS, 0x1234_89ab, base, tmp, opw, x);
     emit_fill(&mut a, ENV, 1024, 0xfeed_f00d, base, tmp, opw, x);
 
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     a.li(pc, 0);
     a.li(end, CODE_WORDS * 8);
@@ -112,9 +111,7 @@ pub fn build(outer: i64) -> Program {
     a.addi(pc, pc, 8);
     a.blt(pc, end, fetch);
 
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

@@ -6,7 +6,7 @@
 //! well-predicted loop branches with a data-dependent match/literal branch
 //! — the high-IPC integer profile of the paper's gzip bar.
 
-use crate::common::{emit_fill, emit_xorshift};
+use crate::common::{begin_outer_loop, emit_fill, emit_xorshift, end_outer_loop};
 use wsrs_isa::{Assembler, Program, Reg};
 
 /// Input buffer (word granularity, small alphabet to force matches).
@@ -30,8 +30,7 @@ pub fn build(outer: i64) -> Program {
     // Clear the hash table.
     emit_fill(&mut a, HTAB, 256, 0, ptr, pos, w, tmp);
 
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     a.li(pos, 0);
     a.li(end, (INPUT_WORDS - 16) * 8);
@@ -84,9 +83,7 @@ pub fn build(outer: i64) -> Program {
 
     // reseed the stream slightly so passes differ
     emit_xorshift(&mut a, prevw, tmp);
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

@@ -52,6 +52,7 @@ pub mod swim;
 pub mod vpr;
 pub mod wupwise;
 
+use std::sync::{Arc, OnceLock, RwLock};
 use wsrs_isa::{Emulator, Program};
 
 /// Default emulated-memory size (bytes) — large enough for the biggest
@@ -61,7 +62,82 @@ pub const DEFAULT_MEM_BYTES: usize = 32 << 20;
 /// An effectively unbounded outer-loop count for streaming traces.
 const UNBOUNDED: i64 = i64::MAX / 2;
 
-/// The twelve benchmark kernels (5 integer + 7 floating point).
+/// Handle to a registered generated workload: an index into the
+/// process-global registry filled by [`register_generated`]. Two `GenId`s
+/// are equal exactly when they name the same registry slot, and slots are
+/// deduplicated by name, so `GenId` equality matches name equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GenId(u16);
+
+/// One registered generated workload.
+struct GenEntry {
+    /// Content-addressed name, `gen:<profile-hash>:<seed>` by convention
+    /// (leaked once at registration so [`Workload::name`] can stay
+    /// `&'static str`). Must not contain `-`: trace-store file names use
+    /// `-` as their field separator.
+    name: &'static str,
+    /// Whether the generated program exercises the FP register file.
+    fp: bool,
+    /// Trace fingerprint, same construction as the named kernels'
+    /// (emulator revision + assembled unbounded program + memory size),
+    /// computed once at registration.
+    fingerprint: u64,
+    /// Builds the program with a given outer-repetition count.
+    build: Box<dyn Fn(i64) -> Program + Send + Sync>,
+}
+
+fn gen_registry() -> &'static RwLock<Vec<Arc<GenEntry>>> {
+    static REGISTRY: OnceLock<RwLock<Vec<Arc<GenEntry>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+fn gen_entry(id: GenId) -> Arc<GenEntry> {
+    Arc::clone(&gen_registry().read().expect("workload registry poisoned")[id.0 as usize])
+}
+
+/// Registers a generated workload under `name` and returns its
+/// [`Workload`] handle. The builder must be a pure function of its
+/// `outer` argument — the registry assumes (and the `gen:<hash>:<seed>`
+/// naming convention guarantees) that the name content-addresses the
+/// program, so a second registration under an existing name returns the
+/// original handle without invoking the new builder.
+///
+/// # Panics
+///
+/// Panics if `name` contains `-` (reserved as the trace-store file-name
+/// field separator) or if the registry is full (65 536 entries).
+pub fn register_generated(
+    name: &str,
+    fp: bool,
+    build: impl Fn(i64) -> Program + Send + Sync + 'static,
+) -> Workload {
+    assert!(
+        !name.contains('-'),
+        "generated workload name {name:?} may not contain '-'"
+    );
+    let mut reg = gen_registry().write().expect("workload registry poisoned");
+    if let Some(i) = reg.iter().position(|e| e.name == name) {
+        return Workload::Generated(GenId(i as u16));
+    }
+    let program = build(UNBOUNDED);
+    let mut h = wsrs_isa::Fnv1a::new();
+    h.write(b"wsrs-trace-key-v1;");
+    h.write_u64(wsrs_isa::emulator_revision());
+    h.write_u64(program.fingerprint());
+    h.write_u64(DEFAULT_MEM_BYTES as u64);
+    let entry = GenEntry {
+        name: Box::leak(name.to_string().into_boxed_str()),
+        fp,
+        fingerprint: h.finish(),
+        build: Box::new(build),
+    };
+    let id = u16::try_from(reg.len()).expect("generated-workload registry full");
+    reg.push(Arc::new(entry));
+    Workload::Generated(GenId(id))
+}
+
+/// The twelve benchmark kernels (5 integer + 7 floating point), plus
+/// registered generated workloads (see [`register_generated`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Workload {
     /// LZ77 hash-chain compressor (SPECint 164.gzip analogue).
@@ -88,6 +164,9 @@ pub enum Workload {
     Equake,
     /// Windowed correlation (187.facerec).
     Facerec,
+    /// A profile-synthesized workload from the process registry
+    /// (`wsrs-workgen`); named `gen:<profile-hash>:<seed>`.
+    Generated(GenId),
 }
 
 impl Workload {
@@ -153,16 +232,21 @@ impl Workload {
             Workload::Galgel => "galgel",
             Workload::Equake => "equake",
             Workload::Facerec => "facerec",
+            Workload::Generated(id) => gen_entry(id).name,
         }
     }
 
-    /// Whether this kernel is part of the floating-point set.
+    /// Whether this kernel is part of the floating-point set (for
+    /// generated workloads: whether the profile requested FP µops).
     #[must_use]
     pub fn is_fp(self) -> bool {
-        !matches!(
-            self,
-            Workload::Gzip | Workload::Vpr | Workload::Gcc | Workload::Mcf | Workload::Crafty
-        )
+        match self {
+            Workload::Gzip | Workload::Vpr | Workload::Gcc | Workload::Mcf | Workload::Crafty => {
+                false
+            }
+            Workload::Generated(id) => gen_entry(id).fp,
+            _ => true,
+        }
     }
 
     /// Builds the kernel program with `outer` outer-loop repetitions.
@@ -181,6 +265,7 @@ impl Workload {
             Workload::Galgel => galgel::build(outer),
             Workload::Equake => equake::build(outer),
             Workload::Facerec => facerec::build(outer),
+            Workload::Generated(id) => (gen_entry(id).build)(outer),
         }
     }
 
@@ -207,9 +292,18 @@ impl Workload {
     /// cold-vs-warm trace determinism test exercises end to end.
     #[must_use]
     pub fn trace_fingerprint(self) -> u64 {
-        use std::sync::OnceLock;
+        // Generated workloads fingerprint at registration time (their
+        // programs are built once there anyway); the named kernels keep
+        // a per-kernel memo slot.
+        if let Workload::Generated(id) = self {
+            return gen_entry(id).fingerprint;
+        }
         static FINGERPRINTS: [OnceLock<u64>; 12] = [const { OnceLock::new() }; 12];
-        *FINGERPRINTS[self as usize].get_or_init(|| {
+        let slot = Workload::all()
+            .iter()
+            .position(|&w| w == self)
+            .expect("named kernel");
+        *FINGERPRINTS[slot].get_or_init(|| {
             let mut h = wsrs_isa::Fnv1a::new();
             h.write(b"wsrs-trace-key-v1;");
             h.write_u64(wsrs_isa::emulator_revision());
@@ -230,6 +324,17 @@ impl std::str::FromStr for Workload {
     type Err = UnknownWorkload;
 
     fn from_str(s: &str) -> Result<Self, UnknownWorkload> {
+        if s.starts_with("gen:") {
+            // Generated workloads resolve against the process registry:
+            // whoever parses a `gen:` name (CLI, job decode, grid plan)
+            // must have registered the profile family first.
+            let reg = gen_registry().read().expect("workload registry poisoned");
+            return reg
+                .iter()
+                .position(|e| e.name == s)
+                .map(|i| Workload::Generated(GenId(i as u16)))
+                .ok_or_else(|| UnknownWorkload(s.to_string()));
+        }
         Workload::all()
             .into_iter()
             .find(|w| w.name() == s)
@@ -306,6 +411,42 @@ mod tests {
             let n = w.trace().take(5_000).count();
             assert_eq!(n, 5_000, "{w} trace ended early");
         }
+    }
+
+    fn tiny_gen_builder(outer: i64) -> Program {
+        use wsrs_isa::{Assembler, Reg};
+        let mut a = Assembler::new();
+        let (oc, x) = (Reg::new(1), Reg::new(2));
+        let top = common::begin_outer_loop(&mut a, oc, outer);
+        a.addi(x, x, 1);
+        common::end_outer_loop(&mut a, oc, top);
+        a.assemble()
+    }
+
+    #[test]
+    fn generated_workloads_register_parse_and_dedupe() {
+        let w = register_generated("gen:cafef00d:1", false, tiny_gen_builder);
+        assert_eq!(w.name(), "gen:cafef00d:1");
+        assert!(!w.is_fp());
+        // Same name ⟹ same handle, new builder not invoked.
+        let again = register_generated("gen:cafef00d:1", false, |_| unreachable!("deduped"));
+        assert_eq!(w, again);
+        // `gen:` names parse against the registry; unregistered ones fail.
+        assert_eq!("gen:cafef00d:1".parse::<Workload>().unwrap(), w);
+        assert!("gen:nonesuch:0".parse::<Workload>().is_err());
+        // Fingerprint is stable and distinct from every named kernel's.
+        assert_eq!(w.trace_fingerprint(), w.trace_fingerprint());
+        for k in Workload::all() {
+            assert_ne!(w.trace_fingerprint(), k.trace_fingerprint(), "{k}");
+        }
+        // The handle streams like any kernel.
+        assert_eq!(w.trace().take(100).count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "may not contain '-'")]
+    fn generated_names_reject_dashes() {
+        let _ = register_generated("gen:bad-name:0", false, tiny_gen_builder);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! interleaved with a sequential arc-pricing scan. Dominated by L2 misses
 //! and serialized loads — the low-IPC bar of the paper's Figure 4.
 
+use crate::common::{begin_outer_loop, end_outer_loop};
 use wsrs_isa::{Assembler, Program, Reg};
 
 /// Node arena: 64 K nodes × 2 words (next, cost) = 1 MB (2 × the L2).
@@ -50,8 +51,7 @@ pub fn build(outer: i64) -> Program {
     a.addi(i, i, 1);
     a.blt(i, n, ainit);
 
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     // Phase 1: chase 8192 pointers (serial, L2-missing).
     a.li(cur, 0);
@@ -78,9 +78,7 @@ pub fn build(outer: i64) -> Program {
     a.addi(abase, abase, 16);
     a.blt(abase, aend, scan);
 
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

@@ -5,7 +5,7 @@
 //! grid in alternation (the V-cycle's smoothing steps), with invariant
 //! weights in FP registers and long-strided plane accesses.
 
-use crate::common::emit_fp_fill;
+use crate::common::{begin_outer_loop, emit_fp_fill, end_outer_loop};
 use wsrs_isa::{Assembler, Freg, Program, Reg};
 
 const FINE: i64 = 0x10_0000;
@@ -38,13 +38,10 @@ fn build_into(a: &mut Assembler, outer: i64) {
     a.lf(w0, tmp, 0);
     a.lf(w1, tmp, 8);
 
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(a, oc, outer);
     emit_grid_sweep(a, FINE, FINE_OUT, FINE_N);
     emit_grid_sweep(a, COARSE, COARSE_OUT, COARSE_N);
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(a, oc, outer_top);
 }
 
 /// One 7-point smoothing sweep `dst = w0·c + w1·Σ(neighbours)` over the

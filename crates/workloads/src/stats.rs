@@ -1,8 +1,24 @@
 //! Dynamic-trace statistics: the instruction-mix quantities the paper's
 //! analysis leans on (monadic/dyadic fractions, branch density, memory
-//! density).
+//! density), plus the dependence-distance and register-reuse histograms
+//! the `wsrs-workgen` profile extractor consumes.
 
-use wsrs_isa::{Arity, DynInst, OpClass};
+use wsrs_isa::reg::{NUM_FP_REGS, NUM_INT_REGS};
+use wsrs_isa::{Arity, DynInst, OpClass, RegClass};
+
+/// Dependence-distance histogram buckets. Bucket `i` counts source
+/// operands whose producing write is at dynamic distance `d` µops with
+/// `d <= DEP_DIST_BOUNDS[i]` (and greater than the previous bound):
+/// 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, ≥65.
+pub const DEP_DIST_BUCKETS: usize = 8;
+
+/// Upper-inclusive distance bound of each dependence-distance bucket.
+pub const DEP_DIST_BOUNDS: [u64; DEP_DIST_BUCKETS] = [1, 2, 4, 8, 16, 32, 64, u64::MAX];
+
+/// Register-reuse histogram buckets. Bucket `i` counts completed register
+/// lifetimes (a value overwritten within the window) that were read
+/// `n` times with: 0, 1, 2, 3–4, ≥5 reads.
+pub const REG_REUSE_BUCKETS: usize = 5;
 
 /// Aggregate statistics of a µop stream.
 #[derive(Clone, Copy, Debug, Default)]
@@ -21,14 +37,61 @@ pub struct TraceStats {
     pub stores: u64,
     /// FP-class µops.
     pub fp_ops: u64,
+    /// Dependence-distance histogram over source operands whose producer
+    /// executed inside the measured window (see [`DEP_DIST_BOUNDS`]).
+    /// Operands fed by pre-window writes are not counted.
+    pub dep_dist: [u64; DEP_DIST_BUCKETS],
+    /// Register-reuse histogram over completed lifetimes: each time a
+    /// register written inside the window is overwritten, the number of
+    /// reads its old value received is bucketed. Values still live when
+    /// the window ends are not counted.
+    pub reg_reuse: [u64; REG_REUSE_BUCKETS],
+}
+
+/// Per-register lifetime tracking used while measuring.
+#[derive(Clone, Copy)]
+struct LiveValue {
+    /// Dynamic position (0-based µop index) of the producing write.
+    written_at: u64,
+    /// Reads this value has received so far.
+    reads: u64,
+}
+
+/// Flat slot for a class-tagged register (integers first, then FP).
+fn reg_slot(r: wsrs_isa::RegRef) -> usize {
+    match r.class() {
+        RegClass::Int => r.index() as usize,
+        RegClass::Fp => NUM_INT_REGS as usize + r.index() as usize,
+    }
 }
 
 impl TraceStats {
+    /// The dependence-distance bucket for a producer→consumer distance of
+    /// `d` dynamic µops (`d >= 1`).
+    #[must_use]
+    pub fn dep_bucket(d: u64) -> usize {
+        DEP_DIST_BOUNDS.iter().position(|&b| d <= b).unwrap_or(0)
+    }
+
+    /// The register-reuse bucket for a lifetime read `n` times.
+    #[must_use]
+    pub fn reuse_bucket(n: u64) -> usize {
+        match n {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3..=4 => 3,
+            _ => 4,
+        }
+    }
+
     /// Measures a stream of µops.
     #[must_use]
     pub fn measure(trace: impl Iterator<Item = DynInst>) -> Self {
         let mut s = TraceStats::default();
+        let mut live = [None::<LiveValue>; (NUM_INT_REGS + NUM_FP_REGS) as usize];
         for d in trace {
+            let pos = s.total;
             s.total += 1;
             let idx = match d.arity() {
                 Arity::Noadic => 0,
@@ -50,16 +113,52 @@ impl TraceStats {
                 }
                 _ => {}
             }
+            // Sources first (a µop that reads and writes the same register
+            // reads the *old* value), then the destination overwrite.
+            for src in d.srcs.iter().flatten() {
+                if src.is_zero() {
+                    continue;
+                }
+                if let Some(v) = &mut live[reg_slot(*src)] {
+                    s.dep_dist[Self::dep_bucket(pos - v.written_at)] += 1;
+                    v.reads += 1;
+                }
+            }
+            if let Some(dst) = d.dst {
+                if !dst.is_zero() {
+                    let slot = &mut live[reg_slot(dst)];
+                    if let Some(prev) = slot.replace(LiveValue {
+                        written_at: pos,
+                        reads: 0,
+                    }) {
+                        s.reg_reuse[Self::reuse_bucket(prev.reads)] += 1;
+                    }
+                }
+            }
         }
         s
     }
 
-    fn frac(&self, n: u64) -> f64 {
-        if self.total == 0 {
+    /// `n / d`, or 0.0 when the denominator is zero — every fraction
+    /// accessor routes through here so empty or degenerate windows (no
+    /// µops, no dyadic ops, no in-window dependences) report 0.0, never
+    /// NaN.
+    fn ratio(n: u64, d: u64) -> f64 {
+        if d == 0 {
             0.0
         } else {
-            n as f64 / self.total as f64
+            n as f64 / d as f64
         }
+    }
+
+    fn frac(&self, n: u64) -> f64 {
+        Self::ratio(n, self.total)
+    }
+
+    /// Fraction of µops that are noadic (no register operands).
+    #[must_use]
+    pub fn noadic_fraction(&self) -> f64 {
+        self.frac(self.arity[0])
     }
 
     /// Fraction of µops that are monadic (one register operand) — the
@@ -75,6 +174,14 @@ impl TraceStats {
         self.frac(self.arity[2])
     }
 
+    /// Fraction of *dyadic* µops whose opcode commutes — what read
+    /// specialization's operand swapping can exploit. 0.0 when the window
+    /// has no dyadic µops.
+    #[must_use]
+    pub fn commutative_fraction(&self) -> f64 {
+        Self::ratio(self.commutative_dyadic, self.arity[2])
+    }
+
     /// Fraction of µops that are conditional branches.
     #[must_use]
     pub fn branch_fraction(&self) -> f64 {
@@ -87,10 +194,38 @@ impl TraceStats {
         self.frac(self.loads + self.stores)
     }
 
+    /// Fraction of µops that are loads.
+    #[must_use]
+    pub fn load_fraction(&self) -> f64 {
+        self.frac(self.loads)
+    }
+
+    /// Fraction of µops that are stores.
+    #[must_use]
+    pub fn store_fraction(&self) -> f64 {
+        self.frac(self.stores)
+    }
+
     /// Fraction of µops that are FP-class.
     #[must_use]
     pub fn fp_fraction(&self) -> f64 {
         self.frac(self.fp_ops)
+    }
+
+    /// The dependence-distance histogram normalized to fractions of all
+    /// in-window dependences. All-zero when the window recorded none.
+    #[must_use]
+    pub fn dep_dist_fractions(&self) -> [f64; DEP_DIST_BUCKETS] {
+        let sum: u64 = self.dep_dist.iter().sum();
+        self.dep_dist.map(|n| Self::ratio(n, sum))
+    }
+
+    /// The register-reuse histogram normalized to fractions of all
+    /// completed lifetimes. All-zero when the window completed none.
+    #[must_use]
+    pub fn reg_reuse_fractions(&self) -> [f64; REG_REUSE_BUCKETS] {
+        let sum: u64 = self.reg_reuse.iter().sum();
+        self.reg_reuse.map(|n| Self::ratio(n, sum))
     }
 }
 
@@ -113,7 +248,7 @@ mod tests {
         // work with.
         for w in Workload::all() {
             let s = TraceStats::measure(w.trace().take(30_000));
-            let free = s.monadic_fraction() + s.frac(s.arity[0]);
+            let free = s.monadic_fraction() + s.noadic_fraction();
             assert!(free > 0.15, "{w}: only {free:.2} monadic+noadic");
         }
     }
@@ -126,9 +261,89 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_is_all_zero() {
+    fn empty_trace_is_all_zero_and_never_nan() {
         let s = TraceStats::measure(std::iter::empty());
         assert_eq!(s.total, 0);
-        assert_eq!(s.monadic_fraction(), 0.0);
+        for f in [
+            s.noadic_fraction(),
+            s.monadic_fraction(),
+            s.dyadic_fraction(),
+            s.commutative_fraction(),
+            s.branch_fraction(),
+            s.memory_fraction(),
+            s.load_fraction(),
+            s.store_fraction(),
+            s.fp_fraction(),
+        ] {
+            assert_eq!(f, 0.0);
+        }
+        assert_eq!(s.dep_dist_fractions(), [0.0; DEP_DIST_BUCKETS]);
+        assert_eq!(s.reg_reuse_fractions(), [0.0; REG_REUSE_BUCKETS]);
+    }
+
+    #[test]
+    fn degenerate_no_dyadic_window_has_zero_commutative_fraction() {
+        use wsrs_isa::{DynInst, Opcode};
+        // A single noadic µop: dyadic count is zero, so the commutative
+        // fraction must guard the division, not return NaN.
+        let s = TraceStats::measure(std::iter::once(DynInst::new(0, Opcode::Add)));
+        assert_eq!(s.total, 1);
+        assert_eq!(s.commutative_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dep_buckets_partition_distances() {
+        assert_eq!(TraceStats::dep_bucket(1), 0);
+        assert_eq!(TraceStats::dep_bucket(2), 1);
+        assert_eq!(TraceStats::dep_bucket(3), 2);
+        assert_eq!(TraceStats::dep_bucket(4), 2);
+        assert_eq!(TraceStats::dep_bucket(5), 3);
+        assert_eq!(TraceStats::dep_bucket(64), 6);
+        assert_eq!(TraceStats::dep_bucket(65), 7);
+        assert_eq!(TraceStats::dep_bucket(u64::MAX), 7);
+        assert_eq!(TraceStats::reuse_bucket(0), 0);
+        assert_eq!(TraceStats::reuse_bucket(4), 3);
+        assert_eq!(TraceStats::reuse_bucket(100), 4);
+    }
+
+    #[test]
+    fn dep_distances_track_producers() {
+        use wsrs_isa::{DynInst, Opcode, Reg};
+        // r1 written at pos 0, read at pos 1 (distance 1) and pos 3
+        // (distance 3), then overwritten at pos 4 after 2 reads.
+        let r1 = Reg::new(1);
+        let mut w = DynInst::new(0, Opcode::Li);
+        w.dst = Some(r1.into());
+        let mut rd = DynInst::new(1, Opcode::Mov);
+        rd.srcs[0] = Some(r1.into());
+        let noop = DynInst::new(2, Opcode::Li);
+        let mut rd2 = DynInst::new(3, Opcode::Mov);
+        rd2.srcs[0] = Some(r1.into());
+        let mut w2 = DynInst::new(4, Opcode::Li);
+        w2.dst = Some(r1.into());
+        let s = TraceStats::measure([w, rd, noop, rd2, w2].into_iter());
+        assert_eq!(s.dep_dist[TraceStats::dep_bucket(1)], 1);
+        assert_eq!(s.dep_dist[TraceStats::dep_bucket(3)], 1);
+        assert_eq!(s.dep_dist.iter().sum::<u64>(), 2);
+        // One completed lifetime (the pos-0 value), read twice.
+        assert_eq!(s.reg_reuse, [0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn kernel_histograms_are_populated() {
+        for w in Workload::all() {
+            let s = TraceStats::measure(w.trace().take(30_000));
+            assert!(
+                s.dep_dist.iter().sum::<u64>() > 1_000,
+                "{w}: too few in-window dependences"
+            );
+            assert!(
+                s.reg_reuse.iter().sum::<u64>() > 1_000,
+                "{w}: too few completed lifetimes"
+            );
+            let fr = s.dep_dist_fractions();
+            let sum: f64 = fr.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{w}: {sum}");
+        }
     }
 }

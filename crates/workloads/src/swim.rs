@@ -5,7 +5,7 @@
 //! constants held in FP registers, streaming ~512 KB of grid data per
 //! sweep — enough to keep the L2 busy, like the original.
 
-use crate::common::emit_fp_fill;
+use crate::common::{begin_outer_loop, emit_fp_fill, end_outer_loop};
 use wsrs_isa::{Assembler, Freg, Program, Reg};
 
 const U: i64 = 0x10_0000;
@@ -39,8 +39,7 @@ pub fn build(outer: i64) -> Program {
     a.lf(c2, tmp, 8);
     a.lf(c3, tmp, 16);
 
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     a.li(i, 1);
     let i_top = a.bind_label();
@@ -88,9 +87,7 @@ pub fn build(outer: i64) -> Program {
     a.li(tmp, N - 1);
     a.blt(i, tmp, i_top);
 
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

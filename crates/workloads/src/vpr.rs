@@ -6,7 +6,7 @@
 //! hard-to-predict branch profile (and resulting misprediction stalls) of
 //! the real benchmark.
 
-use crate::common::{emit_fill, emit_xorshift};
+use crate::common::{begin_outer_loop, emit_fill, emit_xorshift, end_outer_loop};
 use wsrs_isa::{Assembler, Program, Reg};
 
 /// Cell-position array: 1024 cells.
@@ -28,8 +28,7 @@ pub fn build(outer: i64) -> Program {
     emit_fill(&mut a, COST, 1024, 0x8525_308d, base, moves, pi, tmp);
 
     a.li(rng, 0x1357_9bdf);
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     a.li(moves, 4096);
     let move_top = a.bind_label();
@@ -76,9 +75,7 @@ pub fn build(outer: i64) -> Program {
     a.addi(moves, moves, -1);
     a.bnez(moves, move_top);
 
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

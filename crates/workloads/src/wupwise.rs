@@ -7,7 +7,7 @@
 //! (§3.3 *commutative dyadic instructions*) as the source of WSRS cluster
 //! imbalance on FP codes.
 
-use crate::common::emit_fp_fill;
+use crate::common::{begin_outer_loop, emit_fp_fill, end_outer_loop};
 use wsrs_isa::{Assembler, Freg, Program, Reg};
 
 const A: i64 = 0x1_0000;
@@ -32,8 +32,7 @@ pub fn build(outer: i64) -> Program {
     emit_fp_fill(&mut a, B, N * N, 0.002, 0xf08);
     emit_fp_fill(&mut a, C, N * N, 0.0, 0xf10);
 
-    a.li(oc, outer);
-    let outer_top = a.bind_label();
+    let outer_top = begin_outer_loop(&mut a, oc, outer);
 
     a.li(i, 0);
     let i_top = a.bind_label();
@@ -91,9 +90,7 @@ pub fn build(outer: i64) -> Program {
     a.li(tmp, N);
     a.blt(i, tmp, i_top);
 
-    a.addi(oc, oc, -1);
-    a.bnez(oc, outer_top);
-    a.halt();
+    end_outer_loop(&mut a, oc, outer_top);
     a.assemble()
 }
 

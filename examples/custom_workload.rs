@@ -13,6 +13,7 @@
 use wsrs::core::{AllocPolicy, SimConfig, Simulator};
 use wsrs::isa::{Assembler, Emulator, Program, Reg};
 use wsrs::regfile::RenameStrategy;
+use wsrs::workgen::{gen_name, generate, WorkloadProfile};
 use wsrs::workloads::stats::TraceStats;
 
 const BUILD_ROWS: i64 = 4096;
@@ -109,4 +110,22 @@ fn main() {
             r.unbalance_percent
         );
     }
+
+    // Statistical twin: extract the hash-join's profile and synthesize a
+    // generated workload with the same measured characteristics. The
+    // `gen:` name is content-addressed — anyone with this JSON profile
+    // and seed rebuilds the byte-identical program.
+    let profile =
+        WorkloadProfile::extract(Emulator::new(program.clone(), 1 << 22), 50_000, 250_000);
+    println!("\nprofile: {}", profile.to_json_string());
+    let twin = generate(&profile, 1, 2_000);
+    println!("twin   : {}", gen_name(&profile, 1));
+    let twin_stats = TraceStats::measure(Emulator::new(twin, 1 << 22));
+    println!(
+        "twin mix: {:.0}% monadic, {:.0}% dyadic, {:.0}% branches, {:.0}% memory",
+        100.0 * twin_stats.monadic_fraction(),
+        100.0 * twin_stats.dyadic_fraction(),
+        100.0 * twin_stats.branch_fraction(),
+        100.0 * twin_stats.memory_fraction()
+    );
 }

@@ -19,7 +19,11 @@
 //! * [`telemetry`] — cycle attribution, counters/histograms and the JSON
 //!   run-manifest format behind the `report`/`gate` regression tooling;
 //! * [`workloads`] — the twelve benchmark kernels standing in for the
-//!   paper's SPEC CPU2000 selection.
+//!   paper's SPEC CPU2000 selection;
+//! * [`workgen`] — the statistical workload generator: extract a
+//!   [`workgen::WorkloadProfile`] from any µop stream, synthesize a
+//!   deterministic `gen:<profile-hash>:<seed>` workload back from it, and
+//!   sweep blends and adversarial corners of the profile space.
 //!
 //! # Quickstart
 //!
@@ -40,4 +44,5 @@ pub use wsrs_isa as isa;
 pub use wsrs_mem as mem;
 pub use wsrs_regfile as regfile;
 pub use wsrs_telemetry as telemetry;
+pub use wsrs_workgen as workgen;
 pub use wsrs_workloads as workloads;
