@@ -111,6 +111,20 @@ fn engine_vs_oracle(c: &mut Criterion) {
                 .cycles
         })
     });
+    // The event engine pinned to the cycle-by-cycle loop (the
+    // `WSRS_NO_SKIP=1` path): isolates the wall-clock contribution of
+    // event-horizon cycle skipping from the wheel + bitset machinery.
+    g.bench_with_input(
+        BenchmarkId::from_parameter("event_no_skip"),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                Simulator::new(cfg)
+                    .run_measured_no_skip(trace.iter().copied(), 0, UOPS)
+                    .cycles
+            })
+        },
+    );
     g.bench_with_input(
         BenchmarkId::from_parameter("scan_oracle"),
         &trace,

@@ -44,7 +44,11 @@ fn sim_throughput(c: &mut Criterion) {
 /// emulation cost is out of the loop and the event-driven wakeup/select
 /// logic dominates. `crafty` (high-ILP integer) stresses the ready pool;
 /// `mcf` (pointer chasing) stresses the producer→consumer wakeup path,
-/// since almost every slot waits in the calendar for a load.
+/// since almost every slot waits in the calendar for a load. Each workload
+/// also runs pinned to the cycle-by-cycle loop (`<name>_no_skip`, the
+/// `WSRS_NO_SKIP=1` path) so the gain from event-horizon cycle skipping is
+/// measurable in isolation — the gap is largest on stall-heavy `mcf`,
+/// where most cycles are skippable memory stalls.
 fn simulator_issue(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator_issue");
     g.throughput(Throughput::Elements(UOPS));
@@ -64,6 +68,17 @@ fn simulator_issue(c: &mut Criterion) {
                     .cycles
             })
         });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_no_skip", w.name())),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    Simulator::new(cfg)
+                        .run_measured_no_skip(trace.iter().copied(), 0, UOPS)
+                        .cycles
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -85,6 +85,14 @@ fn run_experiment(
     } else {
         eprintln!("{experiment}: path: scalar (batching off or incompatible configs)");
     }
+    if wsrs_core::skip_enabled() {
+        eprintln!("{experiment}: path: event-horizon cycle skipping on");
+    } else {
+        eprintln!(
+            "{experiment}: path: cycle-by-cycle ({} set)",
+            wsrs_core::NO_SKIP_ENV
+        );
+    }
     if let Some(summary) = run.sample_summary() {
         // Stdout on purpose: CI's sample-smoke step greps this line to
         // assert a warm store replays with zero fast-forwarded µops.
@@ -493,6 +501,24 @@ fn main() {
             };
             std::process::exit(watch(&job, &addr));
         }
+        Some("normalize") => {
+            // Print a manifest file's normalized form (environment fields
+            // neutralized) — lets shell steps compare runs for
+            // byte-identity, e.g. CI's skip-vs-no-skip A/B.
+            let Some(path) = args.get(2) else {
+                eprintln!("usage: report normalize <manifest.json>");
+                std::process::exit(2);
+            };
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let Some(m) = RunManifest::parse(&text) else {
+                eprintln!("{path}: malformed manifest");
+                std::process::exit(1);
+            };
+            print!("{}", m.normalized_json_string());
+        }
         Some("check") => {
             // Parse-only sanity check of the committed baselines.
             let mut ok = true;
@@ -517,8 +543,8 @@ fn main() {
         }
         Some(other) => {
             eprintln!(
-                "usage: report [baseline|gate|check|sample-error <experiment>|\
-                 submit <experiment>|watch <job>]  (got '{other}')"
+                "usage: report [baseline|gate|check|normalize <file>|\
+                 sample-error <experiment>|submit <experiment>|watch <job>]  (got '{other}')"
             );
             std::process::exit(2);
         }

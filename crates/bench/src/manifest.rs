@@ -57,7 +57,11 @@ pub fn telemetry_on(cfg: &SimConfig) -> SimConfig {
 /// `batched` records whether the cell ran on the lockstep batch path,
 /// `sample` the interval-sampling outcome (`None` for an exact run — the
 /// key is then omitted from the JSON entirely, keeping exact baselines
-/// byte-identical to the pre-sampling schema).
+/// byte-identical to the pre-sampling schema). The `skip` provenance flag
+/// is derived here: the engine skips dead cycles exactly when the process
+/// allows it ([`wsrs_core::skip_enabled`], i.e. `WSRS_NO_SKIP` unset) and
+/// the configuration runs the event scheduler (no virtual-physical
+/// registers, which stay on the scan path).
 #[must_use]
 pub fn cell_record(
     w: Workload,
@@ -87,6 +91,7 @@ pub fn cell_record(
         l2_miss_rate: r.memory.l2.miss_rate(),
         store_forwards: r.store_forwards,
         batched,
+        skip: wsrs_core::skip_enabled() && cfg.vp_phys_per_subset.is_none(),
         sampled: sample.map(SampleOutcome::to_cell),
         attribution: r.attribution.clone(),
     }
@@ -235,8 +240,15 @@ mod tests {
         assert!(m.cells.iter().all(|c| c.sampled.is_none()));
         assert_eq!(m.cells.len(), 2);
         // Two sibling single-threaded configs share one lockstep batch,
-        // and the manifest records that provenance per cell.
+        // and the manifest records that provenance per cell. Both ran
+        // the event scheduler, so (WSRS_NO_SKIP unset in tests) the
+        // skip provenance flag is recorded too.
         assert!(m.cells.iter().all(|c| c.batched));
+        assert_eq!(
+            m.cells.iter().all(|c| c.skip),
+            wsrs_core::skip_enabled(),
+            "skip provenance must track the process-wide flag"
+        );
         assert!(m.cells[0].attribution.is_none());
         let attr = m.cells[1].attribution.as_ref().expect("telemetry on");
         assert!(attr.conserved());

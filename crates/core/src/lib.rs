@@ -68,8 +68,26 @@ pub fn sim_revision() -> u64 {
     wsrs_isa::fnv1a_64(SIM_REVISION_TAG.as_bytes())
 }
 
+/// Environment variable that, when set (`1`/`true`), forces the
+/// cycle-by-cycle loop — disabling event-horizon cycle skipping — for
+/// A/B wall-clock comparisons. Read once per process.
+pub const NO_SKIP_ENV: &str = "WSRS_NO_SKIP";
+
+/// Whether event-horizon cycle skipping is enabled for this process
+/// (default yes; `WSRS_NO_SKIP=1` disables it). Skipping is a pure
+/// wall-clock optimization — every `Report` is bit-identical either way,
+/// enforced by the scan-oracle differential tests — so the flag exists
+/// only for timing A/Bs and for exercising the cycle-exact path in CI.
+#[must_use]
+pub fn skip_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        !std::env::var(NO_SKIP_ENV).is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+    })
+}
+
 pub use alloc::{AllocPolicy, ClusterChoice};
-pub use batch::{lockstep_compatible, run_lockstep};
+pub use batch::{batch_stride, lockstep_compatible, run_lockstep, run_lockstep_with_stride};
 pub use cluster::{ClusterId, FuKind, Resources};
 pub use config::{FastForward, RegCache, RegFileMode, SimConfig, SimConfigBuilder};
 pub use metrics::{Report, UnbalanceTracker};

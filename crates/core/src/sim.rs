@@ -43,7 +43,7 @@ use crate::wheel::CalendarWheel;
 use wsrs_frontend::DirectionPredictor;
 use wsrs_isa::{latency, DynInst, RegClass};
 use wsrs_mem::{MemoryHierarchy, StoreQueue, StoreQueueQuery};
-use wsrs_regfile::{DeadlockMonitor, Renamer, Subset};
+use wsrs_regfile::{DeadlockMonitor, RenameStrategy, Renamer, Subset};
 use wsrs_telemetry::{CycleAttribution, SlotBucket};
 
 /// Sentinel for "value not yet produced".
@@ -247,6 +247,23 @@ impl Simulator {
         engine.run(bounded, warmup)
     }
 
+    /// Like [`Simulator::run_measured`], but forcing the cycle-by-cycle
+    /// loop even when event-horizon skipping is enabled for the process —
+    /// the in-process half of a skip-vs-no-skip timing A/B (the
+    /// [`crate::NO_SKIP_ENV`] switch does the same for a whole process).
+    /// Bit-identical to [`Simulator::run_measured`] by construction.
+    pub fn run_measured_no_skip(
+        &self,
+        trace: impl IntoIterator<Item = DynInst>,
+        warmup: u64,
+        measure: u64,
+    ) -> Report {
+        let bounded = trace.into_iter().take((warmup + measure) as usize);
+        let mut engine = Engine::new(&self.config);
+        engine.allow_skip = false;
+        engine.run(bounded, warmup)
+    }
+
     /// Runs an SMT machine: one trace per hardware thread
     /// (`config.threads` of them). Threads share fetch/dispatch bandwidth
     /// round-robin, the ROB, the clusters, the caches and the physical
@@ -358,12 +375,14 @@ pub(crate) struct Engine<'a> {
     /// window's `next_waiter` lane — hanging or draining a waiter is
     /// pointer writes, never an allocation.
     wheel: CalendarWheel,
-    /// Event scheduler: operand-ready µops awaiting an issue slot, sorted
-    /// ascending by seq (the scan's oldest-first order).
-    ready: Vec<u64>,
-    /// Sum of all clusters' issue widths: once this many µops issue in a
-    /// cycle, no selection can succeed anywhere.
-    issue_width_total: u32,
+    /// Whether the event-horizon fast path may jump the clock over provably
+    /// dead cycles ([`crate::skip_enabled`], frozen per process; cleared by
+    /// [`Simulator::run_measured_no_skip`] for in-process A/B timing).
+    allow_skip: bool,
+    /// Cycles the event-horizon fast path jumped over without simulating.
+    /// Diagnostics only — deliberately not part of any [`Report`], which
+    /// must stay bit-identical whether or not skipping ran.
+    pub(crate) skipped_cycles: u64,
     /// Forces the legacy O(window) scan even without virtual-physical
     /// registers (test oracle for the event scheduler).
     pub(crate) force_scan: bool,
@@ -435,7 +454,7 @@ impl<'a> Engine<'a> {
             clusters: (0..cfg.clusters)
                 .map(|i| ClusterState::with_resources(cfg.resources[i.min(3)]))
                 .collect(),
-            rob: Rob::new(cfg.rob_size()),
+            rob: Rob::new(cfg.rob_size(), cfg.clusters),
             reg_info,
             fetch_bufs: (0..cfg.threads)
                 .map(|_| VecDeque::with_capacity(4 * cfg.fetch_width))
@@ -456,10 +475,8 @@ impl<'a> Engine<'a> {
             vp,
             vp_blocked: (u64::MAX, 0),
             wheel: CalendarWheel::new(cfg.scheduler_horizon()),
-            ready: Vec::new(),
-            issue_width_total: (0..cfg.clusters)
-                .map(|i| cfg.resources[i.min(3)].issue_width)
-                .sum(),
+            allow_skip: crate::skip_enabled(),
+            skipped_cycles: 0,
             force_scan: false,
             trace_done: vec![false; cfg.threads],
             warmup: 0,
@@ -650,8 +667,162 @@ impl<'a> Engine<'a> {
                 self.fetch_bufs.iter().map(VecDeque::len).sum::<usize>()
             );
         }
-        self.cycle += 1;
+        let mut next = self.cycle + 1;
+        if self.allow_skip && self.event_scheduler() {
+            if let Some(t) = self.skip_target() {
+                self.apply_skip(t);
+                next = t;
+            }
+        }
+        self.cycle = next;
         true
+    }
+
+    /// The event-horizon query: the earliest future cycle at which this
+    /// machine's state can change, when every cycle before it is provably
+    /// dead — nothing fetches, dispatches, issues, commits, or resolves.
+    /// Returns `None` unless at least one whole cycle can be skipped.
+    ///
+    /// Runs at the end of a stepped cycle, so the machine is in its
+    /// settled end-of-cycle state. The proof obligations, per stage:
+    ///
+    /// * **issue** — no µop is awake (`ready_count == 0`), and the wheel
+    ///   delivers nothing before the target
+    ///   ([`CalendarWheel::next_due_before`]);
+    /// * **commit** — the head is not done, or completes no earlier than
+    ///   the target (a done head with `done_cycle ≤ cycle + 1` vetoes);
+    /// * **fetch** — every live thread is redirect-blocked (resume cycles
+    ///   cap the target) or has a full fetch buffer;
+    /// * **dispatch** — blocked on the front end (returns before touching
+    ///   the renamer: strategy-agnostic) or on a full window, which for
+    ///   single-thread non-`Recycling` machines replays as pure no-ops —
+    ///   `FreeList::tick` is catch-up-exact, `ExactCount::end_cycle` is a
+    ///   no-op, and the sticky cluster choice is already cached;
+    /// * **telemetry** — needs no cap: over a dead region the stall
+    ///   bucket is a piecewise-constant function of the probe cycle, and
+    ///   [`Self::charge_skipped`] charges each constant segment in bulk;
+    /// * **wedge detection** — the target never jumps past the
+    ///   no-progress assertion's firing cycle.
+    fn skip_target(&self) -> Option<u64> {
+        match self.dispatch_block {
+            DispatchBlock::Frontend => {}
+            // Window-blocked cycles re-run rename bookkeeping that is only
+            // provably stateless for one thread (SMT rotation can dispatch
+            // a different thread next cycle) outside the Recycling
+            // strategy's per-cycle staging churn.
+            DispatchBlock::Window => {
+                if self.cfg.threads != 1 || self.cfg.renamer.strategy == RenameStrategy::Recycling {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+        if self.rob.ready_count() != 0 {
+            return None;
+        }
+        // Cheap caps first, the wheel last: every bound accumulated into
+        // `t` truncates the wheel's occupancy scan below, so the cost of
+        // the query is bounded by the cycles actually skipped — without
+        // this ordering, a telemetry breakpoint two cycles out would
+        // still pay a scan all the way to a miss return hundreds of
+        // cycles away, every blocked cycle.
+        let mut t = self.last_progress.1 + 200_000;
+        for tid in 0..self.cfg.threads {
+            if self.trace_done[tid] {
+                continue;
+            }
+            match self.redirects[tid] {
+                // Resolution comes from an issue event, already capped by
+                // the wheel below.
+                Redirect::WaitingResolve(_) => {}
+                Redirect::WaitingCycle(c) => t = t.min(c.max(self.cycle + 1)),
+                Redirect::None => {
+                    if self.fetch_bufs[tid].len() < self.fetch_buf_cap {
+                        return None; // fetch would make progress
+                    }
+                }
+            }
+        }
+        if !self.rob.is_empty() && self.rob.is_done(0) {
+            t = t.min(self.rob.done_cycle(0).max(self.cycle + 1));
+        }
+        if let Some(due) = self.wheel.next_due_before(t) {
+            t = due;
+        }
+        (t > self.cycle + 1).then_some(t)
+    }
+
+    /// Jumps the clock from the end of the current cycle straight to `t`,
+    /// bulk-applying the side effects the `t - cycle - 1` skipped cycles
+    /// would have accumulated one at a time: their dispatch stall counters
+    /// and their telemetry stall buckets (charged segment-wise by
+    /// [`Self::charge_skipped`]). Everything else about those cycles is a
+    /// proven no-op.
+    fn apply_skip(&mut self, t: u64) {
+        let k = t - self.cycle - 1;
+        self.skipped_cycles += k;
+        self.wheel.advance_to(t);
+        match self.dispatch_block {
+            DispatchBlock::Frontend => self.stalls.frontend += self.cfg.fetch_width as u64 * k,
+            DispatchBlock::Window => self.stalls.window += k,
+            _ => unreachable!("skip_target vetted the dispatch block"),
+        }
+        if self.attr.is_some() {
+            self.charge_skipped(self.cycle + 1, t);
+        }
+    }
+
+    /// Charges telemetry for the skipped cycles `[from, t)`. Over a dead
+    /// region — no fetch, dispatch, issue, or commit, and no register
+    /// becoming available (that would be an issue event, which caps the
+    /// jump) — [`Self::stall_bucket_at`] is a piecewise-constant function
+    /// of the probe cycle: its value can only change where a probe
+    /// crosses one of the head's operand thresholds (the operand's usable
+    /// cycle, or its cross-cluster arrival). So walk those segments and
+    /// bulk-charge each one, instead of capping the jump at every
+    /// threshold and paying a full skip analysis per one- or two-cycle
+    /// hop (operand-usable and forwarded thresholds are typically
+    /// adjacent).
+    fn charge_skipped(&mut self, from: u64, t: u64) {
+        let mut at = from;
+        while at < t {
+            let bucket = self.stall_bucket_at(at);
+            debug_assert_ne!(
+                bucket,
+                SlotBucket::RenameStall,
+                "skipped cycles are never rename-stalled"
+            );
+            // The next probe cycle at which the bucket could differ: the
+            // smallest operand threshold strictly above `at` (none — or
+            // a done/empty head, whose bucket is time-independent —
+            // leaves the rest of the region uniform).
+            let mut next = t;
+            if !self.rob.is_empty() && !self.rob.is_done(0) {
+                let head_cluster = self.rob.cluster(0);
+                for s in self.rob.srcs(0) {
+                    if !s.is_some() {
+                        continue;
+                    }
+                    let info = self.reg_info[s.class_index()][s.phys()];
+                    debug_assert_ne!(
+                        info.avail, IN_FLIGHT,
+                        "head operands have committed producers"
+                    );
+                    let cross =
+                        info.avail + self.cfg.fast_forward.penalty(info.cluster, head_cluster);
+                    for bp in [info.avail, cross] {
+                        if bp > at && bp < next {
+                            next = bp;
+                        }
+                    }
+                }
+            }
+            self.attr
+                .as_mut()
+                .expect("caller checked")
+                .charge_cycles(next - at, bucket);
+            at = next;
+        }
     }
 
     /// Closes the run: subtracts the warmup snapshot and assembles the
@@ -703,7 +874,7 @@ impl<'a> Engine<'a> {
         let bucket = if committed >= self.cfg.fetch_width as u64 {
             SlotBucket::Committed
         } else {
-            self.stall_bucket()
+            self.stall_bucket_at(self.cycle)
         };
         let attr = self.attr.as_mut().expect("caller checked");
         attr.charge_cycle(committed, bucket);
@@ -714,15 +885,19 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Picks the stall bucket for a cycle that retired fewer than
+    /// Picks the stall bucket for cycle `at` when it retires fewer than
     /// `fetch_width` µops. Retirement-centric: the oldest in-flight µop
     /// explains the machine's inability to commit; the dispatch stage is
     /// consulted only when the window is empty (or its head is too young
-    /// to have had an issue opportunity).
-    fn stall_bucket(&self) -> SlotBucket {
+    /// to have had an issue opportunity). `at` is the current cycle on the
+    /// per-cycle path; the event-horizon skip ([`Self::charge_skipped`])
+    /// probes future cycles against the settled end-of-cycle state, which
+    /// is exact because nothing in a dead region mutates the state this
+    /// function reads.
+    fn stall_bucket_at(&self, at: u64) -> SlotBucket {
         if !self.rob.is_empty() {
-            if self.rob.dispatch_cycle(0) < self.cycle {
-                return self.head_bucket();
+            if self.rob.dispatch_cycle(0) < at {
+                return self.head_bucket_at(at);
             }
             // Head dispatched this very cycle: the window is filling.
             return SlotBucket::Fill;
@@ -742,8 +917,8 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Why the (old-enough) ROB head did not retire this cycle.
-    fn head_bucket(&self) -> SlotBucket {
+    /// Why the (old-enough) ROB head did not retire at cycle `at`.
+    fn head_bucket_at(&self, at: u64) -> SlotBucket {
         if self.rob.is_done(0) {
             // Issued, executing. Loads (and stores in their cache access)
             // are memory-bound; everything else is execution latency.
@@ -760,7 +935,7 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let info = self.reg_info[s.class_index()][s.phys()];
-            if info.avail == IN_FLIGHT || self.cycle < info.avail {
+            if info.avail == IN_FLIGHT || at < info.avail {
                 // Producer unissued or still executing.
                 return if info.from_load {
                     SlotBucket::Memory
@@ -768,7 +943,7 @@ impl<'a> Engine<'a> {
                     SlotBucket::ExecLatency
                 };
             }
-            if self.cycle < info.avail + self.cfg.fast_forward.penalty(info.cluster, head_cluster) {
+            if at < info.avail + self.cfg.fast_forward.penalty(info.cluster, head_cluster) {
                 // Produced, but still crossing clusters.
                 return SlotBucket::ForwardBubble;
             }
@@ -1297,34 +1472,43 @@ impl<'a> Engine<'a> {
     /// are examined, in ascending seq order — the same oldest-first order
     /// the scan produces, so all issue-time side effects (FU reservation,
     /// memory-order advancement, cache accesses) happen identically.
+    ///
+    /// Awake µops live in the window's per-cluster ready bitmaps
+    /// ([`Rob::set_ready`]): the wheel wakes by setting a bit, and select
+    /// is an age-ordered `trailing_zeros` walk over the planes of clusters
+    /// that still own an issue slot — a cluster whose width is spent drops
+    /// out of the mask, narrowing the select exactly as the paper's
+    /// specialized windows do. A µop passed over (memory-order gate or FU
+    /// contention) keeps its bit and is excluded for the rest of the cycle
+    /// by the advancing `from` cursor, never re-examined.
     fn issue_event(&mut self) {
         self.due_buf.clear();
         self.wheel.drain_due(self.cycle, &mut self.due_buf);
-        for k in 0..self.due_buf.len() {
-            let seq = self.due_buf[k];
-            let pos = self.ready.partition_point(|&s| s < seq);
-            self.ready.insert(pos, seq);
+        if !self.due_buf.is_empty() {
+            let front_seq = self.rob.seq_front();
+            for k in 0..self.due_buf.len() {
+                let idx = (self.due_buf[k] - front_seq) as usize;
+                debug_assert!(!self.rob.is_done(idx));
+                self.rob.set_ready(idx);
+            }
         }
-        if self.ready.is_empty() {
+        if self.rob.ready_count() == 0 {
             return;
         }
         debug_assert!(!self.rob.is_empty(), "ready µops live in the ROB");
         let front_seq = self.rob.seq_front();
-        let mut issued_total = 0u32;
-        let mut kept = 0usize;
-        let mut i = 0usize;
-        while i < self.ready.len() {
-            if issued_total == self.issue_width_total {
-                // Every issue slot in the machine is spent; the rest of the
-                // pool stays ready for next cycle.
-                let len = self.ready.len();
-                self.ready.copy_within(i..len, kept);
-                kept += len - i;
-                break;
+        let mut avail = 0u32;
+        for (c, cl) in self.clusters.iter().enumerate() {
+            if cl.has_issue_slot() {
+                avail |= 1 << c;
             }
-            let seq = self.ready[i];
-            let idx = (seq - front_seq) as usize;
-            debug_assert_eq!(self.rob.seq_at(idx), seq);
+        }
+        let mut from = 0usize;
+        while avail != 0 {
+            let Some(idx) = self.rob.next_ready(from, avail) else {
+                break;
+            };
+            from = idx + 1;
             debug_assert!(!self.rob.is_done(idx));
             debug_assert!(self.rob.dispatch_cycle(idx) < self.cycle);
             debug_assert!(self.srcs_ready(self.rob.srcs(idx), self.rob.cluster(idx)));
@@ -1333,16 +1517,14 @@ impl<'a> Engine<'a> {
             let gates_ok = mem_seq == MEM_NONE
                 || mem_seq == self.mem_next_issue[self.rob.thread(idx) as usize];
             if !gates_ok || !self.clusters[cluster].try_issue(self.rob.class(idx), self.cycle) {
-                self.ready[kept] = seq;
-                kept += 1;
-                i += 1;
                 continue;
             }
-            issued_total += 1;
+            self.rob.clear_ready(idx);
             self.complete_issue(idx);
-            i += 1;
+            if !self.clusters[cluster].has_issue_slot() {
+                avail &= !(1 << cluster);
+            }
         }
-        self.ready.truncate(kept);
 
         // Deferred writeback (as in the scan: results issued this cycle are
         // not usable this cycle), then wake each completed register's
@@ -2504,6 +2686,101 @@ mod tests {
         let scan = oracle.run(Emulator::new(prog, 1 << 20), 0);
         assert!(event.memory.l2.misses > 50, "kernel must actually miss L2");
         assert_eq!(format!("{event:?}"), format!("{scan:?}"));
+    }
+
+    /// The event-horizon fast path must actually engage on a stall-heavy
+    /// kernel — long L2 misses leave hundreds of provably dead cycles per
+    /// iteration — and change nothing observable: report and telemetry
+    /// bit-identical to the forced cycle-by-cycle run.
+    #[test]
+    fn cycle_skipping_engages_and_preserves_reports() {
+        let mut cfg = SimConfig::conventional_rr(256);
+        cfg.hierarchy.l2_miss_penalty = 400;
+        cfg.telemetry = true;
+        let mut a = Assembler::new();
+        let (b, x, acc, i, n) = (
+            Reg::new(1),
+            Reg::new(2),
+            Reg::new(3),
+            Reg::new(60),
+            Reg::new(61),
+        );
+        a.li(b, 0);
+        a.li(acc, 0);
+        a.li(i, 0);
+        a.li(n, 120);
+        let top = a.bind_label();
+        a.lw(x, b, 0);
+        a.add(acc, acc, x);
+        a.addi(b, b, 8192);
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        a.halt();
+        let prog = a.assemble();
+        let run = |allow_skip: bool| {
+            let mut e = Engine::new(&cfg);
+            e.allow_skip = allow_skip; // independent of the process env
+            let mut stream = PredictedIters::new(
+                vec![Emulator::new(prog.clone(), 1 << 20)],
+                cfg.predictor.build(),
+            );
+            while e.step(&mut stream) {}
+            let skipped = e.skipped_cycles;
+            (skipped, e.finish(None))
+        };
+        let (skipped, fast) = run(true);
+        let (none, slow) = run(false);
+        assert_eq!(none, 0, "no-skip engine must not skip");
+        assert!(
+            skipped * 10 > fast.cycles,
+            "skip must cover a real share of a memory-bound run: {skipped} of {}",
+            fast.cycles
+        );
+        assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+    }
+
+    /// Skipping across a redirect stall: a mispredict-heavy kernel with a
+    /// long minimum penalty spends most cycles with fetch redirect-blocked
+    /// and an empty window (`WaitingCycle` frontier), and must still match
+    /// the cycle-by-cycle run bit for bit.
+    #[test]
+    fn cycle_skipping_preserves_redirect_stalls() {
+        let mut cfg = perfect(SimConfig::conventional_rr(256));
+        cfg.min_mispredict_penalty = 60;
+        cfg.telemetry = true;
+        let mut a = Assembler::new();
+        let (x, i, n, t) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        a.li(x, 0x1234_5678);
+        a.li(i, 0);
+        a.li(n, 400);
+        let top = a.bind_label();
+        a.slli(t, x, 13);
+        a.xor(x, x, t);
+        a.srli(t, x, 7);
+        a.xor(x, x, t);
+        a.andi(t, x, 1);
+        let skip = a.label();
+        a.beqz(t, skip);
+        a.addi(i, i, 0);
+        a.bind(skip);
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        a.halt();
+        let prog = a.assemble();
+        let run = |allow_skip: bool| {
+            let mut e = Engine::new(&cfg);
+            e.allow_skip = allow_skip;
+            let mut stream = PredictedIters::new(
+                vec![Emulator::new(prog.clone(), 1 << 20)],
+                cfg.predictor.build(),
+            );
+            while e.step(&mut stream) {}
+            (e.skipped_cycles, e.finish(None))
+        };
+        let (skipped, fast) = run(true);
+        let (_, slow) = run(false);
+        assert!(skipped > 0, "redirect stalls must be skippable");
+        assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
     }
 
     /// Telemetry must observe, never perturb: the same run with and

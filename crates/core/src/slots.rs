@@ -150,11 +150,24 @@ pub(crate) struct Rob {
     fetch_cycle: Vec<u64>,
     fetch_id: Vec<u64>,
     eff_addr: Vec<u64>,
+    /// Per-cluster ready bitmaps over *physical* ring positions — the
+    /// software analogue of the paper's narrowed select. One plane of
+    /// `ready_words` words per cluster; bit `p` of plane `c` is set while
+    /// the µop in ring slot `p` (which steered to cluster `c`) is awake
+    /// and awaiting issue. Physical positions are stable for a slot's
+    /// lifetime, so a set bit never has to move; age order is recovered
+    /// by scanning words from `head` around the ring.
+    ready: Vec<u64>,
+    ready_words: usize,
+    planes: usize,
+    /// Total bits set across all planes, for O(1) idle checks.
+    ready_count: usize,
 }
 
 impl Rob {
-    pub(crate) fn new(window: usize) -> Self {
+    pub(crate) fn new(window: usize, planes: usize) -> Self {
         let cap = window.max(2).next_power_of_two();
+        let ready_words = cap.div_ceil(64);
         Rob {
             head: 0,
             len: 0,
@@ -176,6 +189,10 @@ impl Rob {
             fetch_cycle: vec![0; cap],
             fetch_id: vec![0; cap],
             eff_addr: vec![0; cap],
+            ready: vec![0; ready_words * planes.max(1)],
+            ready_words,
+            planes: planes.max(1),
+            ready_count: 0,
         }
     }
 
@@ -352,5 +369,90 @@ impl Rob {
         let link = std::mem::replace(&mut self.next_waiter[p][src], LINK_NONE);
         self.pending_srcs[p] -= 1;
         (link, self.pending_srcs[p])
+    }
+
+    /// Ready µops currently awaiting selection, across all clusters.
+    #[inline]
+    pub(crate) fn ready_count(&self) -> usize {
+        self.ready_count
+    }
+
+    /// Marks slot `i` awake: its cluster's plane gains the slot's ring
+    /// bit. The slot must not already be marked.
+    #[inline]
+    pub(crate) fn set_ready(&mut self, i: usize) {
+        let p = self.at(i);
+        let c = self.cluster[p] as usize;
+        debug_assert!(c < self.planes);
+        let w = c * self.ready_words + (p >> 6);
+        let bit = 1u64 << (p & 63);
+        debug_assert_eq!(self.ready[w] & bit, 0, "slot woken twice");
+        self.ready[w] |= bit;
+        self.ready_count += 1;
+    }
+
+    /// Clears slot `i`'s ready bit (on issue). The slot must be marked.
+    #[inline]
+    pub(crate) fn clear_ready(&mut self, i: usize) {
+        let p = self.at(i);
+        let c = self.cluster[p] as usize;
+        let w = c * self.ready_words + (p >> 6);
+        let bit = 1u64 << (p & 63);
+        debug_assert_ne!(self.ready[w] & bit, 0, "clearing a sleeping slot");
+        self.ready[w] &= !bit;
+        self.ready_count -= 1;
+    }
+
+    /// The oldest ready slot at logical index ≥ `from` whose cluster is in
+    /// `cluster_mask`, or `None`. Age order is ring order: when
+    /// `head + from` does not wrap, logical `[from, len)` occupies
+    /// physical `[head+from, cap)` then `[0, head)`; when it wraps it is
+    /// the single physical run `[head+from-cap, head)`. Slots logically
+    /// before `from` (already passed over this cycle) keep their bits but
+    /// sit outside the scanned segments; bits outside the live window are
+    /// always clear. Word-level OR over the selected planes plus
+    /// `trailing_zeros` makes this the narrowed select the paper argues
+    /// for: saturated clusters drop out of the mask instead of being
+    /// re-examined per candidate.
+    pub(crate) fn next_ready(&self, from: usize, cluster_mask: u32) -> Option<usize> {
+        if self.ready_count == 0 || from >= self.len {
+            return None;
+        }
+        let cap = self.mask + 1;
+        let p = if self.head + from < cap {
+            self.scan_ready(self.head + from, cap, cluster_mask)
+                .or_else(|| self.scan_ready(0, self.head, cluster_mask))
+        } else {
+            self.scan_ready(self.head + from - cap, self.head, cluster_mask)
+        }?;
+        let i = (p + cap - self.head) & self.mask;
+        debug_assert!(i >= from && i < self.len);
+        Some(i)
+    }
+
+    /// First set bit at a physical position in `[start, end)`, OR-ing the
+    /// planes selected by `cluster_mask`.
+    #[inline]
+    fn scan_ready(&self, start: usize, end: usize, cluster_mask: u32) -> Option<usize> {
+        let mut w = start >> 6;
+        let last = end.div_ceil(64);
+        let mut keep = !0u64 << (start & 63);
+        while w < last {
+            let mut word = 0u64;
+            let mut cm = cluster_mask;
+            while cm != 0 {
+                let c = cm.trailing_zeros() as usize;
+                cm &= cm - 1;
+                word |= self.ready[c * self.ready_words + w];
+            }
+            word &= keep;
+            if word != 0 {
+                let p = (w << 6) + word.trailing_zeros() as usize;
+                return (p < end).then_some(p);
+            }
+            keep = !0u64;
+            w += 1;
+        }
+        None
     }
 }

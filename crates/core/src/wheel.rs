@@ -9,10 +9,13 @@
 //! stress configurations with inflated penalties) goes to a plain overflow
 //! vector that is only scanned once its earliest entry comes due.
 //!
-//! The wheel requires its user to drain **every** cycle in order — the
-//! engine's main loop advances `cycle` by exactly one per iteration — so a
-//! ring bucket is unambiguous: among the undrained cycles
-//! `[base, base + horizon)` no two share an index.
+//! The wheel requires its user to drain cycles in order — a ring bucket
+//! is unambiguous because among the undrained cycles
+//! `[base, base + horizon)` no two share an index. The engine's main loop
+//! drains one cycle per iteration; the event-horizon fast path may
+//! instead ask for the [`CalendarWheel::next_due`] cycle and
+//! [`CalendarWheel::advance_to`] it in one jump, which is sound exactly
+//! because the skipped-over buckets are provably empty.
 
 /// Seqs a ring bucket stores inline. Sized for the common burst (a
 /// dispatch group's worth of same-cycle wakeups); rarer bursts spill to
@@ -112,6 +115,60 @@ impl CalendarWheel {
             self.overflow_min = self.overflow_min.min(due);
         }
         self.len += 1;
+    }
+
+    /// The earliest cycle any booked event is due, or `None` when the
+    /// wheel is empty. The ring scan walks occupancy bytes in due order
+    /// starting at the next drain cycle and stops at the first hit (or at
+    /// `overflow_min`, whichever is earlier), so its cost is bounded by
+    /// the distance to the answer — the cycles a caller then skips.
+    #[must_use]
+    pub fn next_due(&self) -> Option<u64> {
+        let due = self.next_due_before(u64::MAX);
+        debug_assert_eq!(
+            due.is_none(),
+            self.len == 0,
+            "non-empty wheel must have a due cycle"
+        );
+        due
+    }
+
+    /// The earliest cycle any booked event is due **strictly before**
+    /// `limit`, or `None` when nothing is due that early. Identical to
+    /// [`CalendarWheel::next_due`] with the occupancy scan truncated at
+    /// `limit`: a caller that already holds a tighter bound on how far it
+    /// can jump pays at most `limit - base` probes, instead of scanning
+    /// all the way out to a next event it could never reach anyway.
+    #[must_use]
+    pub fn next_due_before(&self, limit: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best = self.overflow_min;
+        for off in 0..self.horizon as u64 {
+            let due = self.base + off;
+            if due >= best || due >= limit {
+                break;
+            }
+            if self.counts[(due & self.mask) as usize] > 0 {
+                best = due;
+                break;
+            }
+        }
+        (best < limit).then_some(best)
+    }
+
+    /// Advances the drain position to `cycle` without draining, for
+    /// callers that have proven (via [`CalendarWheel::next_due`]) that no
+    /// event is due in `[base, cycle)`. The next [`CalendarWheel::drain_due`]
+    /// must then be called with exactly `cycle`.
+    pub fn advance_to(&mut self, cycle: u64) {
+        debug_assert!(cycle >= self.base, "wheel advanced backwards");
+        debug_assert!(
+            self.next_due().is_none_or(|d| d >= cycle),
+            "skipping over a due event"
+        );
+        self.base = cycle;
     }
 
     /// Appends every seq due at exactly `cycle` to `out` and advances the
@@ -267,5 +324,51 @@ mod tests {
     #[should_panic]
     fn non_power_of_two_horizon_rejected() {
         let _ = CalendarWheel::new(6);
+    }
+
+    #[test]
+    fn next_due_finds_ring_overflow_and_empty() {
+        let mut w = CalendarWheel::new(8);
+        assert_eq!(w.next_due(), None);
+        w.schedule(5, 50);
+        assert_eq!(w.next_due(), Some(5));
+        w.schedule(3, 30);
+        assert_eq!(w.next_due(), Some(3), "earlier ring booking wins");
+        w.schedule(100, 7); // overflow
+        assert_eq!(w.next_due(), Some(3));
+        let mut out = Vec::new();
+        w.drain_due(0, &mut out);
+        w.drain_due(1, &mut out);
+        w.drain_due(2, &mut out);
+        w.drain_due(3, &mut out);
+        assert_eq!(out, vec![30]);
+        assert_eq!(w.next_due(), Some(5));
+        w.drain_due(4, &mut out);
+        w.drain_due(5, &mut out);
+        assert_eq!(w.next_due(), Some(100), "only the overflow entry left");
+    }
+
+    #[test]
+    fn advance_to_jumps_over_empty_buckets() {
+        let mut w = CalendarWheel::new(8);
+        w.schedule(40, 4); // overflow (beyond horizon from base 0)
+        assert_eq!(w.next_due(), Some(40));
+        w.advance_to(40);
+        assert_eq!(drained(&mut w, 40), vec![4]);
+        assert!(w.is_empty());
+        // Ring bookings survive a jump to exactly their due cycle, and the
+        // ring indexing stays consistent after the base moved non-contiguously.
+        w.schedule(43, 9);
+        w.advance_to(43);
+        assert_eq!(drained(&mut w, 43), vec![9]);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn advance_past_due_event_is_rejected() {
+        let mut w = CalendarWheel::new(8);
+        w.schedule(2, 1);
+        w.advance_to(3);
     }
 }

@@ -202,6 +202,27 @@ impl CycleAttribution {
         debug_assert!(self.conserved(), "slot conservation violated");
     }
 
+    /// Charges `cycles` consecutive zero-commit cycles to `stall` in one
+    /// step — the bulk form the event-horizon cycle skip uses for a jumped
+    /// region whose stall bucket is provably uniform. Equivalent to
+    /// `cycles` calls of `charge_cycle(0, stall)`, so conservation
+    /// (`sum(buckets) == cycles × width`) holds exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `stall` is `Committed`: a skipped cycle retires
+    /// nothing, so its slack needs a stall explanation.
+    #[inline]
+    pub fn charge_cycles(&mut self, cycles: u64, stall: SlotBucket) {
+        debug_assert!(
+            cycles == 0 || stall != SlotBucket::Committed,
+            "stall slots charged to Committed"
+        );
+        self.buckets[stall as usize] += cycles * self.width;
+        self.cycles += cycles;
+        debug_assert!(self.conserved(), "slot conservation violated");
+    }
+
     /// Refines a rename-stall cycle with the (class, subset) whose pool
     /// was exhausted. Call at most once per charged rename-stall cycle;
     /// out-of-range indices land in the last slot rather than panicking.

@@ -1,10 +1,15 @@
 //! Differential property tests for the engine's two restructurings:
 //!
-//! * **Event scheduler**: random (workload-slice × config × policy)
-//!   triples must produce a `Report` identical to the retained O(window)
-//!   ROB-scan oracle. The event engine (calendar wheel + intrusive waiter
-//!   lists) is a pure restructuring of *when* readiness is discovered,
-//!   never of what issues.
+//! * **Event scheduler + cycle skipping**: random (workload-slice ×
+//!   config × policy) triples must produce a `Report` identical to the
+//!   retained O(window) ROB-scan oracle, both with event-horizon cycle
+//!   skipping on (the default) and pinned to the cycle-by-cycle loop.
+//!   The event engine (calendar wheel + bitset wakeup/select + skipping)
+//!   is a pure restructuring of *when* readiness is discovered, never of
+//!   what issues. Telemetry-enabled draws additionally check that cycle
+//!   attribution conserves issue slots — the bulk charges that skipping
+//!   books for whole stalled regions must keep
+//!   `sum(buckets) == cycles × width` exact.
 //! * **Lockstep batching**: a random *family* of configurations advanced
 //!   in lockstep over one shared annotated trace must produce, per lane,
 //!   a `Report` identical to that lane's scalar run — including full
@@ -65,21 +70,41 @@ proptest! {
         cidx in 0usize..7,
         len in 1_000usize..8_000,
         warmup_frac in 0u64..4,
+        telemetry in any::<bool>(),
     ) {
         let w = Workload::all()[widx];
-        let (name, cfg) = config_pool().swap_remove(cidx);
+        let (name, mut cfg) = config_pool().swap_remove(cidx);
+        cfg.telemetry = telemetry;
         let trace = slice(w, len);
         let warmup = warmup_frac * len as u64 / 8;
         let measure = len as u64 - warmup;
         let sim = Simulator::new(cfg);
+        // Default path: event scheduler with cycle skipping (WSRS_NO_SKIP
+        // is unset under the test harness).
         let event = sim.run_measured(trace.iter().copied(), warmup, measure);
+        let no_skip = sim.run_measured_no_skip(trace.iter().copied(), warmup, measure);
         let oracle = sim.run_measured_scan_oracle(trace.iter().copied(), warmup, measure);
         prop_assert_eq!(
             format!("{event:?}"),
             format!("{oracle:?}"),
-            "schedulers diverge on {} × {:?} (len {}, warmup {})",
+            "skip path diverges from scan oracle on {} × {:?} (len {}, warmup {}, telemetry {})",
+            name, w, len, warmup, telemetry
+        );
+        prop_assert_eq!(
+            format!("{no_skip:?}"),
+            format!("{oracle:?}"),
+            "cycle-by-cycle event path diverges from scan oracle on {} × {:?} (len {}, warmup {})",
             name, w, len, warmup
         );
+        prop_assert_eq!(event.attribution.is_some(), telemetry);
+        if let Some(attr) = &event.attribution {
+            // Skipped regions are charged in bulk (one charge_cycles call
+            // per jump); conservation must survive that exactly.
+            prop_assert!(
+                attr.conserved(),
+                "skip-path attribution violates slot conservation on {} × {:?}", name, w
+            );
+        }
     }
 
     /// Lockstep differential fuzz: any non-empty subset of the config
